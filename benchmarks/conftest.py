@@ -1,0 +1,48 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Scale is controlled by environment variables so the suite can be run at
+paper scale when time permits:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — measured instructions per run
+  (default 6000; the paper uses 1M).
+* ``REPRO_BENCH_WARMUP`` — warmup instructions (default 3000).
+
+The two scheduling sweeps (one per faulty voltage) are session-scoped:
+Figure 4/5 share the 1.04V runs, Figures 8/9 the 0.97V runs, and Table 1
+draws on both.
+"""
+
+import os
+
+import pytest
+
+from repro.faults.timing import VDD_HIGH_FAULT, VDD_LOW_FAULT
+from repro.harness.experiments import SchedulingSweep
+from repro.harness.paper_data import HIGH_FR_BENCHMARKS
+from repro.workloads.profiles import profile_names
+
+N_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "6000"))
+WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def sweep_low():
+    """All (benchmark, scheme) runs at VDD = 1.04V (Figures 4/5)."""
+    return SchedulingSweep(
+        VDD_LOW_FAULT, N_INSTRUCTIONS, WARMUP, SEED, profile_names()
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_high():
+    """All (benchmark, scheme) runs at VDD = 0.97V (Figures 8/9)."""
+    return SchedulingSweep(
+        VDD_HIGH_FAULT, N_INSTRUCTIONS, WARMUP, SEED,
+        list(HIGH_FR_BENCHMARKS),
+    )
+
+
+def run_args():
+    """Common kwargs for experiment functions."""
+    return dict(n_instructions=N_INSTRUCTIONS, warmup=WARMUP, seed=SEED)

@@ -1,0 +1,219 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+* TEP geometry: a starved predictor table aliases and mispredicts,
+  forcing replays the full-size table avoids.
+* Criticality threshold: the paper finds CT = 8 works best; the CDS
+  datapath cost grows as the threshold logic changes but scheduling
+  stays safe at any CT.
+* Razor replay-penalty sensitivity: deeper recovery costs more.
+* mod-64 timestamps vs exact age: the 6-bit counter is an adequate
+  proxy for true age.
+"""
+
+import pytest
+
+from repro.core.policies import AgeBasedSelection
+from repro.core.schemes import SchemeKind
+from repro.core.tep import TEPConfig
+from repro.faults.timing import VDD_HIGH_FAULT
+from repro.harness.runner import RunSpec, run_one
+from repro.uarch.config import CoreConfig
+
+from conftest import N_INSTRUCTIONS, SEED, WARMUP
+
+_BENCH = "sjeng"
+
+
+def _spec(**kwargs):
+    return RunSpec(
+        _BENCH, kwargs.pop("scheme", SchemeKind.ABS), VDD_HIGH_FAULT,
+        N_INSTRUCTIONS, WARMUP, SEED, **kwargs,
+    )
+
+
+def test_ablation_predictor_designs(benchmark, capsys):
+    """TEP (the paper's combined design) vs its constituents (MRE, TVP).
+
+    The TEP combines the MRE's fast reaction with the TVP's confidence
+    counters and adds tags; prediction coverage (and hence replay count)
+    should order TEP >= MRE > TVP.
+    """
+    def run():
+        results = {}
+        for kind in ("tep", "mre", "tvp"):
+            results[kind] = run_one(_spec(predictor=kind))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(f"\npredictor ablation ({_BENCH}@0.97V, ABS):")
+        for kind, r in results.items():
+            s = r.stats
+            coverage = (
+                s.faults_predicted / s.faults_total if s.faults_total else 1
+            )
+            print(f"  {kind}: coverage={coverage:.1%} replays={s.replays}")
+    cov = {
+        k: (r.stats.faults_predicted / r.stats.faults_total)
+        for k, r in results.items()
+    }
+    assert cov["tep"] >= cov["mre"] - 0.05
+    assert cov["mre"] > cov["tvp"]
+
+
+def test_ablation_tep_geometry(benchmark, capsys):
+    """A tiny TEP table must cost replays vs the full-size one."""
+    def run():
+        tiny = run_one(_spec(tep_config=TEPConfig(n_entries=16)))
+        full = run_one(_spec(tep_config=TEPConfig(n_entries=1024)))
+        return tiny, full
+
+    tiny, full = benchmark.pedantic(run, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\nTEP ablation ({_BENCH}@0.97V): "
+            f"16 entries -> {tiny.stats.replays} replays, "
+            f"1024 entries -> {full.stats.replays} replays"
+        )
+    assert tiny.stats.replays >= full.stats.replays
+    assert full.stats.faults_predicted > full.stats.faults_unpredicted
+
+
+def test_ablation_criticality_threshold(benchmark, capsys):
+    """CDS remains correct and effective across CT settings."""
+    def run():
+        results = {}
+        for ct in (2, 8, 24):
+            config = CoreConfig.core1(criticality_threshold=ct)
+            results[ct] = run_one(_spec(scheme=SchemeKind.CDS, config=config))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    base = run_one(
+        RunSpec(_BENCH, SchemeKind.FAULT_FREE, VDD_HIGH_FAULT,
+                N_INSTRUCTIONS, WARMUP, SEED)
+    )
+    with capsys.disabled():
+        print(f"\nCT ablation ({_BENCH}@0.97V):")
+        for ct, result in results.items():
+            print(f"  CT={ct:2d}: overhead={result.perf_overhead(base):.3%}")
+    for result in results.values():
+        assert result.stats.committed >= N_INSTRUCTIONS
+        assert result.perf_overhead(base) < 0.5
+
+
+def test_ablation_replay_penalty(benchmark, capsys):
+    """Razor's overhead grows with the recovery depth."""
+    def run():
+        fast = run_one(_spec(
+            scheme=SchemeKind.RAZOR, config=CoreConfig.core1(replay_recovery=1)
+        ))
+        slow = run_one(_spec(
+            scheme=SchemeKind.RAZOR,
+            config=CoreConfig.core1(replay_recovery=12),
+        ))
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\nreplay-penalty ablation: recovery=1 -> {fast.cycles} cycles, "
+            f"recovery=12 -> {slow.cycles} cycles"
+        )
+    assert slow.cycles > fast.cycles
+
+
+def test_ablation_memory_disambiguation(benchmark, capsys):
+    """Conservative vs store-set speculative load scheduling.
+
+    The paper's baseline scheduler is conservative; the store-set
+    refinement (Chrysos/Emer) lifts IPC on memory-heavy codes without
+    changing the violation-tolerance story.
+    """
+    def run():
+        results = {}
+        for mode in ("conservative", "store_sets"):
+            config = CoreConfig.core1(mem_dependence=mode)
+            results[mode] = run_one(RunSpec(
+                "xalancbmk", SchemeKind.ABS, VDD_HIGH_FAULT,
+                N_INSTRUCTIONS, WARMUP, SEED, config=config,
+            ))
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    with capsys.disabled():
+        print("\ndisambiguation ablation (xalancbmk@0.97V, ABS):")
+        for mode, r in results.items():
+            print(f"  {mode}: ipc={r.ipc:.3f} "
+                  f"memdep_violations={r.stats.memdep_violations}")
+    assert results["store_sets"].ipc >= results["conservative"].ipc
+
+
+def test_ablation_mod64_timestamps(benchmark, capsys):
+    """The 6-bit modulo timestamp tracks true fetch order closely."""
+    from repro.harness.runner import build_core, prime_caches
+
+    def run(exact):
+        spec = _spec()
+        core = build_core(spec)
+        core.scheme.policy = AgeBasedSelection(exact=exact)
+        prime_caches(core.program, core.hierarchy)
+        core.run(spec.warmup)
+        from repro.uarch.stats import SimStats
+
+        core.stats = SimStats()
+        core.hierarchy.reset_stats()
+        return core.run(spec.n_instructions)
+
+    def both():
+        return run(exact=False), run(exact=True)
+
+    mod64, exact = benchmark.pedantic(both, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(
+            f"\ntimestamp ablation: mod-64 -> {mod64.cycles} cycles, "
+            f"exact age -> {exact.cycles} cycles"
+        )
+    assert mod64.cycles == pytest.approx(exact.cycles, rel=0.02)
+
+
+def test_ablation_core_width(benchmark, capsys):
+    """Scheme effectiveness vs machine width (Core-1 vs a 2-wide core).
+
+    The issue-slot freeze costs relatively more on a narrow machine (one
+    ALU frozen = the whole simple-issue bandwidth), but violation-aware
+    scheduling must still beat Error Padding at both widths.
+    """
+    def run():
+        results = {}
+        for label, config in (
+            ("core1", CoreConfig.core1()),
+            ("core2", CoreConfig.core2()),
+        ):
+            base = run_one(RunSpec(
+                _BENCH, SchemeKind.FAULT_FREE, VDD_HIGH_FAULT,
+                N_INSTRUCTIONS, WARMUP, SEED, config=config,
+            ))
+            ep = run_one(RunSpec(
+                _BENCH, SchemeKind.EP, VDD_HIGH_FAULT,
+                N_INSTRUCTIONS, WARMUP, SEED, config=config,
+            ))
+            abs_run = run_one(RunSpec(
+                _BENCH, SchemeKind.ABS, VDD_HIGH_FAULT,
+                N_INSTRUCTIONS, WARMUP, SEED, config=config,
+            ))
+            results[label] = (
+                base.ipc,
+                ep.perf_overhead(base),
+                abs_run.perf_overhead(base),
+            )
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    with capsys.disabled():
+        print(f"\nwidth ablation ({_BENCH}@0.97V):")
+        for label, (ipc, ep_ov, abs_ov) in results.items():
+            print(f"  {label}: ipc={ipc:.2f} EP={ep_ov:.2%} ABS={abs_ov:.2%}")
+    for label, (ipc, ep_ov, abs_ov) in results.items():
+        assert abs_ov < ep_ov, label
+    assert results["core1"][0] > results["core2"][0]  # wider is faster

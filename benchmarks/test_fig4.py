@@ -1,0 +1,46 @@
+"""Regenerate Figure 4: performance overhead vs EP at 1.04V.
+
+Paper reference: all bars well below 1.0 (the EP baseline); on average the
+proposed schemes remove ~87% of EP's overhead; per-benchmark reductions
+span 64-97%.
+"""
+
+import math
+
+from repro.harness import experiments
+
+from conftest import run_args
+
+
+def test_fig4(benchmark, sweep_low, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.fig4(sweep=sweep_low, **run_args()),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    averages = result.data["averages"]
+    assert set(averages) == {"ABS", "FFS", "CDS"}
+    for scheme, avg in averages.items():
+        assert not math.isnan(avg)
+        # every proposed scheme removes most of the EP overhead
+        assert avg < 0.75, f"{scheme} average relative overhead {avg}"
+    # the best scheme reaches deep into the paper's band
+    assert min(averages.values()) < 0.55
+    # per-benchmark: bars stay below the EP baseline almost everywhere
+    series = result.data["series"]
+    below = sum(
+        1
+        for by_bench in series.values()
+        for bench, v in by_bench.items()
+        if bench != "AVERAGE" and v < 1.0
+    )
+    total = sum(
+        1
+        for by_bench in series.values()
+        for bench in by_bench
+        if bench != "AVERAGE"
+    )
+    assert below / total > 0.9

@@ -1,0 +1,27 @@
+"""Regenerate Figure 5: energy-delay overhead vs EP at 1.04V.
+
+Paper reference: the proposed schemes remove ~82% of EP's ED overhead on
+average (bars 0.1-0.45).
+"""
+
+import math
+
+from repro.harness import experiments
+
+from conftest import run_args
+
+
+def test_fig5(benchmark, sweep_low, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.fig5(sweep=sweep_low, **run_args()),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    averages = result.data["averages"]
+    for scheme, avg in averages.items():
+        assert not math.isnan(avg)
+        assert avg < 0.85, f"{scheme} average relative ED overhead {avg}"
+    assert min(averages.values()) < 0.65

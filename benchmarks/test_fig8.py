@@ -1,0 +1,29 @@
+"""Regenerate Figure 8: performance overhead vs EP at 0.97V.
+
+Paper reference: at the high fault rate the schemes remove ~88% of EP's
+overhead on average; the figure drops povray (11 benchmarks).
+"""
+
+import math
+
+from repro.harness import experiments
+
+from conftest import run_args
+
+
+def test_fig8(benchmark, sweep_high, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.fig8(sweep=sweep_high, **run_args()),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    # the paper's Figure 8 omits povray
+    assert "povray" not in result.data["series"]["ABS"]
+    averages = result.data["averages"]
+    for scheme, avg in averages.items():
+        assert not math.isnan(avg)
+        assert avg < 0.7, f"{scheme} average relative overhead {avg}"
+    assert min(averages.values()) < 0.5

@@ -1,0 +1,27 @@
+"""Regenerate Figure 9: energy-delay overhead vs EP at 0.97V.
+
+Paper reference: ~83% average ED-overhead reduction at the high fault
+rate.
+"""
+
+import math
+
+from repro.harness import experiments
+
+from conftest import run_args
+
+
+def test_fig9(benchmark, sweep_high, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.fig9(sweep=sweep_high, **run_args()),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    averages = result.data["averages"]
+    for scheme, avg in averages.items():
+        assert not math.isnan(avg)
+        assert avg < 0.8, f"{scheme} average relative ED overhead {avg}"
+    assert min(averages.values()) < 0.6

@@ -1,0 +1,39 @@
+"""Regenerate Table 1: fault rates and Razor/EP overheads.
+
+Paper reference (Table 1): fault rates of 5.6-10.5% at 0.97V and
+1.4-2.3% at 1.04V; Razor overheads of 25-59% / 7-25% (perf) and EP
+overheads of 2-15% / 0.5-3.8%, always Razor >> EP.
+"""
+
+from repro.harness import experiments
+from repro.harness.paper_data import PAPER_TABLE1
+
+from conftest import run_args
+
+
+def test_table1(benchmark, sweep_low, sweep_high, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.table1(
+            sweeps={0.97: sweep_high, 1.04: sweep_low},
+            **run_args(),
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    for bench, entry in result.data.items():
+        paper = PAPER_TABLE1[bench]
+        # fault rates grow when the supply drops, as in the paper
+        assert entry[0.97]["fr"] > entry[1.04]["fr"]
+        # fault rates land within a factor ~2 of the paper's Table 1
+        assert entry[0.97]["fr"] == paper.fr_high * (1.0 + 0.0) or (
+            0.4 * paper.fr_high < entry[0.97]["fr"] < 2.5 * paper.fr_high
+        )
+        assert 0.3 * paper.fr_low < entry[1.04]["fr"] < 3.0 * paper.fr_low
+        # Razor always costs more than EP at both voltages
+        for vdd in (0.97, 1.04):
+            assert entry[vdd]["razor"][0] > entry[vdd]["ep"][0]
+        # Razor overheads are tens of percent at high fault rate
+        assert entry[0.97]["razor"][0] > 5.0

@@ -1,0 +1,38 @@
+"""Regenerate Table 3: synthesized component characteristics.
+
+Paper reference (gate count / logic depth, NAND-level): IssueQSelect
+189/33, ALU 4728/46, AGen 491/43, ForwardCheck 428/15. Our generators
+produce comparable structures; the ordering relations must hold: the ALU
+is the largest and among the deepest, the forward-check is the shallowest.
+"""
+
+from repro.harness import experiments
+
+
+def test_table3(benchmark, capsys):
+    result = benchmark.pedantic(
+        experiments.table3, iterations=1, rounds=3
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    data = result.data
+    # the ALU is the biggest component, as in the paper
+    assert data["ALU"].n_gates == max(r.n_gates for r in data.values())
+    # the forward-check logic is the shallowest (paper: depth 15)
+    assert data["ForwardCheck"].depth == min(r.depth for r in data.values())
+    # magnitudes comparable to the paper's 189-4728 gates / depth 15-46
+    for report in data.values():
+        assert 100 <= report.n_gates <= 20000
+        assert 10 <= report.depth <= 120
+
+
+def test_table3_native(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: experiments.table3(mapped=False), iterations=1, rounds=3
+    )
+    with capsys.disabled():
+        print()
+        print(result.render())
+    for report in result.data.values():
+        assert report.n_gates > 0

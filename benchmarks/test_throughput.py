@@ -1,0 +1,76 @@
+"""Performance microbenchmarks of the core data structures.
+
+These measure simulator throughput rather than reproducing paper results:
+cycle-level simulation speed, gate-level simulation speed, and predictor
+operation cost. Useful for spotting performance regressions in the hot
+loops.
+"""
+
+import random
+
+from repro.core.schemes import SchemeKind
+from repro.core.tep import TimingErrorPredictor
+from repro.harness.runner import RunSpec, build_core, prime_caches
+from repro.isa.opcodes import PipeStage
+from repro.circuits.builders import build_alu
+from repro.mem.cache import Cache, CacheConfig
+
+
+def test_pipeline_throughput(benchmark):
+    """Committed instructions per second of the cycle-level model."""
+    def run():
+        core = build_core(RunSpec("bzip2", SchemeKind.ABS, 1.04, seed=2))
+        prime_caches(core.program, core.hierarchy)
+        return core.run(3000).committed
+
+    committed = benchmark(run)
+    assert committed >= 3000
+
+
+def test_gate_level_simulation_throughput(benchmark):
+    """ALU netlist evaluations per second."""
+    nl, _ = build_alu()
+    rng = random.Random(0)
+    vectors = [
+        [rng.randint(0, 1) for _ in nl.inputs] for _ in range(20)
+    ]
+
+    def run():
+        out = None
+        for vec in vectors:
+            out = nl.simulate(vec)
+        return out
+
+    assert benchmark(run) is not None
+
+
+def test_tep_operation_cost(benchmark):
+    """Predict+train pairs per second."""
+    tep = TimingErrorPredictor()
+    pcs = [0x1000 + 4 * i for i in range(256)]
+    key = tep.key_for(pcs[0], 0)
+    tep.train(key, PipeStage.ISSUE, True)
+
+    def run():
+        hits = 0
+        for pc in pcs:
+            if tep.predict(pc, 0) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) >= 1
+
+
+def test_cache_access_throughput(benchmark):
+    """L1-shaped cache accesses per second."""
+    cache = Cache(CacheConfig(32 * 1024, 4))
+    rng = random.Random(1)
+    addrs = [rng.randrange(1 << 18) for _ in range(2000)]
+
+    def run():
+        hits = 0
+        for addr in addrs:
+            hits += cache.access(addr)
+        return hits
+
+    benchmark(run)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Bring your own trace: run the pipeline on an external instruction trace.
+
+Demonstrates the JSON-lines trace interchange: a tiny daxpy-like kernel is
+written by hand (as a tracing tool would emit it), loaded, and executed
+under fault-free and violation-aware configurations. Any trace with the
+same schema — e.g. produced by a Pin tool or another simulator — works the
+same way.
+"""
+
+import tempfile
+
+from repro.core.schemes import SchemeKind, make_scheme
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import OoOCore
+from repro.workloads.tracefile import load_trace
+
+
+def daxpy_trace(iterations=400, base_x=0x1000, base_y=0x8000):
+    """Hand-written trace of y[i] += a * x[i] (as JSON lines)."""
+    lines = ["# daxpy kernel, one JSON record per dynamic instruction"]
+    for i in range(iterations):
+        xa, ya = base_x + 8 * i, base_y + 8 * i
+        lines.extend([
+            f'{{"pc": 4096, "op": "LOAD", "dest": 2, "srcs": [1], '
+            f'"addr": {xa}}}',
+            '{"pc": 4100, "op": "IMUL", "dest": 3, "srcs": [2, 4]}',
+            f'{{"pc": 4104, "op": "LOAD", "dest": 5, "srcs": [6], '
+            f'"addr": {ya}}}',
+            '{"pc": 4108, "op": "IALU", "dest": 5, "srcs": [3, 5]}',
+            f'{{"pc": 4112, "op": "STORE", "srcs": [5, 6], "addr": {ya}}}',
+            '{"pc": 4116, "op": "IALU", "dest": 1, "srcs": [1]}',
+            '{"pc": 4120, "op": "IALU", "dest": 6, "srcs": [6]}',
+            f'{{"pc": 4124, "op": "BRANCH", "srcs": [1], '
+            f'"taken": {"true" if i + 1 < iterations else "false"}}}',
+        ])
+    return "\n".join(lines) + "\n"
+
+
+def run_trace(path):
+    core = OoOCore(
+        CoreConfig.core1(),
+        load_trace(path),
+        MemoryHierarchy(),
+        make_scheme(SchemeKind.FAULT_FREE),
+    )
+    return core.run(1_000_000)  # drains at trace end
+
+
+def main():
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl",
+                                     delete=False) as handle:
+        handle.write(daxpy_trace())
+        path = handle.name
+    trace = load_trace(path)
+    print(f"loaded {len(trace)} dynamic instructions, "
+          f"{len(trace.statics)} static PCs from {path}")
+
+    stats = run_trace(path)
+    print(f"daxpy on Core-1: {stats.committed} committed in "
+          f"{stats.cycles} cycles (IPC {stats.ipc:.2f})")
+    print(f"store-to-load forwards: {stats.store_forwards}, "
+          f"LSQ CAM searches: {stats.lsq_searches}")
+    print()
+    print("The same schema works for traces produced by binary")
+    print("instrumentation or other simulators; see")
+    print("repro.workloads.tracefile for the format definition.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2, executed: scheduling around a faulty instruction.
+
+Four instructions run on a core with a single one-cycle ALU. I2 is
+predicted to violate timing in the execute stage; I3 depends on it, I1 and
+I4 are independent. The example prints the per-instruction schedule with
+and without the fault and shows the three VTE mechanisms at work:
+
+1. I2 occupies its stage one extra cycle (delayed tag broadcast),
+2. the FUSR keeps the ALU's issue slot empty in the following cycle,
+3. only the dependent I3 is held back — by exactly one cycle.
+"""
+
+from repro.core.schemes import SchemeKind, make_scheme
+from repro.core.tep import TimingErrorPredictor
+from repro.faults.sensors import VoltageSensor
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.isa.program import BasicBlock, Program
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import OoOCore
+from repro.workloads.trace import TraceGenerator
+
+NAMES = {0x1000: "I1", 0x1004: "I2", 0x1008: "I3", 0x100C: "I4"}
+
+
+class _Fig2Injector:
+    """Forces an execute-stage violation on I2's every instance."""
+
+    enabled = True
+
+    def resolve(self, inst, vdd):
+        if inst.pc == 0x1004 and not inst.replayed:
+            inst.add_fault(PipeStage.EXECUTE)
+        return inst
+
+
+class _Recorder:
+    def __init__(self, trace):
+        self.trace = iter(trace)
+        self.insts = {}
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        inst = next(self.trace)
+        if inst.pc in NAMES:
+            self.insts[NAMES[inst.pc]] = inst
+        return inst
+
+
+def _program():
+    insts = [
+        StaticInst(0x1000, OpClass.IALU, dest=1, srcs=()),
+        StaticInst(0x1004, OpClass.IALU, dest=2, srcs=()),
+        StaticInst(0x1008, OpClass.IALU, dest=3, srcs=(2,)),
+        StaticInst(0x100C, OpClass.IALU, dest=4, srcs=()),
+        StaticInst(0x1010, OpClass.BRANCH, srcs=(), taken_prob=0.0),
+    ]
+    return Program([BasicBlock(0, insts, [])], name="figure2")
+
+
+def _run(faulty):
+    config = CoreConfig.core1(n_simple_alu=1)
+    tep = TimingErrorPredictor()
+    if faulty:
+        key = tep.key_for(0x1004, 0)
+        for _ in range(3):
+            tep.train(key, PipeStage.EXECUTE, True)
+    core = OoOCore(
+        config,
+        _Recorder(TraceGenerator(_program())),
+        MemoryHierarchy(),
+        make_scheme(SchemeKind.ABS),
+        injector=_Fig2Injector() if faulty else None,
+        tep=tep,
+        sensor=VoltageSensor(1.04),
+        vdd=1.04,
+    )
+    core.run(5)
+    return core.trace.insts
+
+
+def _show(title, insts, t0):
+    print(title)
+    print(f"  {'inst':<5} {'select':>7} {'complete':>9} {'commit':>7}")
+    for name in ("I1", "I2", "I3", "I4"):
+        inst = insts[name]
+        print(
+            f"  {name:<5} {inst.issue_cycle - t0:>7} "
+            f"{inst.complete_cycle - t0:>9} {inst.commit_cycle - t0:>7}"
+        )
+    print()
+
+
+def main():
+    clean = _run(faulty=False)
+    faulty = _run(faulty=True)
+    t0 = clean["I1"].issue_cycle
+    t1 = faulty["I1"].issue_cycle
+    _show("fault-free schedule (cycles relative to I1's select):", clean, t0)
+    _show("I2 predicted faulty in EXECUTE (VTE active):", faulty, t1)
+
+    slip = (faulty["I3"].issue_cycle - t1) - (clean["I3"].issue_cycle - t0)
+    print(f"I3 (dependent on I2) selected {slip} cycle(s) later — the")
+    print("delayed tag broadcast of Section 3.2.2.")
+    print("No replay occurred; the violation was absorbed by scheduling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Tighter frequency through violation tolerance (the paper's Section 1).
+
+"Enabled by our violation aware scheduling techniques, microprocessors can
+operate at a tighter frequency, where predictable errors frequently occur
+and are tolerated with minimal performance loss."
+
+This example overclocks the core at nominal supply: the cycle time shrinks
+by a factor f, predictable timing violations appear once the guardband is
+consumed, and each scheme pays its own tolerance cost. Net throughput is
+IPC x f (instructions per wall-clock second, normalized to the nominal
+point) — the scheme that tolerates violations cheapest sustains the
+highest usable frequency.
+
+Usage::
+
+    python examples/overclocking.py [benchmark]
+"""
+
+import sys
+
+from repro import RunSpec, SchemeKind, run_one
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "bzip2"
+    n_instructions = 6000
+    factors = [1.00, 1.02, 1.04, 1.06, 1.08, 1.10]
+    schemes = (SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS)
+
+    nominal = run_one(
+        RunSpec(benchmark, SchemeKind.FAULT_FREE, 1.10, n_instructions)
+    )
+    print(f"benchmark={benchmark}; throughput = IPC x f, normalized to the")
+    print("fault-free nominal-frequency point\n")
+    header = f"{'f':>5} {'fault rate':>11}"
+    for scheme in schemes:
+        header += f" {scheme.name:>8}"
+    print(header)
+
+    best = {scheme: (1.0, 1.0) for scheme in schemes}
+    for f in factors:
+        row = f"{f:>5.2f}"
+        fr_printed = False
+        for scheme in schemes:
+            result = run_one(
+                RunSpec(benchmark, scheme, 1.10, n_instructions, overclock=f)
+            )
+            if not fr_printed:
+                row += f" {result.fault_rate:>10.2%}"
+                fr_printed = True
+            throughput = result.ipc * f / nominal.ipc
+            if throughput > best[scheme][1]:
+                best[scheme] = (f, throughput)
+            row += f" {throughput:>8.3f}"
+        print(row)
+
+    print()
+    for scheme in schemes:
+        f, throughput = best[scheme]
+        print(f"{scheme.name}: best operating point f={f:.2f} "
+              f"({throughput - 1:+.1%} net throughput)")
+    print()
+    print("Violation-aware scheduling keeps violations cheap, so its usable")
+    print("frequency — and net speedup — is the highest of the three.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Why the TEP combines two prior predictor designs (Section 2.1.1).
+
+The paper's Timing Error Predictor merges the Most Recent Entry predictor
+(Xin & Joseph, MICRO'11) with the Timing Violation Predictor (Roy &
+Chakraborty, DAC'12). This example runs the violation-aware scheduler with
+each of the three designs and reports prediction coverage, replays, and
+the resulting overhead — plus the Razor-circuit cost of the detection
+substrate they all rely on.
+
+Usage::
+
+    python examples/predictor_comparison.py [benchmark]
+"""
+
+import sys
+
+from repro import RunSpec, SchemeKind, run_one
+from repro.circuits.builders import build_agen
+from repro.circuits.library import default_library
+from repro.circuits.razor import razor_overhead
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "gobmk"
+    n_instructions = 6000
+    vdd = 0.97
+
+    baseline = run_one(
+        RunSpec(benchmark, SchemeKind.FAULT_FREE, vdd, n_instructions)
+    )
+    print(f"benchmark={benchmark}, VDD={vdd}V, ABS scheduling\n")
+    print(f"{'predictor':<10} {'coverage':>9} {'replays':>8} "
+          f"{'perf overhead':>14}")
+    for kind, label in (("tep", "TEP"), ("mre", "MRE"), ("tvp", "TVP")):
+        result = run_one(
+            RunSpec(benchmark, SchemeKind.ABS, vdd, n_instructions,
+                    predictor=kind)
+        )
+        stats = result.stats
+        coverage = (
+            stats.faults_predicted / stats.faults_total
+            if stats.faults_total else 1.0
+        )
+        print(f"{label:<10} {coverage:>8.1%} {stats.replays:>8d} "
+              f"{result.perf_overhead(baseline):>13.2%}")
+
+    print()
+    print("Every scheme needs Razor-style detectors for the violations no")
+    print("predictor catches. Their circuit-level cost on the AGEN stage:")
+    netlist, _ = build_agen()
+    report = razor_overhead(netlist, default_library())
+    print(f"  {report.n_flops} protected flip-flops: "
+          f"area +{report.area_overhead:.1%}, "
+          f"energy +{report.energy_overhead:.1%}, "
+          f"{report.n_buffers} hold buffers")
+    print()
+    print("High prediction coverage keeps replays — and therefore the")
+    print("detector's dynamic activity — rare; the TEP's tags avoid the")
+    print("TVP's aliasing while its counters avoid the MRE's thrash.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Why are timing violations predictable? (the paper's Section S1)
+
+Builds the four gate-level components, drives each with SPEC2000int-like
+operand streams, and measures the commonality of the sensitized paths
+across dynamic instances of the same static instruction — the property the
+Timing Error Predictor exploits. Also demonstrates the inverse: a stream
+with no input locality destroys the commonality, and with it the
+predictability.
+"""
+
+from repro.circuits.builders import (
+    build_agen,
+    build_alu,
+    build_forward_check,
+    build_issue_select,
+)
+from repro.circuits.sensitization import (
+    toggle_sets_per_pc,
+    weighted_commonality,
+)
+from repro.circuits.synthesis import synthesize
+from repro.workloads.operand_streams import (
+    FIG7_COMPONENTS,
+    OperandProfile,
+    SPEC2000INT_PROFILES,
+    StreamBuilder,
+)
+
+BUILDERS = {
+    "IssueQSelect": build_issue_select,
+    "AGen": build_agen,
+    "ForwardCheck": build_forward_check,
+    "ALU": build_alu,
+}
+
+
+def main():
+    print("component characteristics (NAND-mapped, cf. paper Table 3):")
+    netlists = {}
+    for name in FIG7_COMPONENTS:
+        nl, _ = BUILDERS[name]()
+        netlists[name] = nl
+        report = synthesize(nl)
+        print(f"  {name:<13} {report.n_gates:>5} gates, depth {report.depth}")
+    print()
+
+    print("sensitized-path commonality per benchmark (cf. paper Figure 7):")
+    header = f"  {'component':<13}" + "".join(
+        f"{b:>8}" for b in SPEC2000INT_PROFILES
+    )
+    print(header)
+    for name in FIG7_COMPONENTS:
+        row = f"  {name:<13}"
+        for bench, profile in SPEC2000INT_PROFILES.items():
+            stream = StreamBuilder(profile, seed=7).stream_for(name)
+            sets = toggle_sets_per_pc(netlists[name], stream)
+            row += f"{weighted_commonality(sets):>8.2f}"
+        print(row)
+    print()
+
+    print("what happens without input locality (locality = 0.1):")
+    chaotic = OperandProfile("chaotic", locality=0.10)
+    for name in ("AGen", "ALU"):
+        stream = StreamBuilder(chaotic, seed=7).stream_for(name)
+        sets = toggle_sets_per_pc(netlists[name], stream)
+        value = weighted_commonality(sets)
+        print(f"  {name:<13} commonality drops to {value:.2f}")
+    print()
+    print("High commonality means a PC that once violated timing will")
+    print("sensitize nearly the same critical path again — the basis of")
+    print("PC-indexed violation prediction.")
+
+
+if __name__ == "__main__":
+    main()

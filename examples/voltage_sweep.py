@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Operating-point exploration: how low can the supply go?
+
+The motivation of the paper's Section 1: with cheap tolerance of
+predictable timing violations, a core can run at a tighter
+voltage/frequency point. This example sweeps the supply from the nominal
+1.10V down to 0.96V and reports, per scheme, the fault rate and the
+energy-delay product relative to nominal fault-free execution — showing
+where each scheme's break-even point lies.
+
+Usage::
+
+    python examples/voltage_sweep.py [benchmark]
+"""
+
+import sys
+
+from repro import RunSpec, SchemeKind, run_one
+from repro.faults.timing import VDD_NOMINAL
+
+
+def main():
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "bzip2"
+    n_instructions = 6000
+    voltages = [1.10, 1.07, 1.04, 1.00, 0.97, 0.96]
+    schemes = (SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS)
+
+    nominal = run_one(
+        RunSpec(benchmark, SchemeKind.FAULT_FREE, VDD_NOMINAL, n_instructions)
+    )
+    print(f"benchmark={benchmark}; energy-delay relative to fault-free @1.10V")
+    print()
+    header = f"{'VDD':>5} {'fault rate':>11}"
+    for scheme in schemes:
+        header += f" {scheme.name + ' EDP':>11}"
+    print(header)
+
+    for vdd in voltages:
+        row = f"{vdd:>5.2f}"
+        fr_printed = False
+        for scheme in schemes:
+            result = run_one(RunSpec(benchmark, scheme, vdd, n_instructions))
+            if not fr_printed:
+                row += f" {result.fault_rate:>10.2%}"
+                fr_printed = True
+            row += f" {result.edp / nominal.edp:>11.3f}"
+        print(row)
+
+    print()
+    print("Reading the table: below ~1.04V violations appear; Razor's replay")
+    print("cost erases the voltage saving quickly, EP keeps part of it, and")
+    print("violation-aware scheduling (ABS) keeps the EDP lowest the deepest")
+    print("into the faulty region — the paper's energy-efficiency argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` uses the PEP 660 path when available; fully offline
+environments can fall back to ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

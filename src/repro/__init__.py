@@ -1,0 +1,53 @@
+"""repro — reproduction of "Efficiently Tolerating Timing Violations in
+Pipelined Microprocessors" (Chakraborty, Cozzens, Roy, Ancajas — DAC 2013).
+
+The package implements the paper's violation-aware instruction scheduling
+framework (TEP + VTE + ABS/FFS/CDS policies), the Razor and Error Padding
+baselines, the cycle-level out-of-order core and memory hierarchy they run
+on, the statistical timing-fault substrate, a gate-level path-sensitization
+study, and the experiment harness regenerating every table and figure of
+the paper's evaluation.
+
+Quickstart::
+
+    from repro import RunSpec, SchemeKind, run_one
+
+    result = run_one(RunSpec("astar", SchemeKind.ABS, vdd=1.04))
+    print(result.ipc, result.fault_rate)
+"""
+
+from repro.core.predictors import make_predictor
+from repro.core.schemes import Scheme, SchemeKind, make_scheme
+from repro.core.tep import TimingErrorPredictor
+from repro.harness.export import write_json
+from repro.harness.multiseed import run_seeds
+from repro.harness.runner import RunSpec, SimResult, run_one, run_pair
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import OoOCore
+from repro.uarch.pipetrace import PipeTracer
+from repro.workloads.profiles import get_profile, profile_names
+from repro.workloads.tracefile import load_trace, save_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Scheme",
+    "make_predictor",
+    "write_json",
+    "run_seeds",
+    "PipeTracer",
+    "load_trace",
+    "save_trace",
+    "SchemeKind",
+    "make_scheme",
+    "TimingErrorPredictor",
+    "RunSpec",
+    "SimResult",
+    "run_one",
+    "run_pair",
+    "CoreConfig",
+    "OoOCore",
+    "get_profile",
+    "profile_names",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Gate-level substrate for the paper's circuit-architectural methodology.
+
+The paper synthesizes four Fabscalar components (Issue Queue Select, simple
+ALU, AGEN, Forward Check) with Synopsys DC on a 45nm FreePDK library, runs
+gate-level simulation under NC-Verilog, and studies which gates toggle per
+dynamic instance of a static instruction (Section S1). This package
+provides the equivalents:
+
+* :mod:`repro.circuits.library` — a small 45nm-like standard-cell library;
+* :mod:`repro.circuits.gates` / :mod:`repro.circuits.netlist` — gate types,
+  netlists, levelized logic simulation with toggle capture;
+* :mod:`repro.circuits.builders` — generators for adders, the ALU, the
+  issue-queue select arbiter, the AGEN, the forward-check logic, the CDL
+  encoder, and counters;
+* :mod:`repro.circuits.sta` — (statistical) static timing analysis with
+  the process-variation model;
+* :mod:`repro.circuits.sensitization` — sensitized-path commonality
+  (Figure 7);
+* :mod:`repro.circuits.synthesis` — area/power/gate-count reports
+  (Tables 2 and 3).
+"""
+
+from repro.circuits.gates import GateType, eval_gate
+from repro.circuits.library import CellLibrary, CellSpec, default_library
+from repro.circuits.netlist import Gate, Netlist
+from repro.circuits.sta import critical_path, monte_carlo_delay
+from repro.circuits.sensitization import (
+    commonality,
+    toggle_sets_per_pc,
+    weighted_commonality,
+)
+from repro.circuits.synthesis import SynthesisReport, synthesize
+
+__all__ = [
+    "GateType",
+    "eval_gate",
+    "CellLibrary",
+    "CellSpec",
+    "default_library",
+    "Gate",
+    "Netlist",
+    "critical_path",
+    "monte_carlo_delay",
+    "commonality",
+    "toggle_sets_per_pc",
+    "weighted_commonality",
+    "SynthesisReport",
+    "synthesize",
+]

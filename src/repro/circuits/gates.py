@@ -1,0 +1,62 @@
+"""Gate types and their boolean evaluation."""
+
+import enum
+
+
+class GateType(enum.IntEnum):
+    """Combinational cell types of the library."""
+
+    INV = 0
+    BUF = 1
+    AND2 = 2
+    OR2 = 3
+    NAND2 = 4
+    NOR2 = 5
+    XOR2 = 6
+    XNOR2 = 7
+    MUX2 = 8    # inputs: (a, b, sel) -> sel ? b : a
+    AND3 = 9
+    OR3 = 10
+
+
+#: Number of inputs each gate type takes.
+GATE_ARITY = {
+    GateType.INV: 1,
+    GateType.BUF: 1,
+    GateType.AND2: 2,
+    GateType.OR2: 2,
+    GateType.NAND2: 2,
+    GateType.NOR2: 2,
+    GateType.XOR2: 2,
+    GateType.XNOR2: 2,
+    GateType.MUX2: 3,
+    GateType.AND3: 3,
+    GateType.OR3: 3,
+}
+
+
+def eval_gate(gtype, inputs):
+    """Evaluate one gate. ``inputs`` is a sequence of ints (0/1)."""
+    if gtype == GateType.INV:
+        return inputs[0] ^ 1
+    if gtype == GateType.BUF:
+        return inputs[0]
+    if gtype == GateType.AND2:
+        return inputs[0] & inputs[1]
+    if gtype == GateType.OR2:
+        return inputs[0] | inputs[1]
+    if gtype == GateType.NAND2:
+        return (inputs[0] & inputs[1]) ^ 1
+    if gtype == GateType.NOR2:
+        return (inputs[0] | inputs[1]) ^ 1
+    if gtype == GateType.XOR2:
+        return inputs[0] ^ inputs[1]
+    if gtype == GateType.XNOR2:
+        return inputs[0] ^ inputs[1] ^ 1
+    if gtype == GateType.MUX2:
+        return inputs[1] if inputs[2] else inputs[0]
+    if gtype == GateType.AND3:
+        return inputs[0] & inputs[1] & inputs[2]
+    if gtype == GateType.OR3:
+        return inputs[0] | inputs[1] | inputs[2]
+    raise ValueError(f"unknown gate type {gtype!r}")

@@ -1,0 +1,91 @@
+"""A small 45nm-class standard-cell library.
+
+Numbers are representative of a 45nm educational PDK (FreePDK45-like
+magnitudes): areas in um^2, intrinsic delays in ps, leakage in nW, and
+switching energy in fJ per output toggle. Sequential storage is modelled
+by a single DFF cell used for per-bit state (issue-queue fields, counters,
+predictor tables).
+"""
+
+from repro.circuits.gates import GateType
+
+
+class CellSpec:
+    """Physical characteristics of one cell type."""
+
+    __slots__ = ("area", "delay", "leakage", "energy")
+
+    def __init__(self, area, delay, leakage, energy):
+        self.area = area
+        self.delay = delay
+        self.leakage = leakage
+        self.energy = energy
+
+    def __repr__(self):
+        return (
+            f"CellSpec(area={self.area}, delay={self.delay}ps, "
+            f"leak={self.leakage}nW, e={self.energy}fJ)"
+        )
+
+
+class CellLibrary:
+    """Cell specs per gate type plus storage cells.
+
+    Two storage flavours: ``dff`` for random logic state (FUSR, counters,
+    pipeline latches) and the denser ``ram_bit`` for array storage (issue
+    queue payload/field RAM, predictor tables).
+    """
+
+    def __init__(self, cells, dff, ram_bit=None):
+        self.cells = dict(cells)
+        self.dff = dff
+        self.ram_bit = ram_bit or dff
+
+    def spec(self, gtype):
+        """CellSpec of a combinational gate type."""
+        return self.cells[gtype]
+
+    def gate_delay(self, gtype):
+        """Nominal propagation delay (ps) of a gate type."""
+        return self.cells[gtype].delay
+
+    def netlist_area(self, netlist):
+        """Total combinational cell area of a netlist (um^2)."""
+        return sum(self.cells[g.gtype].area for g in netlist.gates)
+
+    def netlist_leakage(self, netlist):
+        """Total combinational leakage of a netlist (nW)."""
+        return sum(self.cells[g.gtype].leakage for g in netlist.gates)
+
+    def storage_area(self, bits, ram=False):
+        """Area of ``bits`` storage bits (``ram=True`` for array storage)."""
+        cell = self.ram_bit if ram else self.dff
+        return bits * cell.area
+
+    def storage_leakage(self, bits, ram=False):
+        """Leakage of ``bits`` storage bits."""
+        cell = self.ram_bit if ram else self.dff
+        return bits * cell.leakage
+
+
+_DEFAULT_CELLS = {
+    GateType.INV: CellSpec(0.8, 11.0, 1.0, 0.10),
+    GateType.BUF: CellSpec(1.1, 16.0, 1.2, 0.14),
+    GateType.AND2: CellSpec(1.6, 20.0, 1.6, 0.22),
+    GateType.OR2: CellSpec(1.6, 22.0, 1.6, 0.22),
+    GateType.NAND2: CellSpec(1.2, 14.0, 1.3, 0.16),
+    GateType.NOR2: CellSpec(1.2, 16.0, 1.3, 0.16),
+    GateType.XOR2: CellSpec(2.7, 28.0, 2.4, 0.34),
+    GateType.XNOR2: CellSpec(2.7, 28.0, 2.4, 0.34),
+    GateType.MUX2: CellSpec(2.9, 30.0, 2.6, 0.36),
+    GateType.AND3: CellSpec(2.1, 26.0, 2.0, 0.28),
+    GateType.OR3: CellSpec(2.1, 28.0, 2.0, 0.28),
+}
+
+_DEFAULT_DFF = CellSpec(4.8, 0.0, 4.2, 0.55)
+_DEFAULT_RAM_BIT = CellSpec(1.3, 0.0, 1.1, 0.09)
+
+
+def default_library():
+    """The default 45nm-like library instance."""
+    return CellLibrary(_DEFAULT_CELLS, _DEFAULT_DFF, _DEFAULT_RAM_BIT)

@@ -1,0 +1,161 @@
+"""Netlists: construction, levelized simulation, toggle capture.
+
+Construction is inherently topological: a gate's inputs must be existing
+nets, and every gate creates its output net, so evaluating gates in
+insertion order is a valid levelized simulation. The netlist keeps the
+previous simulation state so that per-vector *toggle sets* (the gates whose
+output changed) can be captured — the quantity the paper's sensitized-path
+commonality study is built on (Section S1.2).
+"""
+
+from repro.circuits.gates import GATE_ARITY, GateType, eval_gate
+
+
+class Gate:
+    """One gate instance: type, input nets, output net."""
+
+    __slots__ = ("index", "gtype", "inputs", "output")
+
+    def __init__(self, index, gtype, inputs, output):
+        self.index = index
+        self.gtype = gtype
+        self.inputs = tuple(inputs)
+        self.output = output
+
+    def __repr__(self):
+        return (
+            f"Gate({self.index}, {self.gtype.name}, in={self.inputs}, "
+            f"out={self.output})"
+        )
+
+
+class Netlist:
+    """A combinational netlist with named input/output nets."""
+
+    def __init__(self, name="netlist"):
+        self.name = name
+        self.n_nets = 1  # net 0 is constant zero
+        self.gates = []
+        self.inputs = []
+        self.outputs = []
+        self._values = [0]
+        self._const1 = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_input(self):
+        """Create one primary-input net and return its id."""
+        net = self.n_nets
+        self.n_nets += 1
+        self._values.append(0)
+        self.inputs.append(net)
+        return net
+
+    def add_inputs(self, count):
+        """Create ``count`` primary inputs (LSB-first for buses)."""
+        return [self.add_input() for _ in range(count)]
+
+    @property
+    def const0(self):
+        """The constant-zero net."""
+        return 0
+
+    @property
+    def const1(self):
+        """The constant-one net (an inverter on const0, created lazily)."""
+        if self._const1 is None:
+            self._const1 = self.add_gate(GateType.INV, [0])
+        return self._const1
+
+    def add_gate(self, gtype, inputs):
+        """Add a gate; returns its output net id."""
+        if len(inputs) != GATE_ARITY[gtype]:
+            raise ValueError(
+                f"{gtype.name} takes {GATE_ARITY[gtype]} inputs, "
+                f"got {len(inputs)}"
+            )
+        for net in inputs:
+            if not 0 <= net < self.n_nets:
+                raise ValueError(f"unknown input net {net}")
+        out = self.n_nets
+        self.n_nets += 1
+        self._values.append(0)
+        self.gates.append(Gate(len(self.gates), gtype, inputs, out))
+        return out
+
+    def mark_output(self, net):
+        """Declare ``net`` a primary output."""
+        if not 0 <= net < self.n_nets:
+            raise ValueError(f"unknown net {net}")
+        self.outputs.append(net)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def simulate(self, input_values, track_toggles=False):
+        """Apply one input vector; return output values (and toggles).
+
+        ``input_values`` maps each primary input (in creation order) to
+        0/1. State is retained between calls, so the returned toggle set
+        reflects the transition from the previous vector — exactly what a
+        gate-level simulator trace shows between consecutive instructions.
+        """
+        if len(input_values) != len(self.inputs):
+            raise ValueError(
+                f"expected {len(self.inputs)} input values, "
+                f"got {len(input_values)}"
+            )
+        values = self._values
+        for net, v in zip(self.inputs, input_values):
+            values[net] = 1 if v else 0
+        toggled = set() if track_toggles else None
+        for gate in self.gates:
+            new = eval_gate(gate.gtype, [values[n] for n in gate.inputs])
+            if track_toggles and new != values[gate.output]:
+                toggled.add(gate.index)
+            values[gate.output] = new
+        outs = [values[n] for n in self.outputs]
+        if track_toggles:
+            return outs, toggled
+        return outs
+
+    def read_bus(self, nets):
+        """Current value of a bus (LSB-first net list) as an int."""
+        return sum(self._values[n] << i for i, n in enumerate(nets))
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def levels(self):
+        """Logic level of every net (inputs at 0)."""
+        level = [0] * self.n_nets
+        for gate in self.gates:
+            level[gate.output] = 1 + max(level[n] for n in gate.inputs)
+        return level
+
+    @property
+    def depth(self):
+        """Logic depth: maximum gates on any input-to-output path."""
+        if not self.gates:
+            return 0
+        return max(self.levels())
+
+    @property
+    def n_gates(self):
+        """Number of gate instances."""
+        return len(self.gates)
+
+    def gate_histogram(self):
+        """Gate count per type."""
+        histogram = {}
+        for gate in self.gates:
+            histogram[gate.gtype] = histogram.get(gate.gtype, 0) + 1
+        return histogram
+
+    def __repr__(self):
+        return (
+            f"Netlist({self.name!r}, gates={self.n_gates}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)}, "
+            f"depth={self.depth})"
+        )

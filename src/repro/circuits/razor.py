@@ -1,0 +1,169 @@
+"""Razor-style in-situ error detection at the circuit level.
+
+The comparative schemes' detection substrate (Razor [15] / RazorII [3])
+augments the timing-critical flip-flops of a stage with shadow latches
+clocked half a cycle late: if the main and shadow values disagree, the
+combinational result arrived after the clock edge — a timing violation.
+This module models the three circuit-level consequences for a netlist:
+
+* **Detection window** — violations are caught only if the late
+  transition lands inside the shadow-latch window
+  ``(T_clk, T_clk + window]``; later arrivals escape detection. The
+  detection coverage of a stage is evaluated by Monte-Carlo over process
+  variation.
+* **Minimum-delay (hold) constraint** — any path *faster* than the shadow
+  window would corrupt the shadow value for the *next* cycle, so short
+  paths must be padded with buffers. ``min_delay_padding`` computes how
+  many buffers that costs for a netlist.
+* **Area/energy overhead** — each protected flip-flop pays a shadow latch
+  plus an XOR comparator; ``razor_overhead`` totals this against the plain
+  registers, reproducing the classic result that Razor protection is far
+  from free — the context for the paper's claim that VTE scheduling is
+  the energy-efficient alternative (Section S3).
+"""
+
+import numpy as np
+
+from repro.circuits.gates import GateType
+from repro.circuits.sta import critical_path
+
+
+class RazorStageReport:
+    """Detection characteristics of one Razor-protected stage."""
+
+    def __init__(self, coverage, escape_rate, window, t_clk):
+        self.coverage = coverage
+        self.escape_rate = escape_rate
+        self.window = window
+        self.t_clk = t_clk
+
+    def __repr__(self):
+        return (
+            f"RazorStageReport(coverage={self.coverage:.2%}, "
+            f"window={self.window:.0f}ps @ Tclk={self.t_clk:.0f}ps)"
+        )
+
+
+def detection_coverage(netlist, library, variation, t_clk, window_frac=0.5,
+                       n_samples=64):
+    """Monte-Carlo detection coverage of a Razor-protected stage.
+
+    For each sampled die, the stage violates timing when its critical-path
+    delay exceeds ``t_clk``; the violation is *detected* when the delay is
+    within the shadow window ``t_clk * (1 + window_frac)``. Returns a
+    :class:`RazorStageReport` with the fraction of violations caught
+    (1.0 when the sampled dies never violate).
+    """
+    if t_clk <= 0 or window_frac <= 0:
+        raise ValueError("t_clk and window_frac must be positive")
+    window = t_clk * window_frac
+    violations = 0
+    detected = 0
+    for _ in range(n_samples):
+        sample = variation.sample_gate_factors(netlist.n_gates)
+        delay, _ = critical_path(netlist, library, sample.factors)
+        if delay > t_clk:
+            violations += 1
+            if delay <= t_clk + window:
+                detected += 1
+    coverage = detected / violations if violations else 1.0
+    escape = 1.0 - coverage if violations else 0.0
+    return RazorStageReport(coverage, escape, window, t_clk)
+
+
+def min_path_delays(netlist, library):
+    """Per-output *shortest* input-to-output delay (hold analysis)."""
+    inf = float("inf")
+    earliest = [0.0] * netlist.n_nets
+    driven = [False] * netlist.n_nets
+    for net in netlist.inputs:
+        driven[net] = True
+    for gate in netlist.gates:
+        ins = [
+            earliest[n] if driven[n] else 0.0 for n in gate.inputs
+        ]
+        earliest[gate.output] = min(ins) + library.gate_delay(gate.gtype)
+        driven[gate.output] = True
+    return {
+        net: (earliest[net] if driven[net] else inf)
+        for net in netlist.outputs
+    }
+
+
+def min_delay_padding(netlist, library, window, buffer_type=GateType.BUF):
+    """Buffers needed so every output's min path exceeds the shadow window.
+
+    Returns ``(n_buffers, padded_outputs)``: total buffer count and how
+    many outputs required padding. This is the classic Razor short-path
+    constraint: a path faster than the window would race through and
+    corrupt the shadow latch.
+    """
+    if window < 0:
+        raise ValueError("window must be non-negative")
+    buffer_delay = library.gate_delay(buffer_type)
+    mins = min_path_delays(netlist, library)
+    n_buffers = 0
+    padded = 0
+    for net, delay in mins.items():
+        if delay < window:
+            need = int(np.ceil((window - delay) / buffer_delay))
+            n_buffers += need
+            padded += 1
+    return n_buffers, padded
+
+
+class RazorOverheadReport:
+    """Cost of Razor-protecting a stage's output flip-flops."""
+
+    def __init__(self, n_flops, area_overhead, energy_overhead, n_buffers):
+        self.n_flops = n_flops
+        self.area_overhead = area_overhead
+        self.energy_overhead = energy_overhead
+        self.n_buffers = n_buffers
+
+    def __repr__(self):
+        return (
+            f"RazorOverheadReport({self.n_flops} FFs: "
+            f"area +{self.area_overhead:.1%}, "
+            f"energy +{self.energy_overhead:.1%}, "
+            f"{self.n_buffers} hold buffers)"
+        )
+
+
+def razor_overhead(netlist, library, window_frac=0.5, t_clk=None):
+    """Area/energy overhead of Razor flip-flops on a stage's outputs.
+
+    Each protected flip-flop adds a shadow latch (modelled as ~0.7 of a
+    DFF), an XOR comparator, and its share of the error-OR tree; hold
+    fixing adds the buffers from :func:`min_delay_padding`. Overheads are
+    relative to the unprotected stage (netlist + plain output registers).
+    """
+    if t_clk is None:
+        t_clk, _ = critical_path(netlist, library)
+    window = t_clk * window_frac
+    n_flops = len(netlist.outputs)
+    dff = library.dff
+    xor = library.spec(GateType.XOR2)
+    or2 = library.spec(GateType.OR2)
+    buf = library.spec(GateType.BUF)
+
+    base_area = library.netlist_area(netlist) + n_flops * dff.area
+    shadow_area = n_flops * (0.7 * dff.area + xor.area) + max(
+        n_flops - 1, 0
+    ) * or2.area
+    n_buffers, _ = min_delay_padding(netlist, library, window)
+    shadow_area += n_buffers * buf.area
+
+    base_energy = (
+        sum(library.spec(g.gtype).energy for g in netlist.gates)
+        + n_flops * dff.energy
+    )
+    shadow_energy = (
+        n_flops * (0.7 * dff.energy + xor.energy) + n_buffers * buf.energy
+    )
+    return RazorOverheadReport(
+        n_flops,
+        shadow_area / base_area,
+        shadow_energy / base_energy,
+        n_buffers,
+    )

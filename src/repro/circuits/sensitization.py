@@ -1,0 +1,72 @@
+"""Sensitized-path commonality analysis (Section S1).
+
+The paper's estimator: if phi is the set of gates that change state in
+*every* dynamic instance of a static PC and psi the set of gates that
+change state in *at least one* instance, the commonality is |phi| / |psi|.
+Figure 7 reports the frequency-weighted average over the static PCs
+exercising each component.
+
+The driver simulates an interleaved stream of (pc, input-vector) pairs so
+that the circuit state between instances of the same PC reflects whatever
+other instructions did in between — as in the paper's trace-driven
+NC-Verilog runs.
+"""
+
+
+def toggle_sets_per_pc(netlist, stream):
+    """Gather per-PC toggle sets from a (pc, prev_vector, vector) stream.
+
+    Following Section S1.2 ("for each PC, we also identify the preceding
+    instruction PC that sets the internal logic state"), each dynamic
+    instance is measured as a transition: the predecessor's input vector is
+    applied first to set the circuit state, then the instance's own vector,
+    and the gates that change state in that second step form the instance's
+    sensitized set.
+
+    Returns ``{pc: [toggle_set_per_instance, ...]}``.
+    """
+    sets = {}
+    for pc, prev_vector, vector in stream:
+        netlist.simulate(prev_vector)
+        _, toggled = netlist.simulate(vector, track_toggles=True)
+        sets.setdefault(pc, []).append(toggled)
+    return sets
+
+
+def commonality(instance_sets):
+    """|intersection| / |union| of a PC's per-instance toggle sets.
+
+    Returns 1.0 for a PC whose instances never toggle anything (a degenerate
+    case that would otherwise divide by zero: identical no-op instances are
+    perfectly common).
+    """
+    if not instance_sets:
+        raise ValueError("need at least one instance")
+    union = set().union(*instance_sets)
+    if not union:
+        return 1.0
+    inter = set(instance_sets[0])
+    for s in instance_sets[1:]:
+        inter &= s
+    return len(inter) / len(union)
+
+
+def weighted_commonality(sets_by_pc, min_instances=2):
+    """Frequency-weighted average commonality over PCs (Figure 7's metric).
+
+    PCs with fewer than ``min_instances`` dynamic instances are skipped
+    (single-instance commonality is trivially 1). Weights are instance
+    counts, matching the paper's "weighted average, based on frequencies
+    of each instruction".
+    """
+    total_weight = 0
+    acc = 0.0
+    for instances in sets_by_pc.values():
+        if len(instances) < min_instances:
+            continue
+        weight = len(instances)
+        acc += weight * commonality(instances)
+        total_weight += weight
+    if not total_weight:
+        raise ValueError("no PC had enough dynamic instances")
+    return acc / total_weight

@@ -1,0 +1,47 @@
+"""Synthesis-style reports: gate count, depth, area, leakage (Table 3).
+
+``synthesize`` evaluates a netlist against the cell library, optionally
+after NAND-level technology mapping so gate counts are comparable to the
+paper's Design Compiler results.
+"""
+
+from repro.circuits.builders.techmap import tech_map
+from repro.circuits.library import default_library
+
+
+class SynthesisReport:
+    """Gate-level characteristics of one synthesized component."""
+
+    def __init__(self, name, n_gates, depth, area, leakage, histogram):
+        self.name = name
+        self.n_gates = n_gates
+        self.depth = depth
+        self.area = area
+        self.leakage = leakage
+        self.histogram = histogram
+
+    def __repr__(self):
+        return (
+            f"SynthesisReport({self.name}: {self.n_gates} gates, "
+            f"depth {self.depth}, {self.area:.1f} um^2, "
+            f"{self.leakage:.1f} nW)"
+        )
+
+
+def synthesize(netlist, library=None, mapped=True):
+    """Return the :class:`SynthesisReport` of ``netlist``.
+
+    ``mapped=True`` first rewrites the netlist to NAND2/NOR2/INV (what a
+    synthesis tool's gate count means); ``mapped=False`` reports the
+    generator's native complex-gate netlist.
+    """
+    library = library or default_library()
+    target = tech_map(netlist) if mapped else netlist
+    return SynthesisReport(
+        name=netlist.name,
+        n_gates=target.n_gates,
+        depth=target.depth,
+        area=library.netlist_area(target),
+        leakage=library.netlist_leakage(target),
+        histogram=target.gate_histogram(),
+    )

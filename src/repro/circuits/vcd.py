@@ -1,0 +1,98 @@
+"""Value Change Dump (IEEE 1364) output for netlist simulations.
+
+``VcdWriter`` records a netlist's primary inputs, outputs and (optionally)
+internal nets across a sequence of vectors, producing a standard .vcd file
+any waveform viewer (GTKWave etc.) can open — the customary artifact of a
+gate-level debug session.
+"""
+
+from repro.circuits.netlist import Netlist
+
+
+def _identifier(index):
+    """Compact VCD identifier codes: !, ", #, ... (printable ASCII)."""
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, 94)
+        chars.append(chr(33 + digit))
+    return "".join(chars)
+
+
+class VcdWriter:
+    """Accumulates value changes for one netlist and renders a VCD file."""
+
+    def __init__(self, netlist, include_internal=False, timescale="1ns"):
+        self.netlist = netlist
+        self.timescale = timescale
+        self._nets = list(netlist.inputs) + list(netlist.outputs)
+        if include_internal:
+            internal = [
+                g.output for g in netlist.gates
+                if g.output not in self._nets
+            ]
+            self._nets += internal
+        self._ids = {
+            net: _identifier(i) for i, net in enumerate(self._nets)
+        }
+        self._last = {}
+        self._changes = []  # (time, net, value)
+        self._time = 0
+
+    def _label(self, net):
+        if net in self.netlist.inputs:
+            return f"in{self.netlist.inputs.index(net)}"
+        if net in self.netlist.outputs:
+            return f"out{self.netlist.outputs.index(net)}"
+        return f"n{net}"
+
+    def sample(self, input_vector):
+        """Apply one input vector, record all changed nets, advance time."""
+        self.netlist.simulate(input_vector)
+        values = self.netlist._values
+        for net in self._nets:
+            value = values[net]
+            if self._last.get(net) != value:
+                self._changes.append((self._time, net, value))
+                self._last[net] = value
+        self._time += 1
+        return self._time
+
+    def render(self):
+        """The complete VCD document as a string."""
+        lines = [
+            "$date reproduction run $end",
+            "$version repro.circuits.vcd $end",
+            f"$timescale {self.timescale} $end",
+            f"$scope module {self.netlist.name} $end",
+        ]
+        for net in self._nets:
+            lines.append(
+                f"$var wire 1 {self._ids[net]} {self._label(net)} $end"
+            )
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        current_time = None
+        for time, net, value in self._changes:
+            if time != current_time:
+                lines.append(f"#{time}")
+                current_time = time
+            lines.append(f"{value}{self._ids[net]}")
+        lines.append(f"#{self._time}")
+        return "\n".join(lines) + "\n"
+
+    def write(self, path):
+        """Write the VCD document to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.render())
+        return path
+
+
+def dump_vcd(netlist, vectors, path, include_internal=False):
+    """Simulate ``vectors`` on ``netlist`` and write the waveform to ``path``."""
+    if not isinstance(netlist, Netlist):
+        raise TypeError("netlist must be a Netlist")
+    writer = VcdWriter(netlist, include_internal=include_internal)
+    for vector in vectors:
+        writer.sample(vector)
+    return writer.write(path)

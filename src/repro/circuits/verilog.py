@@ -1,0 +1,164 @@
+"""Structural Verilog export/import for netlists.
+
+``write_verilog`` emits a gate-level module (primitive instances ``not``,
+``buf``, ``and``, ``or``, ``nand``, ``nor``, ``xor``, ``xnor`` plus a
+behavioural mux) so a netlist generated here can be synthesized, linted,
+or simulated by external EDA tools; ``parse_verilog`` reads the same
+subset back, round-tripping our own output.
+"""
+
+import re
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+_PRIMITIVES = {
+    GateType.INV: "not",
+    GateType.BUF: "buf",
+    GateType.AND2: "and",
+    GateType.OR2: "or",
+    GateType.NAND2: "nand",
+    GateType.NOR2: "nor",
+    GateType.XOR2: "xor",
+    GateType.XNOR2: "xnor",
+    GateType.AND3: "and",
+    GateType.OR3: "or",
+}
+
+_REVERSE_2IN = {
+    "not": GateType.INV,
+    "buf": GateType.BUF,
+    "and": GateType.AND2,
+    "or": GateType.OR2,
+    "nand": GateType.NAND2,
+    "nor": GateType.NOR2,
+    "xor": GateType.XOR2,
+    "xnor": GateType.XNOR2,
+}
+
+_REVERSE_3IN = {"and": GateType.AND3, "or": GateType.OR3}
+
+
+def _net_name(net, netlist):
+    if net == 0:
+        return "const0"
+    if net in netlist.inputs:
+        return f"in{netlist.inputs.index(net)}"
+    return f"n{net}"
+
+
+def write_verilog(netlist, module_name=None):
+    """Render ``netlist`` as a structural Verilog module (a string)."""
+    name = module_name or re.sub(r"\W", "_", netlist.name)
+    inputs = [f"in{i}" for i in range(len(netlist.inputs))]
+    outputs = [f"out{i}" for i in range(len(netlist.outputs))]
+    lines = [f"module {name} ({', '.join(inputs + outputs)});"]
+    for port in inputs:
+        lines.append(f"  input {port};")
+    for port in outputs:
+        lines.append(f"  output {port};")
+    lines.append("  wire const0;")
+    lines.append("  assign const0 = 1'b0;")
+    for gate in netlist.gates:
+        lines.append(f"  wire n{gate.output};")
+    for gate in netlist.gates:
+        out = f"n{gate.output}"
+        ins = [_net_name(n, netlist) for n in gate.inputs]
+        if gate.gtype is GateType.MUX2:
+            a, b, sel = ins
+            lines.append(
+                f"  assign {out} = {sel} ? {b} : {a};  // mux2"
+            )
+        else:
+            prim = _PRIMITIVES[gate.gtype]
+            lines.append(
+                f"  {prim} g{gate.index} ({out}, {', '.join(ins)});"
+            )
+    for i, net in enumerate(netlist.outputs):
+        lines.append(f"  assign out{i} = {_net_name(net, netlist)};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_GATE_RE = re.compile(
+    r"^\s*(not|buf|and|or|nand|nor|xor|xnor)\s+\w+\s*\(([^)]*)\)\s*;"
+)
+_MUX_RE = re.compile(
+    r"^\s*assign\s+(\w+)\s*=\s*(\w+)\s*\?\s*(\w+)\s*:\s*(\w+)\s*;"
+)
+_ASSIGN_RE = re.compile(r"^\s*assign\s+(\w+)\s*=\s*(\w+)\s*;")
+_INPUT_RE = re.compile(r"^\s*input\s+(\w+)\s*;")
+_OUTPUT_RE = re.compile(r"^\s*output\s+(\w+)\s*;")
+_MODULE_RE = re.compile(r"^\s*module\s+(\w+)")
+
+
+def parse_verilog(text):
+    """Parse a module produced by :func:`write_verilog` back to a netlist.
+
+    Supports exactly the emitted subset: primitive gate instances, the
+    ternary mux assign, plain-wire assigns, and the const0 convention.
+    """
+    netlist = None
+    name = "parsed"
+    net_by_name = {}
+    output_ports = []
+    aliases = {}
+
+    def resolve(token):
+        if token == "const0" or token == "1'b0":
+            return 0
+        while token in aliases:
+            token = aliases[token]
+        if token not in net_by_name:
+            raise ValueError(f"undriven net {token!r}")
+        return net_by_name[token]
+
+    pending = []
+    for line in text.splitlines():
+        m = _MODULE_RE.match(line)
+        if m:
+            name = m.group(1)
+            netlist = Netlist(name)
+            continue
+        if netlist is None:
+            continue
+        m = _INPUT_RE.match(line)
+        if m:
+            net_by_name[m.group(1)] = netlist.add_input()
+            continue
+        m = _OUTPUT_RE.match(line)
+        if m:
+            output_ports.append(m.group(1))
+            continue
+        m = _GATE_RE.match(line)
+        if m:
+            prim, args = m.groups()
+            tokens = [t.strip() for t in args.split(",")]
+            out, ins = tokens[0], tokens[1:]
+            table = _REVERSE_3IN if len(ins) == 3 else _REVERSE_2IN
+            gtype = table[prim]
+            net_by_name[out] = netlist.add_gate(
+                gtype, [resolve(t) for t in ins]
+            )
+            continue
+        m = _MUX_RE.match(line)
+        if m:
+            out, sel, b, a = m.groups()
+            net_by_name[out] = netlist.add_gate(
+                GateType.MUX2, [resolve(a), resolve(b), resolve(sel)]
+            )
+            continue
+        m = _ASSIGN_RE.match(line)
+        if m:
+            lhs, rhs = m.groups()
+            if lhs == "const0":
+                continue
+            pending.append((lhs, rhs))
+            continue
+    if netlist is None:
+        raise ValueError("no module found")
+    for lhs, rhs in pending:
+        aliases[lhs] = rhs
+    for port in output_ports:
+        netlist.mark_output(resolve(port))
+    return netlist

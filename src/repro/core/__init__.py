@@ -1,0 +1,48 @@
+"""The paper's contribution: violation-aware instruction scheduling.
+
+* :mod:`repro.core.tep` — the Timing Error Predictor (Section 2.1.1).
+* :mod:`repro.core.policies` — ABS / FFS / CDS selection (Section 3.5).
+* :mod:`repro.core.criticality` — Criticality Detection Logic (CDL,
+  Section 3.5.2).
+* :mod:`repro.core.vte` — per-stage Violation Tolerant Enhancement effects
+  (Sections 3.2-3.3).
+* :mod:`repro.core.schemes` — the comparative schemes of Section 5
+  (FaultFree / Razor / Error Padding / ABS / FFS / CDS).
+"""
+
+from repro.core.tep import TEPConfig, TEPPrediction, TimingErrorPredictor
+from repro.core.predictors import (
+    MostRecentEntryPredictor,
+    TimingViolationPredictor,
+    make_predictor,
+)
+from repro.core.policies import (
+    AgeBasedSelection,
+    CriticalityDrivenSelection,
+    FaultyFirstSelection,
+    SelectionPolicy,
+)
+from repro.core.criticality import CriticalityDetector, DEFAULT_CRITICALITY_THRESHOLD
+from repro.core.vte import FreezeKind, VteEffects, vte_effects
+from repro.core.schemes import Scheme, SchemeKind, make_scheme
+
+__all__ = [
+    "TEPConfig",
+    "MostRecentEntryPredictor",
+    "TimingViolationPredictor",
+    "make_predictor",
+    "TEPPrediction",
+    "TimingErrorPredictor",
+    "SelectionPolicy",
+    "AgeBasedSelection",
+    "FaultyFirstSelection",
+    "CriticalityDrivenSelection",
+    "CriticalityDetector",
+    "DEFAULT_CRITICALITY_THRESHOLD",
+    "FreezeKind",
+    "VteEffects",
+    "vte_effects",
+    "Scheme",
+    "SchemeKind",
+    "make_scheme",
+]

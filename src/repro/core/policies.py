@@ -1,0 +1,87 @@
+"""Instruction selection policies (Section 3.5).
+
+All three policies operate on the operand-ready entries of the issue queue
+and confine fault penalties to the faulty instruction and its dependents;
+they differ only in selection priority:
+
+* **ABS** — age-based: oldest first, by the 6-bit modulo-64 timestamp
+  stamped at dispatch. Age comparison is performed relative to the oldest
+  live timestamp, which is how a hardware modulo counter disambiguates
+  wraparound while the live window is narrower than the counter period.
+* **FFS** — faulty-first: entries with the fault-prediction bit set win;
+  ties (and the no-faulty case) fall back to age.
+* **CDS** — criticality-driven: predicted-faulty entries whose TEP entry
+  carries the criticality bit (set by the CDL when a broadcast matched at
+  least CT waiting dependents) win; then age.
+"""
+
+from repro.uarch.issue_queue import TIMESTAMP_MASK
+
+
+class SelectionPolicy:
+    """Base class: orders ready entries for the select logic."""
+
+    name = "base"
+
+    def order(self, ready, iq):
+        """Return ``ready`` sorted by selection priority (highest first)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def relative_age(entry, head_ts):
+        """Modulo-64 age of ``entry`` relative to the oldest timestamp."""
+        return (entry.timestamp - head_ts) & TIMESTAMP_MASK
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class AgeBasedSelection(SelectionPolicy):
+    """ABS: oldest ready instruction first.
+
+    ``exact`` switches to true fetch-order age (sequence numbers), used by
+    the ablation study to quantify the cost of the 6-bit timestamp.
+    """
+
+    name = "ABS"
+
+    def __init__(self, exact=False):
+        self.exact = exact
+
+    def order(self, ready, iq):
+        if self.exact:
+            return sorted(ready, key=lambda e: e.seq)
+        head_ts = iq.head_timestamp()
+        return sorted(ready, key=lambda e: self.relative_age(e, head_ts))
+
+
+class FaultyFirstSelection(SelectionPolicy):
+    """FFS: predicted-faulty instructions first, then age."""
+
+    name = "FFS"
+
+    def order(self, ready, iq):
+        head_ts = iq.head_timestamp()
+        return sorted(
+            ready,
+            key=lambda e: (
+                0 if e.predicted_faulty else 1,
+                self.relative_age(e, head_ts),
+            ),
+        )
+
+
+class CriticalityDrivenSelection(SelectionPolicy):
+    """CDS: predicted-faulty *and* critical instructions first, then age."""
+
+    name = "CDS"
+
+    def order(self, ready, iq):
+        head_ts = iq.head_timestamp()
+        return sorted(
+            ready,
+            key=lambda e: (
+                0 if (e.predicted_faulty and e.pred_critical) else 1,
+                self.relative_age(e, head_ts),
+            ),
+        )

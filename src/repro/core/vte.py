@@ -1,0 +1,109 @@
+"""Violation Tolerant Enhancement effects per pipe stage (Sections 3.2-3.3).
+
+Given a predicted faulty stage and the instruction's operation class, this
+module decides the two things the scheduler must do (Section 3.1):
+
+1. how many extra cycles the instruction spends, and where in its timing
+   chain they land (register read / execute / memory / writeback), which in
+   turn delays its tag broadcast by one cycle (Section 3.2.2); and
+2. which resource is frozen for the following cycle so no new instruction
+   enters the faulty logic behind it (issue-slot management, Section 3.2.3).
+"""
+
+import enum
+
+from repro.isa.opcodes import (
+    OpClass,
+    PipeStage,
+    PIPELINED_OPS,
+    UNPIPELINED_OPS,
+)
+
+
+class FreezeKind(enum.Enum):
+    """How the resource behind a faulty instruction is frozen."""
+
+    NONE = "none"
+    #: freeze the FU's issue slot for one cycle (issue/regread faults,
+    #: single-cycle execute faults, memory-port faults)
+    SLOT_ONE_CYCLE = "slot_one_cycle"
+    #: no new instructions to the (pipelined, multi-cycle) unit until the
+    #: faulty instruction completes (Section 3.3.3)
+    UNTIL_COMPLETE = "until_complete"
+    #: unpipelined unit busy one extra cycle beyond completion
+    BUSY_PLUS_ONE = "busy_plus_one"
+    #: writeback input slot frozen next cycle (Section 3.3.5)
+    WB_SLOT = "wb_slot"
+
+
+class VteEffects:
+    """Scheduling adjustments for one predicted-faulty instruction."""
+
+    __slots__ = ("stage", "rr_extra", "ex_extra", "mem_extra", "wb_extra", "freeze")
+
+    def __init__(self, stage, rr_extra=0, ex_extra=0, mem_extra=0, wb_extra=0,
+                 freeze=FreezeKind.NONE):
+        self.stage = stage
+        self.rr_extra = rr_extra
+        self.ex_extra = ex_extra
+        self.mem_extra = mem_extra
+        self.wb_extra = wb_extra
+        self.freeze = freeze
+
+    @property
+    def broadcast_delay(self):
+        """Extra cycles before the result tag is visible to dependents."""
+        return self.rr_extra + self.ex_extra + self.mem_extra
+
+    def __repr__(self):
+        stage = PipeStage(self.stage).name if self.stage is not None else None
+        return (
+            f"VteEffects(stage={stage}, +rr={self.rr_extra}, "
+            f"+ex={self.ex_extra}, +mem={self.mem_extra}, "
+            f"+wb={self.wb_extra}, freeze={self.freeze.value})"
+        )
+
+
+_NO_EFFECTS = VteEffects(None)
+
+
+def vte_effects(stage, op):
+    """VTE scheduling effects for a prediction of a violation in ``stage``.
+
+    Returns a :class:`VteEffects`; predictions outside the OoO engine (or
+    ``None``) yield no effects — the in-order engine is handled by stall
+    signals, not by the scheduler (Section 2.2).
+    """
+    if stage is None or not PipeStage(stage).in_ooo_engine:
+        return _NO_EFFECTS
+
+    if stage is PipeStage.ISSUE:
+        # wakeup/select input held steady two cycles; the instruction's own
+        # execution is unaffected (Section 3.3.1)
+        return VteEffects(stage, freeze=FreezeKind.SLOT_ONE_CYCLE)
+
+    if stage is PipeStage.REGREAD:
+        # register read completes in two cycles; the read port is blocked
+        # in the following cycle (Section 3.3.2)
+        return VteEffects(stage, rr_extra=1, freeze=FreezeKind.SLOT_ONE_CYCLE)
+
+    if stage is PipeStage.EXECUTE:
+        if op in UNPIPELINED_OPS:
+            freeze = FreezeKind.BUSY_PLUS_ONE
+        elif op in PIPELINED_OPS:
+            freeze = FreezeKind.UNTIL_COMPLETE
+        else:
+            freeze = FreezeKind.SLOT_ONE_CYCLE
+        return VteEffects(stage, ex_extra=1, freeze=freeze)
+
+    if stage is PipeStage.MEM:
+        if op not in (OpClass.LOAD, OpClass.STORE):
+            # a non-memory instruction never enters the memory stage; the
+            # prediction is stale metadata and has no effect
+            return _NO_EFFECTS
+        # the CAM match proceeds for two cycles; no load/store is issued
+        # behind the faulty one (Section 3.3.4)
+        return VteEffects(stage, mem_extra=1, freeze=FreezeKind.SLOT_ONE_CYCLE)
+
+    # WRITEBACK: the input slot recirculates for one extra cycle
+    return VteEffects(stage, wb_extra=1, freeze=FreezeKind.WB_SLOT)

@@ -1,0 +1,25 @@
+"""Timing-fault substrate: variation, voltage scaling, sensors, injection.
+
+This package implements the paper's fault methodology (Section 4.3):
+process variation is modelled as Gaussian deviations of transistor length,
+width and oxide thickness (±20% of nominal); supply voltage scales path
+delays through an alpha-power law; and a dynamic instruction incurs a timing
+violation when the 95% confidence interval (mu + 2*sigma) of its sensitized
+path delay exceeds the cycle time.
+"""
+
+from repro.faults.variation import ProcessVariationModel, VariationSample
+from repro.faults.timing import VoltageScaling, StageTimingModel, TimingClass
+from repro.faults.sensors import VoltageSensor, ThermalModel
+from repro.faults.injector import FaultInjector
+
+__all__ = [
+    "ProcessVariationModel",
+    "VariationSample",
+    "VoltageScaling",
+    "StageTimingModel",
+    "TimingClass",
+    "VoltageSensor",
+    "ThermalModel",
+    "FaultInjector",
+]

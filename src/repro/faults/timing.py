@@ -1,0 +1,155 @@
+"""Voltage-dependent statistical timing of sensitized paths.
+
+Two pieces live here:
+
+* :class:`VoltageScaling` — the alpha-power-law delay model that converts a
+  supply voltage into a multiplicative slowdown of every logic path, with
+  the clock period fixed at the paper's nominal point (1.1V, zero faults).
+* :class:`StageTimingModel` — assigns each (static PC, pipe stage) pair a
+  sensitized-path delay, expressed as a fraction of the cycle time at
+  nominal voltage, and evaluates the paper's fault criterion: a violation
+  occurs when mu + 2*sigma of the instance's path delay exceeds the cycle
+  time (Section 4.3).
+
+The per-PC delay assignment uses the *timing class* construction documented
+in DESIGN.md: static PCs are partitioned so that the *dynamic* fault rates
+at the paper's two faulty voltages (1.04V, 0.97V) approximate the
+per-benchmark rates in Table 1. Within each class the actual path fraction
+is sampled from the corresponding feasible band, so the runtime criterion
+is still evaluated numerically rather than being a hard-coded boolean.
+"""
+
+import enum
+import math
+
+
+#: The paper's three operating points.
+VDD_NOMINAL = 1.10
+VDD_LOW_FAULT = 1.04
+VDD_HIGH_FAULT = 0.97
+
+
+class VoltageScaling:
+    """Alpha-power-law voltage-to-delay scaling.
+
+    delay(V) proportional to V / (V - Vth)^alpha. The slowdown factor
+    relative to the nominal voltage is ``delay(V) / delay(VDD_NOMINAL)``.
+    """
+
+    def __init__(self, vth=0.35, alpha=1.3, v_nominal=VDD_NOMINAL):
+        if vth <= 0 or alpha <= 0:
+            raise ValueError("vth and alpha must be positive")
+        self.vth = vth
+        self.alpha = alpha
+        self.v_nominal = v_nominal
+        self._d_nom = self._delay(v_nominal)
+
+    def _delay(self, vdd):
+        if vdd <= self.vth:
+            raise ValueError(f"vdd={vdd} must exceed vth={self.vth}")
+        return vdd / (vdd - self.vth) ** self.alpha
+
+    def slowdown(self, vdd):
+        """Multiplicative path slowdown at ``vdd`` relative to nominal."""
+        return self._delay(vdd) / self._d_nom
+
+
+class TimingClass(enum.IntEnum):
+    """Fault-rate class of a static (PC, stage) pair (see DESIGN.md §2)."""
+
+    SAFE = 0        #: never violates timing at any studied voltage
+    WARM = 1        #: violates at the high-fault voltage (0.97V) only
+    HOT = 2         #: violates at both faulty voltages (1.04V and 0.97V)
+
+
+class StageTimingModel:
+    """Per-(PC, stage) sensitized-path delays and the mu+2sigma criterion.
+
+    Parameters
+    ----------
+    scaling:
+        A :class:`VoltageScaling` instance.
+    variation:
+        A :class:`~repro.faults.variation.ProcessVariationModel`; its
+        path-level sigma/mu feeds the fault criterion.
+    logic_depth:
+        Representative logic depth of the timing-critical stages (the
+        paper's synthesized components run 15-46 gates deep; wakeup/select
+        dominates, so the default follows its depth).
+    guardband:
+        Slack of the slowest SAFE path below the mu+2sigma limit at
+        nominal voltage.
+    """
+
+    def __init__(self, scaling, variation, logic_depth=33, guardband=0.04):
+        self.scaling = scaling
+        self.variation = variation
+        self.logic_depth = logic_depth
+        self.guardband = guardband
+        # Relative sigma of a critical path from process variation.
+        self.rel_sigma = variation.path_sigma_over_mu(logic_depth)
+        # A path with nominal fraction f has mu+2sigma = f*(1+2*rel_sigma);
+        # the criterion "mu+2sigma > Tclk" becomes f*slowdown > limit.
+        self._limit = 1.0 / (1.0 + 2.0 * self.rel_sigma)
+
+    # -- class band construction -----------------------------------------
+    def class_band(self, timing_class):
+        """Return the (lo, hi) band of nominal path fractions for a class.
+
+        The band is expressed as a fraction of the nominal-voltage cycle
+        time such that the mu+2sigma criterion puts the class's faults
+        exactly at the intended voltages.
+        """
+        s_low = self.scaling.slowdown(VDD_LOW_FAULT)
+        s_high = self.scaling.slowdown(VDD_HIGH_FAULT)
+        hot_lo = self._limit / s_low
+        warm_lo = self._limit / s_high
+        safe_hi = min(warm_lo, self._limit * (1.0 - self.guardband))
+        if timing_class is TimingClass.HOT:
+            # faults at 1.04V (and a fortiori at 0.97V), safe at 1.1V
+            return (hot_lo, self._limit * (1.0 - 1e-6))
+        if timing_class is TimingClass.WARM:
+            # faults at 0.97V only
+            return (warm_lo, hot_lo * (1.0 - 1e-9))
+        return (0.3, safe_hi)
+
+    def sample_path_fraction(self, timing_class, rng):
+        """Sample a nominal path-delay fraction inside the class band."""
+        lo, hi = self.class_band(timing_class)
+        return lo + (hi - lo) * rng.random()
+
+    # -- runtime criterion -------------------------------------------------
+    def violates(self, path_fraction, vdd, dynamic_noise=0.0,
+                 frequency_factor=1.0):
+        """Evaluate the paper's fault criterion for one dynamic instance.
+
+        ``path_fraction`` is the nominal-voltage sensitized-path delay as a
+        fraction of the cycle time; ``dynamic_noise`` is a small signed
+        perturbation from temporal variation (droop/thermal) applied to the
+        instance; ``frequency_factor`` > 1 shrinks the cycle time
+        (overclocking — the paper's "tighter frequency" operating mode).
+        Returns True when mu + 2*sigma exceeds the cycle time.
+        """
+        mu = (
+            path_fraction * self.scaling.slowdown(vdd)
+            * frequency_factor * (1.0 + dynamic_noise)
+        )
+        return mu * (1.0 + 2.0 * self.rel_sigma) > 1.0
+
+    def fault_margin(self, path_fraction, vdd, frequency_factor=1.0):
+        """Signed margin of mu+2sigma over the cycle time (>0 = violation)."""
+        mu = path_fraction * self.scaling.slowdown(vdd) * frequency_factor
+        return mu * (1.0 + 2.0 * self.rel_sigma) - 1.0
+
+
+def expected_class(path_fraction, model):
+    """Classify a nominal path fraction into its :class:`TimingClass`.
+
+    Utility used by tests and by the injector's self-checks: evaluates the
+    criterion at the two faulty voltages with zero dynamic noise.
+    """
+    if model.violates(path_fraction, VDD_LOW_FAULT):
+        return TimingClass.HOT
+    if model.violates(path_fraction, VDD_HIGH_FAULT):
+        return TimingClass.WARM
+    return TimingClass.SAFE

@@ -1,0 +1,17 @@
+"""Experiment harness: runners, experiment definitions, rendering, CLI."""
+
+from repro.harness.runner import RunSpec, SimResult, run_one, run_pair
+from repro.harness.export import sim_result_to_dict, write_json
+from repro.harness.multiseed import MultiSeedResult, SeedStatistic, run_seeds
+
+__all__ = [
+    "RunSpec",
+    "SimResult",
+    "run_one",
+    "run_pair",
+    "sim_result_to_dict",
+    "write_json",
+    "MultiSeedResult",
+    "SeedStatistic",
+    "run_seeds",
+]

@@ -1,0 +1,146 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro-timing table1 --instructions 20000
+    repro-timing fig4 --benchmarks astar sjeng
+    repro-timing all --instructions 5000 --warmup 2000
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments
+
+
+def _build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-timing",
+        description=(
+            "Reproduce the evaluation of 'Efficiently Tolerating Timing "
+            "Violations in Pipelined Microprocessors' (DAC 2013)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(experiments.EXPERIMENTS) + ["all", "run"],
+        help="which table/figure to regenerate, or 'run' for a single "
+             "simulation point",
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=10000,
+        help="committed instructions measured per run (paper: 1M)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=4000,
+        help="warmup instructions before measurement",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="master seed")
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="also write the experiment's data as JSON (one file; with "
+             "'all', a {name} placeholder is substituted)",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="subset of benchmarks (default: the paper's set)",
+    )
+    single = parser.add_argument_group("single-run options (experiment=run)")
+    single.add_argument("--scheme", default="ABS",
+                        help="fault-handling scheme (default ABS)")
+    single.add_argument("--vdd", type=float, default=0.97,
+                        help="supply voltage (default 0.97)")
+    single.add_argument("--overclock", type=float, default=1.0,
+                        help="cycle-time shrink factor (default 1.0)")
+    single.add_argument("--predictor", default="tep",
+                        choices=["tep", "mre", "tvp"],
+                        help="violation predictor design")
+    single.add_argument("--trace", type=int, default=0, metavar="N",
+                        help="print a pipeline timeline of N instructions")
+    return parser
+
+
+def _run_single(args):
+    """Run one simulation point and print its summary (+optional trace)."""
+    from repro.harness.export import write_json
+    from repro.harness.runner import (
+        RunSpec, SimResult, build_core, prime_caches,
+    )
+    from repro.power.energy_model import EnergyModel
+    from repro.uarch.pipetrace import PipeTracer
+    from repro.uarch.stats import SimStats
+
+    benchmark = (args.benchmarks or ["bzip2"])[0]
+    spec = RunSpec(
+        benchmark, args.scheme, args.vdd, args.instructions, args.warmup,
+        args.seed, predictor=args.predictor, overclock=args.overclock,
+    )
+    core = build_core(spec)
+    tracer = PipeTracer(core) if args.trace else None
+    prime_caches(core.program, core.hierarchy)
+    if spec.warmup:
+        core.run(spec.warmup)
+        core.stats = SimStats()
+        core.hierarchy.reset_stats()
+    stats = core.run(spec.n_instructions)
+    energy = EnergyModel().evaluate(
+        stats, core.hierarchy.stats(), spec.vdd, core.scheme.uses_tep
+    )
+    result = SimResult(spec, stats, energy, core.hierarchy.stats())
+    print(f"{spec!r}")
+    for key, value in stats.as_dict().items():
+        print(f"  {key:20s} {value}")
+    print(f"  {'energy_pJ':20s} {energy.total:.1f}")
+    print(f"  {'edp':20s} {energy.edp:.3e}")
+    if tracer is not None:
+        print()
+        first = stats.committed + spec.warmup - args.trace
+        print(tracer.render(first_seq=max(0, first), count=args.trace))
+    if args.json:
+        path = args.json.replace("{name}", "run")
+        write_json(result, path)
+        print(f"[wrote {path}]")
+    return result
+
+
+def _run(name, args):
+    fn = experiments.EXPERIMENTS[name]
+    if name in ("table2", "table3"):
+        result = fn()
+    elif name == "fig7":
+        result = fn(seed=args.seed)
+    else:
+        result = fn(
+            n_instructions=args.instructions,
+            warmup=args.warmup,
+            seed=args.seed,
+            benchmarks=args.benchmarks,
+        )
+    print(result.render())
+    print()
+    if args.json:
+        from repro.harness.export import write_json
+
+        path = args.json.replace("{name}", name)
+        write_json(result, path)
+        print(f"[wrote {path}]")
+    return result
+
+
+def main(argv=None):
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "run":
+        _run_single(args)
+        return 0
+    names = (
+        sorted(experiments.EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        _run(name, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,93 @@
+"""Multi-seed measurement with confidence intervals.
+
+The default experiments are single-seed (as the paper's single SimPoint
+phases effectively are); this module quantifies the synthetic workloads'
+seed-to-seed variation: run one (benchmark, scheme, vdd) point over a set
+of seeds — each seed generates a different program realization of the same
+statistical profile — and report mean, standard deviation, and a normal
+95% confidence interval for the overhead metrics.
+"""
+
+import math
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+
+
+class SeedStatistic:
+    """Mean/stddev/CI of one metric over seeds."""
+
+    def __init__(self, values):
+        if not values:
+            raise ValueError("need at least one value")
+        self.values = list(values)
+        self.n = len(values)
+        self.mean = sum(values) / self.n
+        if self.n > 1:
+            var = sum((v - self.mean) ** 2 for v in values) / (self.n - 1)
+            self.std = math.sqrt(var)
+        else:
+            self.std = 0.0
+
+    @property
+    def ci95(self):
+        """Half-width of the normal-approximation 95% interval."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def __repr__(self):
+        return (
+            f"SeedStatistic(mean={self.mean:.4f} "
+            f"+/- {self.ci95:.4f}, n={self.n})"
+        )
+
+
+class MultiSeedResult:
+    """Per-metric statistics of one simulation point across seeds."""
+
+    def __init__(self, benchmark, scheme, vdd, perf_overhead, ed_overhead,
+                 ipc, fault_rate):
+        self.benchmark = benchmark
+        self.scheme = scheme
+        self.vdd = vdd
+        self.perf_overhead = perf_overhead
+        self.ed_overhead = ed_overhead
+        self.ipc = ipc
+        self.fault_rate = fault_rate
+
+    def __repr__(self):
+        return (
+            f"MultiSeedResult({self.benchmark}/{self.scheme.name}: "
+            f"perf {self.perf_overhead.mean:.2%} "
+            f"+/- {self.perf_overhead.ci95:.2%})"
+        )
+
+
+def run_seeds(benchmark, scheme, vdd, seeds=(1, 2, 3), n_instructions=6000,
+              warmup=3000, **spec_kwargs):
+    """Measure a point over several seeds with paired baselines.
+
+    Each seed's overheads are computed against the fault-free baseline of
+    the *same* seed (the same program and trace), so seed-to-seed program
+    variation cancels out of the overhead metrics.
+    """
+    perf, ed, ipcs, frs = [], [], [], []
+    for seed in seeds:
+        baseline = run_one(
+            RunSpec(benchmark, SchemeKind.FAULT_FREE, vdd,
+                    n_instructions, warmup, seed, **spec_kwargs)
+        )
+        result = run_one(
+            RunSpec(benchmark, scheme, vdd,
+                    n_instructions, warmup, seed, **spec_kwargs)
+        )
+        perf.append(result.perf_overhead(baseline))
+        ed.append(result.ed_overhead(baseline))
+        ipcs.append(baseline.ipc)
+        frs.append(result.fault_rate)
+    return MultiSeedResult(
+        benchmark, scheme, vdd,
+        SeedStatistic(perf), SeedStatistic(ed),
+        SeedStatistic(ipcs), SeedStatistic(frs),
+    )

@@ -1,0 +1,100 @@
+"""Published numbers from the paper, for comparison in reports and tests.
+
+Sources: Table 1 (fault rates and Razor/EP overheads), Table 2 (VTE
+area/power overheads), Table 3 (synthesized component characteristics),
+Figure 7 (sensitized-path commonality averages), and the headline claims in
+the abstract / Sections 5.2 and S2.
+"""
+
+
+class Table1Row:
+    """One benchmark row of the paper's Table 1.
+
+    Overhead tuples are (performance %, energy-efficiency %) degradations.
+    Fault rates are percentages of instructions.
+    """
+
+    def __init__(self, ipc, fr_high, razor_high, ep_high,
+                 fr_low, razor_low, ep_low):
+        self.ipc = ipc
+        self.fr_high = fr_high
+        self.razor_high = razor_high
+        self.ep_high = ep_high
+        self.fr_low = fr_low
+        self.razor_low = razor_low
+        self.ep_low = ep_low
+
+
+#: Table 1 of the paper (VDD = 0.97V is the high-fault, 1.04V the low-fault
+#: environment).
+PAPER_TABLE1 = {
+    "astar": Table1Row(0.69, 6.74, (31.2, 45.6), (5.17, 6.45),
+                       2.01, (10.2, 14.6), (1.29, 1.7)),
+    "bzip2": Table1Row(1.48, 8.92, (43.2, 56.8), (12.35, 16.5),
+                       2.24, (17.4, 25.6), (3.1, 3.7)),
+    "gcc": Table1Row(1.34, 8.43, (47.2, 61.3), (8.57, 10.3),
+                     1.5, (19.4, 29.6), (2.14, 2.6)),
+    "gobmk": Table1Row(1.68, 8.64, (47.3, 53.3), (12.65, 16.3),
+                       2.16, (18.2, 24.5), (3.16, 3.95)),
+    "libquantum": Table1Row(0.51, 10.54, (25.3, 32.5), (4.5, 5.7),
+                            2.1, (6.8, 10.2), (1.12, 1.5)),
+    "mcf": Table1Row(0.34, 6.45, (30.1, 42.3), (1.96, 2.8),
+                     1.73, (9.5, 12.6), (0.49, 0.85)),
+    "perlbench": Table1Row(1.31, 7.21, (45.7, 54.7), (6.52, 7.1),
+                           1.8, (15.6, 21.2), (1.63, 2.1)),
+    "povray": Table1Row(1.941, 6.31, (51.2, 75.4), (7.58, 9.1),
+                        1.57, (24.5, 32.5), (1.89, 2.25)),
+    "sjeng": Table1Row(1.93, 9.19, (58.6, 72.5), (15.19, 17.8),
+                       2.29, (23.5, 29.8), (3.79, 4.83)),
+    "sphinx3": Table1Row(1.30, 6.95, (52.5, 67.4), (5.45, 5.9),
+                         1.73, (17.2, 22.5), (1.36, 1.78)),
+    "tonto": Table1Row(1.41, 5.59, (45.6, 65.7), (5.04, 6.5),
+                       1.39, (16.5, 21.4), (1.25, 2.6)),
+    "xalancbmk": Table1Row(0.51, 7.95, (34.5, 45.2), (3.09, 3.8),
+                           1.99, (12.5, 15.6), (0.77, 1.02)),
+}
+
+#: Table 2: (scheduler-level %, core-level %) for (area, dynamic, leakage).
+PAPER_TABLE2 = {
+    "ABS": {"sched": (0.77, 0.57, 0.87), "core": (0.03, 0.05, 0.01)},
+    "FFS": {"sched": (0.77, 0.57, 0.87), "core": (0.03, 0.05, 0.01)},
+    "CDS": {"sched": (6.35, 1.56, 6.80), "core": (0.24, 0.13, 0.08)},
+}
+
+#: Table 3: synthesized component (gate count, logic depth).
+PAPER_TABLE3 = {
+    "IssueQSelect": (189, 33),
+    "ALU": (4728, 46),
+    "AGen": (491, 43),
+    "ForwardCheck": (428, 15),
+}
+
+#: Figure 7: average sensitized-path commonality per component.
+PAPER_FIG7_AVG = {
+    "IssueQSelect": 0.874,
+    "AGen": 0.89,
+    "ForwardCheck": 0.924,
+    "ALU": 0.90,
+}
+
+#: Headline claims (abstract, Section 5.2, Section S2).
+PAPER_CLAIMS = {
+    # average reduction of performance overhead vs EP
+    "perf_reduction_low_fr": 0.87,   # VDD = 1.04V (Section 5.2)
+    "perf_reduction_high_fr": 0.88,  # VDD = 0.97V (Section S2)
+    # average reduction of ED overhead vs EP
+    "ed_reduction_low_fr": 0.82,
+    "ed_reduction_high_fr": 0.83,
+    # per-benchmark extremes quoted in the text
+    "astar_abs_reduction_low_fr": 0.97,
+    "libquantum_cds_reduction_low_fr": 0.86,
+    "libquantum_abs_reduction_low_fr": 0.64,
+    # overall reduction band (abstract)
+    "reduction_band": (0.64, 0.97),
+}
+
+#: Benchmarks shown in Figures 8/9 (povray is absent at 0.97V).
+HIGH_FR_BENCHMARKS = [
+    "astar", "bzip2", "gcc", "gobmk", "libquantum", "mcf",
+    "perlbench", "sjeng", "sphinx3", "tonto", "xalancbmk",
+]

@@ -1,0 +1,208 @@
+"""Single-run and paired-run simulation drivers.
+
+``run_one`` assembles the full stack — synthetic program, memory hierarchy,
+fault substrate, predictor, scheme, pipeline, energy model — for one
+(benchmark, scheme, VDD) point and returns a :class:`SimResult`.
+
+Runs are deterministic given the :class:`RunSpec`. A short warmup phase
+(caches + TEP training) precedes measurement, mirroring the paper's use of
+SimPoint phases from steady-state execution.
+"""
+
+from repro.core.predictors import make_predictor
+from repro.core.schemes import SchemeKind, make_scheme
+from repro.core.tep import TimingErrorPredictor
+from repro.faults.injector import FaultInjector
+from repro.faults.sensors import VoltageSensor
+from repro.faults.timing import (
+    StageTimingModel,
+    VDD_NOMINAL,
+    VoltageScaling,
+)
+from repro.faults.variation import ProcessVariationModel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.power.energy_model import EnergyModel
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import OoOCore
+from repro.uarch.stats import SimStats
+from repro.workloads.generator import build_program, estimate_pc_freq
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import TraceGenerator
+
+
+class RunSpec:
+    """Everything needed to reproduce one simulation run."""
+
+    def __init__(self, benchmark, scheme=SchemeKind.FAULT_FREE,
+                 vdd=VDD_NOMINAL, n_instructions=20000, warmup=4000, seed=1,
+                 config=None, tep_config=None, predictor="tep",
+                 overclock=1.0):
+        self.benchmark = benchmark
+        self.scheme = scheme
+        self.vdd = vdd
+        self.n_instructions = n_instructions
+        self.warmup = warmup
+        self.seed = seed
+        self.config = config
+        self.tep_config = tep_config
+        #: which timing-violation predictor design drives the scheme:
+        #: "tep" (the paper's), "mre" (Xin/Joseph) or "tvp" (Roy et al.)
+        self.predictor = predictor
+        #: cycle-time shrink factor (>1 = run faster than the nominal
+        #: frequency; violations appear once the guardband is consumed)
+        self.overclock = overclock
+
+    def __repr__(self):
+        scheme = getattr(self.scheme, "name", self.scheme)
+        return (
+            f"RunSpec({self.benchmark}, {scheme}, vdd={self.vdd}, "
+            f"n={self.n_instructions})"
+        )
+
+
+class SimResult:
+    """Outcome of one run: statistics, energy, and derived metrics."""
+
+    def __init__(self, spec, stats, energy, cache_stats):
+        self.spec = spec
+        self.stats = stats
+        self.energy = energy
+        self.cache_stats = cache_stats
+
+    @property
+    def ipc(self):
+        """Committed instructions per cycle."""
+        return self.stats.ipc
+
+    @property
+    def cycles(self):
+        """Measured cycles."""
+        return self.stats.cycles
+
+    @property
+    def edp(self):
+        """Energy-delay product."""
+        return self.energy.edp
+
+    @property
+    def fault_rate(self):
+        """Faulting instructions per committed instruction."""
+        return self.stats.fault_rate
+
+    def perf_overhead(self, baseline):
+        """Relative cycle overhead vs a fault-free baseline result."""
+        return self.cycles / baseline.cycles - 1.0
+
+    def ed_overhead(self, baseline):
+        """Relative energy-delay overhead vs a fault-free baseline result."""
+        return self.edp / baseline.edp - 1.0
+
+    def __repr__(self):
+        return (
+            f"SimResult({self.spec.benchmark}, "
+            f"{getattr(self.spec.scheme, 'name', self.spec.scheme)}, "
+            f"ipc={self.ipc:.3f}, fr={self.fault_rate:.4f})"
+        )
+
+
+def _build_injector(profile, program, spec, timing_model):
+    injector = FaultInjector(timing_model, seed=spec.seed + 301)
+    # estimate frequencies over the same CFG walk (same seed) and exactly
+    # the measured window, so the dynamic fault-rate targets refer to PCs
+    # that are actually exercised during measurement
+    pc_freq = estimate_pc_freq(
+        program,
+        seed=spec.seed + 101,
+        n_instructions=max(spec.n_instructions, 3000),
+        skip=spec.warmup,
+    )
+    injector.assign(
+        program.static_insts, pc_freq, profile.fr_low, profile.fr_high
+    )
+    return injector
+
+
+def build_core(spec):
+    """Assemble (but do not run) the full simulation stack for ``spec``."""
+    profile = get_profile(spec.benchmark)
+    program = build_program(profile, seed=spec.seed)
+    trace = TraceGenerator(program, seed=spec.seed + 101)
+    hierarchy = MemoryHierarchy()
+    scheme = make_scheme(spec.scheme)
+    injector = None
+    stressed = spec.vdd < VDD_NOMINAL or spec.overclock > 1.0
+    if scheme.kind is not SchemeKind.FAULT_FREE and stressed:
+        scaling = VoltageScaling()
+        variation = ProcessVariationModel(seed=spec.seed + 201)
+        timing_model = StageTimingModel(scaling, variation)
+        injector = _build_injector(profile, program, spec, timing_model)
+        injector.frequency_factor = spec.overclock
+    tep = None
+    if scheme.uses_tep:
+        if spec.predictor == "tep":
+            tep = TimingErrorPredictor(spec.tep_config)
+        else:
+            tep = make_predictor(spec.predictor)
+    sensor = VoltageSensor(spec.vdd, overclocked=spec.overclock > 1.0)
+    config = spec.config or CoreConfig.core1()
+    core = OoOCore(
+        config, trace, hierarchy, scheme,
+        injector=injector, tep=tep, sensor=sensor, vdd=spec.vdd,
+    )
+    core.program = program  # kept for cache priming and diagnostics
+    return core
+
+
+#: Regions larger than this are treated as streaming and never primed.
+_PRIME_LIMIT = 2 * 1024 * 1024
+
+
+def prime_caches(program, hierarchy, line_bytes=64):
+    """Pre-touch bounded memory regions so short runs start at steady state.
+
+    The paper measures 1M-instruction SimPoint phases from the middle of
+    execution, where resident working sets are already cached; a 20k-
+    instruction run would otherwise spend itself on cold misses. Streaming
+    regions (beyond the limit) are intentionally left cold — they miss in
+    steady state too.
+    """
+    for static in program.static_insts:
+        if not static.is_mem or not static.mem_region:
+            continue
+        if static.mem_region > _PRIME_LIMIT:
+            continue
+        for offset in range(0, static.mem_region, line_bytes):
+            hierarchy.access_data(static.mem_base + offset)
+    hierarchy.reset_stats()
+
+
+def run_one(spec):
+    """Run one simulation point and return its :class:`SimResult`."""
+    core = build_core(spec)
+    prime_caches(core.program, core.hierarchy)
+    if spec.warmup:
+        core.run(spec.warmup)
+        core.stats = SimStats()
+        core.hierarchy.reset_stats()
+        core.lsq.cam_searches = 0
+        core.lsq.forwards = 0
+    stats = core.run(spec.n_instructions)
+    energy = EnergyModel().evaluate(
+        stats, core.hierarchy.stats(), spec.vdd, core.scheme.uses_tep
+    )
+    return SimResult(spec, stats, energy, core.hierarchy.stats())
+
+
+def run_pair(benchmark, scheme, vdd, n_instructions=20000, warmup=4000,
+             seed=1, config=None):
+    """Run a scheme and its fault-free baseline; return (result, baseline).
+
+    The baseline executes the identical trace with faults disabled at the
+    same supply, which is how the paper's overhead tuples are normalized.
+    """
+    base_spec = RunSpec(
+        benchmark, SchemeKind.FAULT_FREE, vdd, n_instructions, warmup,
+        seed, config,
+    )
+    spec = RunSpec(benchmark, scheme, vdd, n_instructions, warmup, seed, config)
+    return run_one(spec), run_one(base_spec)

@@ -1,0 +1,44 @@
+"""Plain-text rendering of tables and bar-chart series."""
+
+
+def format_table(headers, rows, title=None):
+    """Render an ASCII table with right-aligned numeric columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bar_series(title, categories, series, max_width=40):
+    """Render grouped horizontal bars (one group per category).
+
+    ``series`` is ``{series_name: {category: value}}``. Values are shown
+    with bars scaled to the global maximum.
+    """
+    peak = max(
+        (v for by_cat in series.values() for v in by_cat.values()),
+        default=1.0,
+    )
+    peak = peak or 1.0
+    lines = [title]
+    name_width = max(len(n) for n in series)
+    for cat in categories:
+        lines.append(f"{cat}:")
+        for name, by_cat in series.items():
+            value = by_cat.get(cat)
+            if value is None:
+                continue
+            bar = "#" * max(1, int(round(value / peak * max_width)))
+            lines.append(f"  {name.ljust(name_width)} {value:7.3f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""A small load/store RISC ISA used by the trace generator and the simulator.
+
+The ISA intentionally carries only what the paper's timing model needs:
+operation classes (which determine functional-unit kind and latency),
+register dependencies, memory addresses for loads/stores, and control flow.
+"""
+
+from repro.isa.opcodes import FuKind, OpClass, PipeStage, OP_LATENCY, OP_FU_KIND
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.program import BasicBlock, Program
+
+__all__ = [
+    "FuKind",
+    "OpClass",
+    "PipeStage",
+    "OP_LATENCY",
+    "OP_FU_KIND",
+    "StaticInst",
+    "DynInst",
+    "BasicBlock",
+    "Program",
+]

@@ -1,0 +1,270 @@
+"""Static and dynamic instruction representations.
+
+A :class:`StaticInst` is one instruction of a synthetic program: a fixed PC,
+an op class, architectural register operands, and (for memory/control ops)
+address/branch behaviour parameters. A :class:`DynInst` is one dynamic
+instance of a static instruction flowing through the pipeline; it carries
+the runtime state the simulator needs (sequence number, resolved memory
+address, branch outcome, fault prediction and fault outcome).
+"""
+
+from repro.isa.opcodes import OP_FU_KIND, OP_LATENCY, OpClass
+
+
+class StaticInst:
+    """A static instruction at a fixed program counter.
+
+    Parameters
+    ----------
+    pc:
+        Program counter (byte address; instructions are 4 bytes).
+    op:
+        Operation class.
+    dest:
+        Destination architectural register index, or ``None`` for stores,
+        branches and nops.
+    srcs:
+        Tuple of source architectural register indices (0..2 entries).
+    mem_base, mem_stride, mem_region:
+        For loads/stores: the synthetic address stream is
+        ``mem_base + k * mem_stride`` (mod the region size) for the k-th
+        dynamic instance, which produces the strided/looping access patterns
+        that give real programs their cache behaviour.
+    taken_prob:
+        For branches: probability that the branch is taken.
+    """
+
+    __slots__ = (
+        "pc",
+        "op",
+        "dest",
+        "srcs",
+        "fu_kind",
+        "latency",
+        "mem_base",
+        "mem_stride",
+        "mem_region",
+        "taken_prob",
+        "exec_count",
+    )
+
+    def __init__(
+        self,
+        pc,
+        op,
+        dest=None,
+        srcs=(),
+        mem_base=0,
+        mem_stride=0,
+        mem_region=0,
+        taken_prob=0.0,
+    ):
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = tuple(srcs)
+        self.fu_kind = OP_FU_KIND[op]
+        self.latency = OP_LATENCY[op]
+        self.mem_base = mem_base
+        self.mem_stride = mem_stride
+        self.mem_region = mem_region
+        self.taken_prob = taken_prob
+        self.exec_count = 0
+
+    @property
+    def is_mem(self):
+        """True for loads and stores."""
+        return self.op is OpClass.LOAD or self.op is OpClass.STORE
+
+    @property
+    def is_branch(self):
+        """True for branches."""
+        return self.op is OpClass.BRANCH
+
+    def address_at(self, k):
+        """Memory address of the k-th dynamic instance (pure function).
+
+        The stream strides through the instruction's region and wraps, so
+        the working set stays bounded — this is what makes L1/L2 hit rates
+        controllable per benchmark.
+        """
+        if not self.is_mem:
+            return 0
+        if self.mem_region:
+            offset = (k * self.mem_stride) % self.mem_region
+        else:
+            offset = 0
+        return self.mem_base + offset
+
+    def next_address(self):
+        """Address for the next instance per this object's ``exec_count``.
+
+        Prefer :meth:`address_at` with a caller-owned counter when several
+        independent traces share one program (the trace generator does).
+        """
+        return self.address_at(self.exec_count)
+
+    def __repr__(self):
+        return (
+            f"StaticInst(pc={self.pc:#x}, op={self.op.name}, "
+            f"dest={self.dest}, srcs={self.srcs})"
+        )
+
+
+class DynInst:
+    """One dynamic instance of a static instruction in flight.
+
+    The simulator mutates these objects as the instruction moves through the
+    pipeline. Fields are grouped by concern:
+
+    * identity: ``seq`` (global fetch order), ``static`` (the StaticInst)
+    * dataflow: renamed physical registers, readiness
+    * timing: per-stage cycle bookkeeping filled in by the pipeline
+    * faults: predicted fault stage (from the TEP) and the set of stages in
+      which this instance *actually* violates timing (from the injector)
+    """
+
+    __slots__ = (
+        "seq",
+        "static",
+        "mem_addr",
+        "taken",
+        "mispredicted",
+        # rename state
+        "phys_dest",
+        "prev_phys_dest",
+        "phys_srcs",
+        # fault state
+        "pred_fault_stage",
+        "pred_critical",
+        "fault_stages",
+        "replayed",
+        "tep_key",
+        "refetched",
+        # pipeline bookkeeping (cycles)
+        "fetch_cycle",
+        "dispatch_cycle",
+        "issue_cycle",
+        "complete_cycle",
+        "commit_cycle",
+        # flags
+        "completed",
+        "squashed",
+        "in_iq",
+        "timestamp",
+        "version",
+    )
+
+    def __init__(self, seq, static, mem_addr=0, taken=False, mispredicted=False):
+        self.seq = seq
+        self.static = static
+        self.mem_addr = mem_addr
+        self.taken = taken
+        self.mispredicted = mispredicted
+        self.phys_dest = -1
+        self.prev_phys_dest = -1
+        self.phys_srcs = ()
+        self.pred_fault_stage = None
+        self.pred_critical = False
+        self.fault_stages = 0  # bitmask over PipeStage values
+        self.replayed = False
+        self.tep_key = None
+        self.refetched = False
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+        self.completed = False
+        self.squashed = False
+        self.in_iq = False
+        self.timestamp = 0
+        self.version = 0
+
+    # -- convenience pass-throughs --------------------------------------
+    @property
+    def pc(self):
+        """Program counter of the underlying static instruction."""
+        return self.static.pc
+
+    @property
+    def op(self):
+        """Operation class."""
+        return self.static.op
+
+    @property
+    def fu_kind(self):
+        """Functional-unit kind this instruction issues to."""
+        return self.static.fu_kind
+
+    @property
+    def latency(self):
+        """Base execute latency (without cache or fault extension)."""
+        return self.static.latency
+
+    @property
+    def is_load(self):
+        """True for loads."""
+        return self.static.op is OpClass.LOAD
+
+    @property
+    def is_store(self):
+        """True for stores."""
+        return self.static.op is OpClass.STORE
+
+    @property
+    def is_mem(self):
+        """True for loads and stores."""
+        return self.static.is_mem
+
+    @property
+    def is_branch(self):
+        """True for branches."""
+        return self.static.is_branch
+
+    def faults_in(self, stage):
+        """Return True when this instance violates timing in ``stage``."""
+        return bool(self.fault_stages & (1 << int(stage)))
+
+    def add_fault(self, stage):
+        """Mark an actual timing violation in ``stage``."""
+        self.fault_stages |= 1 << int(stage)
+
+    @property
+    def has_fault(self):
+        """True when this instance violates timing in any stage."""
+        return self.fault_stages != 0
+
+    @property
+    def predicted_faulty(self):
+        """True when the TEP predicted a violation for this instance."""
+        return self.pred_fault_stage is not None
+
+    def reset_for_refetch(self):
+        """Clear pipeline state before re-injection after a replay squash.
+
+        Identity (seq, address, branch outcome) and fault annotations are
+        retained — this is the *same dynamic instance* re-executing.
+        """
+        self.phys_dest = -1
+        self.prev_phys_dest = -1
+        self.phys_srcs = ()
+        self.pred_fault_stage = None
+        self.pred_critical = False
+        self.tep_key = None
+        self.fetch_cycle = -1
+        self.dispatch_cycle = -1
+        self.issue_cycle = -1
+        self.complete_cycle = -1
+        self.commit_cycle = -1
+        self.completed = False
+        self.squashed = False
+        self.in_iq = False
+        self.refetched = True
+        self.version += 1  # invalidates events scheduled for the old pass
+
+    def __repr__(self):
+        return (
+            f"DynInst(seq={self.seq}, pc={self.pc:#x}, op={self.op.name}, "
+            f"pred={self.pred_fault_stage}, faults={self.fault_stages:#x})"
+        )

@@ -1,0 +1,106 @@
+"""Operation classes, functional-unit kinds, pipe stages and latencies.
+
+The operation classes follow the Fabscalar Core-1 split the paper uses
+(Section 4.1): single-cycle simple-ALU operations, multi-cycle complex-ALU
+operations (pipelined multiply, unpipelined divide), loads/stores through a
+memory port, and branches resolved on a simple ALU.
+"""
+
+import enum
+
+
+class OpClass(enum.IntEnum):
+    """Instruction operation class.
+
+    The class determines which functional-unit kind executes the instruction
+    and its execution latency.
+    """
+
+    IALU = 0      #: single-cycle integer ALU op (add/sub/logic/shift)
+    IMUL = 1      #: pipelined multi-cycle integer multiply
+    IDIV = 2      #: unpipelined multi-cycle integer divide
+    FPU = 3       #: pipelined multi-cycle floating-point op
+    LOAD = 4      #: memory load (AGEN + cache access)
+    STORE = 5     #: memory store (AGEN + LSQ entry, data written at commit)
+    BRANCH = 6    #: conditional/unconditional branch, resolved at execute
+    NOP = 7       #: no-op (pipeline filler)
+
+
+class FuKind(enum.IntEnum):
+    """Functional-unit kind an instruction issues to."""
+
+    SIMPLE = 0    #: single-cycle ALU, also resolves branches
+    COMPLEX = 1   #: multi-cycle ALU (IMUL pipelined, IDIV unpipelined, FPU)
+    MEM = 2       #: memory port (address generation + cache/LSQ access)
+
+
+class PipeStage(enum.IntEnum):
+    """Pipeline stages, usable as timing-fault sites.
+
+    The OoO engine spans ISSUE..WRITEBACK (Figure 1); the paper's proposed
+    scheduling framework targets those stages, while the in-order front end
+    (FETCH..DISPATCH) and RETIRE are covered by stalls or replay (Section 2.2).
+    """
+
+    FETCH = 0
+    DECODE = 1
+    RENAME = 2
+    DISPATCH = 3
+    ISSUE = 4
+    REGREAD = 5
+    EXECUTE = 6
+    MEM = 7
+    WRITEBACK = 8
+    RETIRE = 9
+
+    @property
+    def in_ooo_engine(self) -> bool:
+        """True when the stage belongs to the OoO engine (Issue..Writeback)."""
+        return PipeStage.ISSUE <= self <= PipeStage.WRITEBACK
+
+
+#: Stages of the OoO engine, in pipeline order.
+OOO_STAGES = (
+    PipeStage.ISSUE,
+    PipeStage.REGREAD,
+    PipeStage.EXECUTE,
+    PipeStage.MEM,
+    PipeStage.WRITEBACK,
+)
+
+#: Execution latency (cycles spent in the execute stage) per op class.
+#: LOAD/STORE latency here covers address generation only; cache latency is
+#: added by the memory hierarchy.
+OP_LATENCY = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 3,
+    OpClass.IDIV: 12,
+    OpClass.FPU: 4,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+#: Functional-unit kind per op class.
+OP_FU_KIND = {
+    OpClass.IALU: FuKind.SIMPLE,
+    OpClass.IMUL: FuKind.COMPLEX,
+    OpClass.IDIV: FuKind.COMPLEX,
+    OpClass.FPU: FuKind.COMPLEX,
+    OpClass.LOAD: FuKind.MEM,
+    OpClass.STORE: FuKind.MEM,
+    OpClass.BRANCH: FuKind.SIMPLE,
+    OpClass.NOP: FuKind.SIMPLE,
+}
+
+#: Op classes whose execution is pipelined when multi-cycle (Section 3.3.3).
+PIPELINED_OPS = frozenset({OpClass.IMUL, OpClass.FPU})
+
+#: Op classes executed on an unpipelined multi-cycle unit.
+UNPIPELINED_OPS = frozenset({OpClass.IDIV})
+
+
+def is_mem_op(op: OpClass) -> bool:
+    """Return True for loads and stores."""
+    return op is OpClass.LOAD or op is OpClass.STORE

@@ -1,0 +1,16 @@
+"""Two-level cache hierarchy matching the paper's core (Section 4.2).
+
+L1 is a 32KB 4-way split instruction/data cache with single-cycle latency;
+the 16-way 8MB L2 takes 25 cycles and main memory 240 cycles.
+"""
+
+from repro.mem.cache import Cache, CacheConfig
+from repro.mem.hierarchy import MemoryHierarchy, HierarchyConfig, AccessResult
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "MemoryHierarchy",
+    "HierarchyConfig",
+    "AccessResult",
+]

@@ -1,0 +1,111 @@
+"""A set-associative cache model with true-LRU replacement.
+
+The model tracks tags only (no data) — the simulator needs hit/miss timing
+and access counts, not values. LRU state is kept as an ordered list per set,
+most-recently-used last, which is fast at the associativities used here
+(4-way L1, 16-way L2).
+"""
+
+
+class CacheConfig:
+    """Geometry of a set-associative cache.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    assoc:
+        Associativity (ways per set).
+    line_bytes:
+        Cache line size in bytes (must be a power of two).
+    name:
+        Label used in statistics.
+    """
+
+    def __init__(self, size_bytes, assoc, line_bytes=64, name="cache"):
+        if size_bytes <= 0 or assoc <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        if line_bytes & (line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+        n_lines = size_bytes // line_bytes
+        if n_lines % assoc:
+            raise ValueError("size/line_bytes must be a multiple of assoc")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.n_sets = n_lines // assoc
+        if self.n_sets == 0:
+            raise ValueError("cache too small for its associativity")
+        self.name = name
+
+    def __repr__(self):
+        return (
+            f"CacheConfig({self.name}: {self.size_bytes}B, "
+            f"{self.assoc}-way, {self.line_bytes}B lines, {self.n_sets} sets)"
+        )
+
+
+class Cache:
+    """A tag-only set-associative cache with LRU replacement."""
+
+    def __init__(self, config):
+        self.config = config
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._set_mask = config.n_sets - 1
+        self._pow2_sets = (config.n_sets & (config.n_sets - 1)) == 0
+        # per-set list of tags, most-recently-used last
+        self._sets = [[] for _ in range(config.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, addr):
+        line = addr >> self._line_shift
+        if self._pow2_sets:
+            return line & self._set_mask, line >> 0
+        return line % self.config.n_sets, line
+
+    def access(self, addr):
+        """Access ``addr``; return True on hit.
+
+        A miss allocates the line (evicting LRU if the set is full); a hit
+        promotes the line to most-recently-used.
+        """
+        set_idx, tag = self._index(addr)
+        ways = self._sets[set_idx]
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self.config.assoc:
+                ways.pop(0)
+            ways.append(tag)
+            return False
+        self.hits += 1
+        ways.append(tag)
+        return True
+
+    def probe(self, addr):
+        """Return True when ``addr`` is resident, without side effects."""
+        set_idx, tag = self._index(addr)
+        return tag in self._sets[set_idx]
+
+    @property
+    def accesses(self):
+        """Total number of accesses."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self):
+        """Miss rate over all accesses (0 when never accessed)."""
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset_stats(self):
+        """Zero the hit/miss counters (contents retained)."""
+        self.hits = 0
+        self.misses = 0
+
+    def flush(self):
+        """Invalidate all lines and zero statistics."""
+        self._sets = [[] for _ in range(self.config.n_sets)]
+        self.reset_stats()

@@ -1,0 +1,93 @@
+"""The two-level hierarchy glue: split L1, unified L2, flat main memory.
+
+Latencies follow Section 4.2 of the paper: single-cycle L1, 25-cycle L2,
+240-cycle main memory. ``access_data``/``access_inst`` return the total
+latency of the access so the pipeline can schedule completion events.
+"""
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    __slots__ = ("latency", "level")
+
+    def __init__(self, latency, level):
+        self.latency = latency
+        self.level = level  # "L1" | "L2" | "MEM"
+
+    def __repr__(self):
+        return f"AccessResult(latency={self.latency}, level={self.level!r})"
+
+
+class HierarchyConfig:
+    """Latency and geometry parameters of the memory hierarchy."""
+
+    def __init__(
+        self,
+        l1_size=32 * 1024,
+        l1_assoc=4,
+        l2_size=8 * 1024 * 1024,
+        l2_assoc=16,
+        line_bytes=64,
+        l1_latency=1,
+        l2_latency=25,
+        mem_latency=240,
+    ):
+        self.l1_size = l1_size
+        self.l1_assoc = l1_assoc
+        self.l2_size = l2_size
+        self.l2_assoc = l2_assoc
+        self.line_bytes = line_bytes
+        self.l1_latency = l1_latency
+        self.l2_latency = l2_latency
+        self.mem_latency = mem_latency
+
+
+class MemoryHierarchy:
+    """Split L1 I/D caches over a unified L2 over flat main memory."""
+
+    def __init__(self, config=None):
+        self.config = config or HierarchyConfig()
+        c = self.config
+        self.l1i = Cache(CacheConfig(c.l1_size, c.l1_assoc, c.line_bytes, "L1I"))
+        self.l1d = Cache(CacheConfig(c.l1_size, c.l1_assoc, c.line_bytes, "L1D"))
+        self.l2 = Cache(CacheConfig(c.l2_size, c.l2_assoc, c.line_bytes, "L2"))
+        self.mem_accesses = 0
+
+    def _access(self, l1, addr):
+        c = self.config
+        if l1.access(addr):
+            return AccessResult(c.l1_latency, "L1")
+        if self.l2.access(addr):
+            return AccessResult(c.l1_latency + c.l2_latency, "L2")
+        self.mem_accesses += 1
+        return AccessResult(c.l1_latency + c.l2_latency + c.mem_latency, "MEM")
+
+    def access_data(self, addr):
+        """Access the data side; returns an :class:`AccessResult`."""
+        return self._access(self.l1d, addr)
+
+    def access_inst(self, addr):
+        """Access the instruction side; returns an :class:`AccessResult`."""
+        return self._access(self.l1i, addr)
+
+    def stats(self):
+        """Return a dict of hit/miss counters for all levels."""
+        return {
+            "l1i_hits": self.l1i.hits,
+            "l1i_misses": self.l1i.misses,
+            "l1d_hits": self.l1d.hits,
+            "l1d_misses": self.l1d.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+            "mem_accesses": self.mem_accesses,
+        }
+
+    def reset_stats(self):
+        """Zero all counters (contents retained)."""
+        self.l1i.reset_stats()
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.mem_accesses = 0

@@ -1,0 +1,28 @@
+"""Energy accounting and VTE area/power overheads.
+
+* :mod:`repro.power.energy_model` — event-based core energy from the run's
+  activity counters, with supply-voltage scaling and energy-delay product
+  (the paper's energy-efficiency metric, Section 5.1).
+* :mod:`repro.power.overhead` — area/power overhead of the proposed
+  scheduler enhancements relative to the baseline scheduler (Table 2),
+  computed from gate-level netlists of the added logic.
+"""
+
+from repro.power.energy_model import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "EnergyModel",
+    "EnergyBreakdown",
+    "SchedulerOverheadModel",
+    "OverheadReport",
+]
+
+
+def __getattr__(name):
+    # overhead depends on the circuits package; import it lazily so that
+    # energy-only users do not pay for netlist construction imports
+    if name in ("SchedulerOverheadModel", "OverheadReport"):
+        from repro.power import overhead
+
+        return getattr(overhead, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

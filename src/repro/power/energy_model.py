@@ -1,0 +1,144 @@
+"""Event-based core energy model.
+
+Energy is computed after a run from the pipeline's activity counters:
+every microarchitectural event carries a characteristic dynamic energy
+(values in picojoules, loosely calibrated to 45nm-class published numbers
+for the relevant structures), and the whole core leaks a fixed power per
+cycle. Dynamic energy scales with VDD squared, leakage roughly linearly in
+the narrow 0.97-1.1V band the paper studies.
+
+The paper's overhead tuples compare a faulty run against fault-free
+execution; we evaluate both at the same supply so the overhead isolates the
+cost of fault tolerance (extra cycles of leakage, replayed work, stall
+cycles) — this matches the paper's positive ED overheads, which always
+exceed the performance overheads.
+"""
+
+from repro.isa.opcodes import OpClass
+from repro.faults.timing import VDD_NOMINAL
+
+#: Dynamic energy per event, picojoules at nominal VDD.
+DEFAULT_EVENT_ENERGY = {
+    "fetch": 4.0,          # I-cache way access + predictor share, per inst
+    "decode": 1.5,
+    "rename": 2.0,
+    "dispatch": 1.5,       # IQ + ROB + LSQ writes
+    "select": 1.2,         # per issued instruction
+    "broadcast_per_entry": 0.12,   # wakeup CAM compare, per IQ entry
+    "regread_per_operand": 1.6,
+    "regwrite": 1.8,
+    "wb": 1.0,
+    "commit": 1.0,
+    "lsq_search": 2.2,
+    "l1d": 6.0,
+    "l1i": 6.0,
+    "l2": 36.0,
+    "mem": 350.0,
+    "tep_lookup": 0.05,    # the predictor is tiny (Section S3: ~0.1% core)
+}
+
+#: Dynamic energy per executed op, picojoules at nominal VDD.
+DEFAULT_OP_ENERGY = {
+    OpClass.IALU: 3.0,
+    OpClass.IMUL: 11.0,
+    OpClass.IDIV: 28.0,
+    OpClass.FPU: 14.0,
+    OpClass.LOAD: 2.5,     # AGEN only; cache energy counted separately
+    OpClass.STORE: 2.5,
+    OpClass.BRANCH: 2.2,
+    OpClass.NOP: 0.5,
+}
+
+#: Core leakage power expressed as picojoules per cycle at nominal VDD.
+DEFAULT_LEAKAGE_PER_CYCLE = 24.0
+
+
+class EnergyBreakdown:
+    """Energy of one run, split into components (picojoules)."""
+
+    def __init__(self, dynamic, leakage, cycles, vdd):
+        self.dynamic = dynamic
+        self.leakage = leakage
+        self.cycles = cycles
+        self.vdd = vdd
+
+    @property
+    def total(self):
+        """Total energy in picojoules."""
+        return self.dynamic + self.leakage
+
+    @property
+    def edp(self):
+        """Energy-delay product (pJ * cycles) — the paper's ED metric."""
+        return self.total * self.cycles
+
+    def __repr__(self):
+        return (
+            f"EnergyBreakdown(total={self.total:.1f}pJ, "
+            f"dyn={self.dynamic:.1f}, leak={self.leakage:.1f}, "
+            f"cycles={self.cycles})"
+        )
+
+
+class EnergyModel:
+    """Computes run energy from pipeline statistics and cache counters."""
+
+    def __init__(self, event_energy=None, op_energy=None,
+                 leakage_per_cycle=DEFAULT_LEAKAGE_PER_CYCLE):
+        self.event_energy = dict(DEFAULT_EVENT_ENERGY)
+        if event_energy:
+            self.event_energy.update(event_energy)
+        self.op_energy = dict(DEFAULT_OP_ENERGY)
+        if op_energy:
+            self.op_energy.update(op_energy)
+        self.leakage_per_cycle = leakage_per_cycle
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def dynamic_scale(vdd):
+        """Dynamic-energy scale factor at ``vdd`` (CV^2 law)."""
+        return (vdd / VDD_NOMINAL) ** 2
+
+    @staticmethod
+    def leakage_scale(vdd):
+        """Leakage scale factor at ``vdd`` (linearized over 0.97-1.1V)."""
+        return vdd / VDD_NOMINAL
+
+    # ------------------------------------------------------------------
+    def evaluate(self, stats, cache_stats, vdd=VDD_NOMINAL, uses_tep=False):
+        """Return the :class:`EnergyBreakdown` of a finished run.
+
+        Parameters
+        ----------
+        stats:
+            The run's :class:`~repro.uarch.stats.SimStats`.
+        cache_stats:
+            ``MemoryHierarchy.stats()`` dict of the same run.
+        vdd:
+            Supply voltage of the run.
+        uses_tep:
+            Whether the scheme performed TEP lookups (adds their energy).
+        """
+        e = self.event_energy
+        dyn = 0.0
+        dyn += stats.fetched * (e["fetch"] + e["decode"])
+        dyn += stats.wrong_path_fetched * (e["fetch"] + e["decode"])
+        dyn += stats.dispatched * (e["rename"] + e["dispatch"])
+        dyn += stats.issued * e["select"]
+        dyn += stats.broadcast_occupancy * e["broadcast_per_entry"]
+        dyn += stats.regreads * e["regread_per_operand"]
+        dyn += stats.regwrites * e["regwrite"]
+        dyn += stats.wb_writes * e["wb"]
+        dyn += stats.committed * e["commit"]
+        dyn += stats.lsq_searches * e["lsq_search"]
+        if uses_tep:
+            dyn += stats.fetched * e["tep_lookup"]
+        for op, count in stats.fu_ops.items():
+            dyn += count * self.op_energy[op]
+        dyn += (cache_stats["l1d_hits"] + cache_stats["l1d_misses"]) * e["l1d"]
+        dyn += (cache_stats["l1i_hits"] + cache_stats["l1i_misses"]) * e["l1i"]
+        dyn += (cache_stats["l2_hits"] + cache_stats["l2_misses"]) * e["l2"]
+        dyn += cache_stats["mem_accesses"] * e["mem"]
+        dyn *= self.dynamic_scale(vdd)
+        leak = stats.cycles * self.leakage_per_cycle * self.leakage_scale(vdd)
+        return EnergyBreakdown(dyn, leak, stats.cycles, vdd)

@@ -1,0 +1,240 @@
+"""Area/power overhead of the VTE scheduler enhancements (Table 2).
+
+The baseline is the scheduler of the Error-Padding machine: the wakeup CAM
+(one tag comparator per source per entry against each of the W result-tag
+broadcast buses), the W-grant select tree, the per-entry timestamp counters
+(the EP baseline already selects age-based, Section 4.2), and the entry
+payload storage.
+
+On top of that baseline,
+
+* **ABS/FFS** add the 4-bit fault-prediction field per entry
+  (Section 3.2.1), the FUSR, the completion-countdown extension of the tag
+  broadcast logic, and the slot-freeze control — identical logic for both
+  policies (Table 2 lists them together);
+* **CDS** additionally needs the Criticality Detection Logic: the
+  tag-match population counter, the threshold comparator, and a
+  criticality bit per entry.
+
+Dynamic power overhead weights each structure's switched capacitance (cell
+switching energy) by an activity factor; leakage overhead follows cell
+leakage. Core-level numbers scale the scheduler-level ones by the
+scheduler's share of the core, for which we use the paper's measured
+fractions (3.9% area, 8.9% dynamic power, 1.2% leakage — Section S3).
+"""
+
+from repro.circuits.builders import (
+    build_incrementer,
+    build_issue_select,
+    build_match_counter,
+    build_threshold_compare,
+    equality_comparator,
+)
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.circuits.library import default_library
+
+#: The paper's measured scheduler share of the whole core (Section S3).
+SCHEDULER_CORE_AREA_FRACTION = 0.039
+SCHEDULER_CORE_DYNAMIC_FRACTION = 0.089
+SCHEDULER_CORE_LEAKAGE_FRACTION = 0.012
+
+
+class _Structure:
+    """One scheduler structure: area, leakage, switching energy, activity."""
+
+    def __init__(self, name, area, leakage, energy, activity):
+        self.name = name
+        self.area = area
+        self.leakage = leakage
+        self.energy = energy
+        self.activity = activity
+
+    @property
+    def dynamic(self):
+        """Activity-weighted switching energy (per-cycle average)."""
+        return self.energy * self.activity
+
+
+class OverheadReport:
+    """Relative overheads of one scheme vs the baseline scheduler."""
+
+    def __init__(self, scheme, area, dynamic, leakage):
+        self.scheme = scheme
+        self.area = area
+        self.dynamic = dynamic
+        self.leakage = leakage
+
+    def core_level(self):
+        """Scale scheduler-level overheads to the whole core."""
+        return OverheadReport(
+            self.scheme,
+            self.area * SCHEDULER_CORE_AREA_FRACTION,
+            self.dynamic * SCHEDULER_CORE_DYNAMIC_FRACTION,
+            self.leakage * SCHEDULER_CORE_LEAKAGE_FRACTION,
+        )
+
+    def __repr__(self):
+        return (
+            f"OverheadReport({self.scheme}: area={self.area:.2%}, "
+            f"dyn={self.dynamic:.2%}, leak={self.leakage:.2%})"
+        )
+
+
+def _netlist_structure(name, netlist, library, activity, storage_bits=0,
+                       storage_activity=0.1, ram=False):
+    """Wrap a netlist (+ optional storage bits) as a _Structure."""
+    area = library.netlist_area(netlist) + library.storage_area(
+        storage_bits, ram=ram
+    )
+    leak = library.netlist_leakage(netlist) + library.storage_leakage(
+        storage_bits, ram=ram
+    )
+    cell = library.ram_bit if ram else library.dff
+    energy = sum(library.spec(g.gtype).energy for g in netlist.gates)
+    energy += storage_bits * cell.energy * storage_activity
+    return _Structure(name, area, leak, energy, activity)
+
+
+def _storage_structure(name, bits, library, activity, ram=False):
+    cell = library.ram_bit if ram else library.dff
+    return _Structure(
+        name,
+        library.storage_area(bits, ram=ram),
+        library.storage_leakage(bits, ram=ram),
+        bits * cell.energy,
+        activity,
+    )
+
+
+class SchedulerOverheadModel:
+    """Builds the scheduler structures and computes Table 2.
+
+    Parameters mirror the Core-1 issue queue: 32 entries, 2 source tags of
+    7 bits (96 physical registers), width-4 broadcast, 160-bit payload per
+    entry (opcode, immediate, ROB/LSQ ids, branch mask), CT = 8.
+    """
+
+    def __init__(self, iq_entries=32, n_srcs=2, tag_bits=7, width=4,
+                 payload_bits=160, criticality_threshold=8, library=None,
+                 fu_count=4):
+        self.library = library or default_library()
+        self.iq_entries = iq_entries
+        self.n_srcs = n_srcs
+        self.tag_bits = tag_bits
+        self.width = width
+        self.payload_bits = payload_bits
+        self.criticality_threshold = criticality_threshold
+        self.fu_count = fu_count
+
+    # -- structure inventories -------------------------------------------
+    def _cam_netlist(self):
+        """The wakeup CAM: entries x srcs x width tag comparators."""
+        nl = Netlist("wakeup_cam")
+        broadcast = [nl.add_inputs(self.tag_bits) for _ in range(self.width)]
+        for _ in range(self.iq_entries * self.n_srcs):
+            src = nl.add_inputs(self.tag_bits)
+            for bus in broadcast:
+                nl.mark_output(equality_comparator(nl, src, bus))
+        return nl
+
+    def baseline_structures(self):
+        """Structures of the EP baseline scheduler."""
+        lib = self.library
+        cam = _netlist_structure(
+            "wakeup_cam", self._cam_netlist(), lib, activity=0.5,
+            storage_bits=self.iq_entries * self.n_srcs * self.tag_bits,
+            ram=True,
+        )
+        # one select tree per issue lane, as in a synthesized scheduler
+        select, _ = build_issue_select(self.iq_entries, self.width)
+        select_s = _netlist_structure(
+            "select_trees", select, lib, activity=1.0
+        )
+        select_s.area *= self.fu_count / self.width or 1
+        inc, _ = build_incrementer(6)
+        ts_area = lib.netlist_area(inc) + lib.storage_area(
+            6 * self.iq_entries, ram=True
+        )
+        ts_leak = lib.netlist_leakage(inc) + lib.storage_leakage(
+            6 * self.iq_entries, ram=True
+        )
+        ts_energy = sum(lib.spec(g.gtype).energy for g in inc.gates)
+        timestamps = _Structure("timestamps", ts_area, ts_leak, ts_energy, 0.3)
+        payload = _storage_structure(
+            "payload", self.iq_entries * self.payload_bits, lib,
+            activity=0.25, ram=True,
+        )
+        return [cam, select_s, timestamps, payload]
+
+    def abs_ffs_extra_structures(self):
+        """Logic/storage added by ABS and FFS (identical for both)."""
+        lib = self.library
+        fault_field = _storage_structure(
+            "fault_field", 4 * self.iq_entries, lib, activity=0.05, ram=True
+        )
+        fusr = _storage_structure("fusr", self.fu_count, lib, activity=0.1)
+        # completion-countdown extension: a small incrementer per issue lane
+        inc, _ = build_incrementer(3)
+        countdown = _netlist_structure(
+            "broadcast_countdown", inc, lib, activity=0.2,
+            storage_bits=3 * self.width,
+        )
+        # slot-freeze control: a few gates per FU
+        freeze = Netlist("freeze_ctl")
+        for _ in range(self.fu_count):
+            a = freeze.add_input()
+            b = freeze.add_input()
+            freeze.mark_output(freeze.add_gate(GateType.AND2, [a, b]))
+        freeze_s = _netlist_structure("freeze_ctl", freeze, lib, activity=0.1)
+        return [fault_field, fusr, countdown, freeze_s]
+
+    def cds_extra_structures(self):
+        """Everything ABS/FFS add, plus the CDL (Section 3.5.2)."""
+        lib = self.library
+        extras = self.abs_ffs_extra_structures()
+        counter, _ = build_match_counter(self.iq_entries)
+        compare, _ = build_threshold_compare(6, self.criticality_threshold)
+        cdl_counter = _netlist_structure(
+            "cdl_match_counter", counter, lib, activity=0.3
+        )
+        cdl_compare = _netlist_structure(
+            "cdl_threshold", compare, lib, activity=0.3
+        )
+        crit_bits = _storage_structure(
+            "criticality_bits", self.iq_entries, lib, activity=0.05
+        )
+        return extras + [cdl_counter, cdl_compare, crit_bits]
+
+    # -- report -------------------------------------------------------------
+    @staticmethod
+    def _totals(structures):
+        area = sum(s.area for s in structures)
+        dynamic = sum(s.dynamic for s in structures)
+        leakage = sum(s.leakage for s in structures)
+        return area, dynamic, leakage
+
+    def report(self, scheme):
+        """Scheduler-level :class:`OverheadReport` for ABS/FFS/CDS."""
+        base_area, base_dyn, base_leak = self._totals(
+            self.baseline_structures()
+        )
+        scheme = scheme.upper()
+        if scheme in ("ABS", "FFS"):
+            extras = self.abs_ffs_extra_structures()
+        elif scheme == "CDS":
+            extras = self.cds_extra_structures()
+        else:
+            raise ValueError(f"no overhead defined for scheme {scheme!r}")
+        area, dyn, leak = self._totals(extras)
+        return OverheadReport(
+            scheme, area / base_area, dyn / base_dyn, leak / base_leak
+        )
+
+    def table2(self):
+        """All rows of Table 2: scheduler-level and core-level."""
+        rows = []
+        for scheme in ("ABS", "FFS", "CDS"):
+            sched = self.report(scheme)
+            rows.append((scheme, sched, sched.core_level()))
+        return rows

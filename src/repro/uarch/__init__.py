@@ -1,0 +1,31 @@
+"""Cycle-level out-of-order core model (Fabscalar Core-1 configuration).
+
+The pipeline follows Figure 1 of the paper: an in-order front end
+(fetch/decode/rename/dispatch), an OoO engine (issue/register-read/execute/
+memory/writeback) and in-order retire. The model is trace-driven and
+event-assisted: instruction completion times are computed at select time
+and delivered through a per-cycle event table, which keeps the Python
+implementation fast enough for multi-benchmark sweeps.
+"""
+
+from repro.uarch.config import CoreConfig
+from repro.uarch.branch_predictor import GShare
+from repro.uarch.regfile import RenameState
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.issue_queue import IssueQueue
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.functional_units import FuPool
+from repro.uarch.stats import SimStats
+from repro.uarch.pipeline import OoOCore
+
+__all__ = [
+    "CoreConfig",
+    "GShare",
+    "RenameState",
+    "ReorderBuffer",
+    "IssueQueue",
+    "LoadStoreQueue",
+    "FuPool",
+    "SimStats",
+    "OoOCore",
+]

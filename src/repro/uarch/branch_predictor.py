@@ -1,0 +1,78 @@
+"""Branch direction predictor (bimodal/gshare family).
+
+A PC-indexed table of 2-bit saturating counters, optionally hashed with
+recent global history (gshare). The global history register is maintained
+regardless of how many bits the index uses, because the TEP hashes recent
+branch outcomes into *its* index (Section 2.1.1).
+
+The synthetic workloads' conditional branches are biased Bernoulli draws
+with no inter-branch correlation, so the default configuration indexes the
+table by PC only (bimodal): history hashing would only dilute training.
+"""
+
+
+class GShare:
+    """Direction predictor with a 2-bit counter table and a GHR.
+
+    Parameters
+    ----------
+    table_bits:
+        log2 of the counter-table size.
+    history_bits:
+        Width of the maintained global history register (consumed by the
+        TEP's index hash).
+    index_history_bits:
+        How many history bits the *predictor index* XORs in; 0 = bimodal.
+    """
+
+    def __init__(self, table_bits=12, history_bits=10, index_history_bits=0):
+        if table_bits <= 0 or history_bits < 0 or index_history_bits < 0:
+            raise ValueError("bad predictor geometry")
+        if index_history_bits > history_bits:
+            raise ValueError("index_history_bits cannot exceed history_bits")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self.index_history_bits = index_history_bits
+        self._mask = (1 << table_bits) - 1
+        self._hist_mask = (1 << history_bits) - 1 if history_bits else 0
+        self._index_hist_mask = (
+            (1 << index_history_bits) - 1 if index_history_bits else 0
+        )
+        self._table = [2] * (1 << table_bits)  # weakly taken
+        self.ghr = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ (self.ghr & self._index_hist_mask)) & self._mask
+
+    def predict(self, pc):
+        """Return the predicted direction for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        """Train the counter and shift the global history."""
+        idx = self._index(pc)
+        counter = self._table[idx]
+        if taken:
+            self._table[idx] = min(3, counter + 1)
+        else:
+            self._table[idx] = max(0, counter - 1)
+        self.ghr = ((self.ghr << 1) | int(taken)) & self._hist_mask
+
+    def predict_and_update(self, pc, taken):
+        """Predict, train, and return True when the prediction was wrong."""
+        prediction = self.predict(pc)
+        self.update(pc, taken)
+        self.predictions += 1
+        wrong = prediction != taken
+        if wrong:
+            self.mispredictions += 1
+        return wrong
+
+    @property
+    def misprediction_rate(self):
+        """Fraction of conditional branches mispredicted."""
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

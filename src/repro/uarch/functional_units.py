@@ -1,0 +1,91 @@
+"""Functional units and the Functional Unit State Register (Section 3.3.3).
+
+Each unit tracks the next cycle it can accept an instruction
+(``next_issue``) — the software analogue of its FUSR bit. Pipelined units
+normally accept one instruction per cycle; unpipelined units (integer
+divide) are busy for their full latency. The violation-tolerant
+enhancements manipulate these fields:
+
+* single-cycle unit with a faulty instruction: FUSR off for one cycle;
+* unpipelined multi-cycle unit: busy one extra cycle beyond completion;
+* pipelined multi-cycle unit: no new instructions behind a faulty one
+  until it completes (stage-agnostic, Section 3.3.3);
+* issue/regread/memory-stage faults freeze the corresponding issue slot or
+  port for the following cycle (Sections 3.3.1, 3.3.2, 3.3.4).
+"""
+
+from repro.isa.opcodes import FuKind, UNPIPELINED_OPS
+
+
+class FunctionalUnit:
+    """One execution resource with FUSR-style availability tracking."""
+
+    __slots__ = ("kind", "index", "next_issue")
+
+    def __init__(self, kind, index):
+        self.kind = kind
+        self.index = index
+        self.next_issue = 0
+
+    def available(self, cycle):
+        """True when the FUSR bit allows an issue in ``cycle``."""
+        return self.next_issue <= cycle
+
+    def reserve(self, cycle, initiation_interval):
+        """Mark the unit busy until ``cycle + initiation_interval``."""
+        self.next_issue = cycle + initiation_interval
+
+    def freeze_extra(self, cycles=1):
+        """Extend the busy window (slot freezing / FUSR clearing)."""
+        self.next_issue += cycles
+
+
+class FuPool:
+    """All functional units of the core, grouped by kind."""
+
+    def __init__(self, fu_counts):
+        self.units = {}
+        for kind, count in fu_counts.items():
+            if count <= 0:
+                raise ValueError(f"need at least one {kind.name} unit")
+            self.units[kind] = [FunctionalUnit(kind, i) for i in range(count)]
+        self.issued = {kind: 0 for kind in self.units}
+
+    def find_available(self, kind, cycle):
+        """Return an available unit of ``kind`` or None."""
+        for unit in self.units[kind]:
+            if unit.available(cycle):
+                return unit
+        return None
+
+    def issue(self, unit, inst, cycle, exec_latency):
+        """Reserve ``unit`` for ``inst`` issued in ``cycle``.
+
+        ``exec_latency`` is the (possibly fault-extended) execution latency;
+        unpipelined ops occupy the unit for the whole duration, pipelined
+        ones for a single initiation cycle.
+        """
+        if inst.op in UNPIPELINED_OPS:
+            unit.reserve(cycle, exec_latency)
+        else:
+            unit.reserve(cycle, 1)
+        self.issued[unit.kind] += 1
+
+    def shift_pending(self, now, delta=1):
+        """Delay all pending availabilities (EP global stall support)."""
+        for units in self.units.values():
+            for unit in units:
+                if unit.next_issue > now:
+                    unit.next_issue += delta
+
+    def reset(self):
+        """Clear reservations (used after a pipeline squash)."""
+        for units in self.units.values():
+            for unit in units:
+                unit.next_issue = 0
+
+    def describe(self):
+        """Human-readable inventory."""
+        return {
+            kind.name: len(units) for kind, units in self.units.items()
+        }

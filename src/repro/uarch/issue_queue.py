@@ -1,0 +1,101 @@
+"""Issue queue with the paper's VTE metadata (Section 3.2.1).
+
+Each entry carries the single-bit fault prediction, the faulty-stage field
+(together the 4-bit field of Section 3.2.1 — both live on the
+:class:`~repro.isa.instruction.DynInst`), and a 6-bit modulo-64 timestamp
+assigned at dispatch (Section 3.5). Wakeup is evaluated against the
+ready-cycle scoreboard, which encodes (possibly fault-delayed) tag
+broadcast times.
+"""
+
+TIMESTAMP_BITS = 6
+TIMESTAMP_MASK = (1 << TIMESTAMP_BITS) - 1
+
+
+class IssueQueue:
+    """Bounded out-of-order scheduling window."""
+
+    def __init__(self, size):
+        if size <= 0:
+            raise ValueError("issue queue size must be positive")
+        self.size = size
+        self.entries = []
+        self._dispatch_counter = 0
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    @property
+    def full(self):
+        """True when no entry can be inserted."""
+        return len(self.entries) >= self.size
+
+    def insert(self, inst):
+        """Insert a dispatched instruction and stamp its 6-bit timestamp."""
+        if self.full:
+            raise RuntimeError("issue queue overflow")
+        inst.timestamp = self._dispatch_counter & TIMESTAMP_MASK
+        self._dispatch_counter += 1
+        inst.in_iq = True
+        self.entries.append(inst)
+
+    def remove(self, inst):
+        """Remove an issued or squashed instruction."""
+        self.entries.remove(inst)
+        inst.in_iq = False
+
+    def squash_from(self, seq):
+        """Drop all entries with sequence number >= ``seq``."""
+        kept = []
+        dropped = []
+        for inst in self.entries:
+            if inst.seq >= seq:
+                inst.in_iq = False
+                dropped.append(inst)
+            else:
+                kept.append(inst)
+        self.entries = kept
+        return dropped
+
+    def head_timestamp(self):
+        """Timestamp of the oldest entry (reference point for mod-64 age)."""
+        if not self.entries:
+            return 0
+        oldest = min(self.entries, key=lambda e: e.seq)
+        return oldest.timestamp
+
+    def ready_entries(self, cycle, rename, lsq=None, load_gate=None):
+        """Entries whose operands are ready in ``cycle``.
+
+        Loads are additionally gated by memory disambiguation: by default
+        they wait until every older store in the LSQ has resolved its
+        address (conservative); a ``load_gate(inst)`` callable (e.g. a
+        store-set predictor check) replaces that rule when provided.
+        """
+        ready = []
+        for inst in self.entries:
+            if not rename.srcs_ready(inst, cycle):
+                continue
+            if inst.is_load:
+                if load_gate is not None:
+                    if not load_gate(inst):
+                        continue
+                elif lsq is not None and not lsq.older_stores_resolved(
+                    inst.seq, cycle
+                ):
+                    continue
+            ready.append(inst)
+        return ready
+
+    def count_dependents(self, phys_reg):
+        """Number of waiting entries that source ``phys_reg``.
+
+        This is the tag-match count the Criticality Detection Logic feeds
+        to its encoder (Section 3.5.2).
+        """
+        if phys_reg < 0:
+            return 0
+        return sum(1 for inst in self.entries if phys_reg in inst.phys_srcs)

@@ -1,0 +1,124 @@
+"""Load/store queue with address CAM behaviour.
+
+The LSQ provides the memory-stage semantics the paper's Section 3.3.4
+builds on: loads and stores perform a CAM search over older entries, loads
+forward from address-matching older stores, and loads are held until every
+older store address is resolved (conservative disambiguation). Matching is
+at 8-byte granularity.
+"""
+
+_MATCH_SHIFT = 3  # 8-byte match granularity
+
+
+class _LsqEntry:
+    __slots__ = ("inst", "resolve_cycle")
+
+    def __init__(self, inst):
+        self.inst = inst
+        self.resolve_cycle = None  # cycle the address becomes known
+
+
+class LoadStoreQueue:
+    """A unified, program-ordered load/store queue."""
+
+    def __init__(self, size):
+        if size <= 0:
+            raise ValueError("LSQ size must be positive")
+        self.size = size
+        self._entries = []  # program order (ascending seq)
+        self.cam_searches = 0
+        self.forwards = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def full(self):
+        """True when no entry can be allocated."""
+        return len(self._entries) >= self.size
+
+    def allocate(self, inst):
+        """Allocate an entry at dispatch (program order maintained)."""
+        if self.full:
+            raise RuntimeError("LSQ overflow")
+        self._entries.append(_LsqEntry(inst))
+
+    def resolve_address(self, inst, cycle):
+        """Record that ``inst``'s address generation completes at ``cycle``."""
+        for entry in self._entries:
+            if entry.inst is inst:
+                entry.resolve_cycle = cycle
+                return
+        raise KeyError(f"instruction seq={inst.seq} not in LSQ")
+
+    def older_stores_resolved(self, seq, cycle):
+        """True when all stores older than ``seq`` have known addresses."""
+        for entry in self._entries:
+            if entry.inst.seq >= seq:
+                break
+            if entry.inst.is_store and (
+                entry.resolve_cycle is None or entry.resolve_cycle > cycle
+            ):
+                return False
+        return True
+
+    def search_forward(self, load_inst, cycle):
+        """CAM search: youngest older store matching the load's address.
+
+        Returns True when the load can forward from the store queue
+        (counts as a forward); the search itself is always counted.
+        """
+        self.cam_searches += 1
+        target = load_inst.mem_addr >> _MATCH_SHIFT
+        match = False
+        for entry in self._entries:
+            if entry.inst.seq >= load_inst.seq:
+                break
+            if (
+                entry.inst.is_store
+                and entry.resolve_cycle is not None
+                and entry.resolve_cycle <= cycle
+                and (entry.inst.mem_addr >> _MATCH_SHIFT) == target
+            ):
+                match = True  # keep scanning: youngest older match wins
+        if match:
+            self.forwards += 1
+        return match
+
+    def unresolved(self, seq, cycle):
+        """True when the store with ``seq`` is in flight and unresolved."""
+        for entry in self._entries:
+            if entry.inst.seq == seq:
+                return (
+                    entry.resolve_cycle is None or entry.resolve_cycle > cycle
+                )
+        return False
+
+    def issued_younger_loads_matching(self, store_inst, cycle):
+        """Loads younger than ``store_inst`` that already performed their
+        access to the same (8-byte) address — memory ordering violations
+        when the load speculated past the store."""
+        target = store_inst.mem_addr >> _MATCH_SHIFT
+        hits = []
+        for entry in self._entries:
+            if entry.inst.seq <= store_inst.seq or not entry.inst.is_load:
+                continue
+            if (
+                entry.resolve_cycle is not None
+                and entry.resolve_cycle <= cycle
+                and (entry.inst.mem_addr >> _MATCH_SHIFT) == target
+            ):
+                hits.append(entry.inst)
+        return hits
+
+    def retire(self, inst):
+        """Remove a committing load/store."""
+        for i, entry in enumerate(self._entries):
+            if entry.inst is inst:
+                del self._entries[i]
+                return
+        raise KeyError(f"instruction seq={inst.seq} not in LSQ")
+
+    def squash_from(self, seq):
+        """Drop all entries with sequence number >= ``seq``."""
+        self._entries = [e for e in self._entries if e.inst.seq < seq]

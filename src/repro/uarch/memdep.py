@@ -1,0 +1,109 @@
+"""Memory dependence prediction (store sets, Chrysos & Emer, ISCA'98).
+
+The baseline scheduler disambiguates conservatively: a load waits until
+every older store in the LSQ has resolved its address. Real OoO cores
+speculate: a load issues past unresolved stores unless a predictor says it
+has conflicted before. This module implements the classic store-set
+scheme:
+
+* **SSIT** (store-set ID table), indexed by PC: maps loads and stores that
+  have violated ordering to a common store-set ID;
+* **LFST** (fetched-store table), indexed by store-set ID: the in-flight
+  stores of the set; a load of the same set must wait for the youngest
+  such store older than itself. (Tracking all in-flight stores of a set,
+  rather than only the last one, avoids losing a dependency when a newer
+  same-set store enters the window.)
+
+A mispredicted speculation (a load that issued before a conflicting older
+store resolved) is repaired with the pipeline's replay machinery and
+trains the tables.
+
+This is an optional refinement of the Core-1 model (the paper's baseline
+is the conservative scheduler); ``CoreConfig(mem_dependence="store_sets")``
+enables it, and ``benchmarks/test_ablations.py`` quantifies the gap.
+"""
+
+
+class StoreSetPredictor:
+    """SSIT + LFST memory-dependence predictor."""
+
+    def __init__(self, n_ssit=1024, n_lfst=128):
+        if n_ssit <= 0 or n_ssit & (n_ssit - 1):
+            raise ValueError("n_ssit must be a positive power of two")
+        if n_lfst <= 0:
+            raise ValueError("n_lfst must be positive")
+        self.n_ssit = n_ssit
+        self.n_lfst = n_lfst
+        self._ssit = [None] * n_ssit       # pc index -> store-set id
+        self._lfst = [[] for _ in range(n_lfst)]  # set id -> in-flight seqs
+        self._next_set = 0
+        self.violations = 0
+        self.predictions = 0
+
+    def _index(self, pc):
+        return (pc >> 2) & (self.n_ssit - 1)
+
+    def set_of(self, pc):
+        """Store-set ID of ``pc`` or None."""
+        return self._ssit[self._index(pc)]
+
+    # ------------------------------------------------------------------
+    def must_wait_for(self, load_pc, load_seq=None):
+        """Youngest in-flight same-set store older than the load, or None."""
+        self.predictions += 1
+        set_id = self.set_of(load_pc)
+        if set_id is None:
+            return None
+        candidates = self._lfst[set_id]
+        if load_seq is not None:
+            candidates = [s for s in candidates if s < load_seq]
+        return max(candidates, default=None)
+
+    def store_fetched(self, store_pc, seq):
+        """A store of a known set entered the window: record it."""
+        set_id = self.set_of(store_pc)
+        if set_id is not None:
+            inflight = self._lfst[set_id]
+            inflight.append(seq)
+            if len(inflight) > 16:  # bound staleness from squashed stores
+                del inflight[0]
+
+    def store_resolved(self, store_pc, seq):
+        """The store's address resolved: remove it from the in-flight set."""
+        set_id = self.set_of(store_pc)
+        if set_id is not None:
+            try:
+                self._lfst[set_id].remove(seq)
+            except ValueError:
+                pass
+
+    def train_violation(self, load_pc, store_pc):
+        """A load bypassed a conflicting older store: merge their sets."""
+        self.violations += 1
+        load_idx = self._index(load_pc)
+        store_idx = self._index(store_pc)
+        load_set = self._ssit[load_idx]
+        store_set = self._ssit[store_idx]
+        if load_set is None and store_set is None:
+            set_id = self._next_set
+            self._next_set = (self._next_set + 1) % self.n_lfst
+            self._lfst[set_id] = []
+            self._ssit[load_idx] = set_id
+            self._ssit[store_idx] = set_id
+        elif load_set is None:
+            self._ssit[load_idx] = store_set
+        elif store_set is None:
+            self._ssit[store_idx] = load_set
+        else:
+            # merge: convention — both adopt the smaller ID
+            winner = min(load_set, store_set)
+            self._ssit[load_idx] = winner
+            self._ssit[store_idx] = winner
+
+    def reset(self):
+        """Clear both tables."""
+        self._ssit = [None] * self.n_ssit
+        self._lfst = [[] for _ in range(self.n_lfst)]
+        self._next_set = 0
+        self.violations = 0
+        self.predictions = 0

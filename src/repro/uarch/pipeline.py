@@ -1,0 +1,683 @@
+"""The cycle-level out-of-order core (Figure 1 of the paper).
+
+Model summary
+-------------
+Trace-driven, event-assisted, one loop iteration per cycle:
+
+1. **EP stall check** — under the Error Padding scheme, a pending stall
+   freezes the entire pipeline for the cycle (every in-flight event shifts
+   by one).
+2. **Events** — completions (ROB complete + writeback), branch resolutions
+   (front-end redirect), and replays (Razor-style recovery for violations
+   the active scheme does not tolerate).
+3. **Commit** — up to ``width`` completed head instructions retire; stores
+   drain to the data cache; the TEP trains on observed outcomes.
+4. **Select/issue** — operand-ready issue-queue entries are ordered by the
+   scheme's selection policy and issued against FU availability (the FUSR).
+   The full timing chain of the instruction (register read, execute, memory,
+   writeback) is computed here; VTE effects insert the per-stage extra cycle
+   and freeze the resource behind a predicted-faulty instruction.
+5. **Front end** — a ``frontend_depth``-stage conveyor from fetch to
+   dispatch; fetch follows the trace with a gshare predictor (no wrong-path
+   execution: a mispredicted branch blocks fetch until it resolves).
+
+Timing chain (select at cycle ``c``, clean instruction):
+register read at ``c+1``; execute ``c+2 .. c+1+lat``; dependents wake at
+``c+lat`` (bypass: back-to-back for single-cycle ops); writeback/complete
+at ``c+2+lat`` through a ``width``-lane writeback arbiter. Loads insert the
+memory stage: address generation at ``c+2``, LSQ CAM search and cache
+access after, dependents wake when data returns (non-speculative wakeup).
+"""
+
+from collections import deque
+
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.core.criticality import CriticalityDetector
+from repro.core.vte import FreezeKind, vte_effects
+from repro.uarch.branch_predictor import GShare
+from repro.uarch.config import CoreConfig
+from repro.uarch.functional_units import FuPool
+from repro.uarch.issue_queue import IssueQueue
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.memdep import StoreSetPredictor
+from repro.uarch.regfile import RenameState
+from repro.uarch.rob import ReorderBuffer
+from repro.uarch.stats import SimStats
+
+# event kinds, processed in this order within a cycle
+_EV_COMPLETE = 0
+_EV_RESOLVE = 1
+_EV_REPLAY = 2
+
+_INORDER_STALL_STAGES = (PipeStage.RENAME, PipeStage.DISPATCH, PipeStage.RETIRE)
+_REPLAY_ONLY_STAGES = (PipeStage.FETCH, PipeStage.DECODE)
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the pipeline makes no progress for too long."""
+
+
+class OoOCore:
+    """A 4-wide out-of-order core with violation-aware scheduling hooks.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.uarch.config.CoreConfig`.
+    trace:
+        Iterator of :class:`~repro.isa.instruction.DynInst` in fetch order.
+    hierarchy:
+        A :class:`~repro.mem.hierarchy.MemoryHierarchy`.
+    scheme:
+        A :class:`~repro.core.schemes.Scheme` (fault handling + policy).
+    injector:
+        A :class:`~repro.faults.injector.FaultInjector` or ``None`` for
+        fault-free runs.
+    tep:
+        A :class:`~repro.core.tep.TimingErrorPredictor`; required when the
+        scheme uses prediction.
+    sensor:
+        A :class:`~repro.faults.sensors.VoltageSensor` gating predictions.
+    vdd:
+        Operating supply voltage (passed to the injector).
+    """
+
+    def __init__(self, config, trace, hierarchy, scheme, injector=None,
+                 tep=None, sensor=None, vdd=1.10):
+        if scheme.uses_tep and tep is None:
+            raise ValueError(f"scheme {scheme.name} requires a TEP instance")
+        self.config = config
+        self.trace = iter(trace)
+        self.hierarchy = hierarchy
+        self.scheme = scheme
+        self.injector = injector
+        self.tep = tep
+        self.sensor = sensor
+        self.vdd = vdd
+        self.stats = SimStats()
+
+        self.rename = RenameState(config.n_arch_regs, config.n_phys_regs)
+        self.rob = ReorderBuffer(config.rob_size)
+        self.iq = IssueQueue(config.iq_size)
+        self.lsq = LoadStoreQueue(config.lsq_size)
+        self.fus = FuPool(config.fu_counts)
+        self.bp = GShare(config.bp_table_bits, config.bp_history_bits)
+        self.cdl = (
+            CriticalityDetector(tep, config.criticality_threshold)
+            if scheme.detects_criticality
+            else None
+        )
+        self.memdep = (
+            StoreSetPredictor()
+            if config.mem_dependence == "store_sets"
+            else None
+        )
+
+        self.cycle = 0
+        self._events = {}           # cycle -> [(kind, inst), ...]
+        self._wb_count = {}         # cycle -> reserved writeback lanes
+        self._ep_stalls = {}        # cycle -> pending whole-pipeline stalls
+        self._conveyor = [[] for _ in range(config.frontend_depth)]
+        self._refetch = deque()
+        self._fetch_resume_at = 0
+        self._blocking_branch = None   # seq of unresolved mispredicted branch
+        self._dispatch_hold_until = 0  # in-order fault stall (Section 2.2)
+        self._done_fetching = False
+        self._last_fetch_line = -1
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+    def run(self, max_committed, max_cycles=None):
+        """Simulate until ``max_committed`` instructions retire.
+
+        Returns the :class:`~repro.uarch.stats.SimStats` of the run.
+        ``max_cycles`` (default: a generous multiple of the budget) guards
+        against deadlock.
+        """
+        if max_committed <= 0:
+            raise ValueError("max_committed must be positive")
+        if max_cycles is None:
+            max_cycles = 400 * max_committed + 20000
+        stats = self.stats
+        thermal = getattr(self.sensor, "thermal", None)
+        while stats.committed < max_committed:
+            if thermal is not None and self.cycle % 128 == 0:
+                thermal.advance(128)
+            if self.cycle > max_cycles:
+                raise DeadlockError(
+                    f"no forward progress: cycle={self.cycle}, "
+                    f"committed={stats.committed}/{max_committed}, "
+                    f"rob={len(self.rob)}, iq={len(self.iq)}"
+                )
+            if self._consume_ep_stall():
+                stats.cycles += 1
+                self.cycle += 1
+                continue
+            self._process_events()
+            self._commit()
+            self._select()
+            self._frontend()
+            stats.iq_occupancy_accum += len(self.iq)
+            self._wb_count.pop(self.cycle, None)
+            stats.cycles += 1
+            self.cycle += 1
+            if self._drained():
+                break
+        stats.lsq_searches = self.lsq.cam_searches
+        stats.store_forwards = self.lsq.forwards
+        return stats
+
+    # ==================================================================
+    # EP global stall (Error Padding baseline)
+    # ==================================================================
+    def _consume_ep_stall(self):
+        pending = self._ep_stalls.get(self.cycle)
+        if not pending:
+            return False
+        if pending == 1:
+            del self._ep_stalls[self.cycle]
+        else:
+            self._ep_stalls[self.cycle] = pending - 1
+        self._shift_in_flight()
+        self.stats.ep_stalls += 1
+        return True
+
+    def _shift_in_flight(self):
+        """Delay everything in flight by one cycle (whole-pipeline stall)."""
+        now = self.cycle
+        self._events = {
+            (c + 1 if c >= now else c): evs for c, evs in self._events.items()
+        }
+        self._ep_stalls = {
+            (c + 1 if c >= now else c): n for c, n in self._ep_stalls.items()
+        }
+        self._wb_count = {
+            (c + 1 if c >= now else c): n for c, n in self._wb_count.items()
+        }
+        self.rename.shift_pending(now - 1)
+        self.fus.shift_pending(now)
+        if self._fetch_resume_at > now:
+            self._fetch_resume_at += 1
+        if self._dispatch_hold_until > now:
+            self._dispatch_hold_until += 1
+
+    # ==================================================================
+    # events
+    # ==================================================================
+    def _schedule(self, cycle, kind, inst):
+        self._events.setdefault(cycle, []).append((kind, inst, inst.version))
+
+    def _process_events(self):
+        events = self._events.pop(self.cycle, None)
+        if not events:
+            return
+        events.sort(key=lambda ev: ev[0])
+        for kind, inst, version in events:
+            if inst.squashed or inst.version != version:
+                continue  # stale: the instruction was squashed/re-injected
+            if kind == _EV_COMPLETE:
+                inst.completed = True
+                inst.complete_cycle = self.cycle
+                self.stats.wb_writes += 1
+            elif kind == _EV_RESOLVE:
+                if self._blocking_branch == inst.seq:
+                    self._blocking_branch = None
+                    self._fetch_resume_at = max(
+                        self._fetch_resume_at,
+                        self.cycle + self.config.redirect_penalty,
+                    )
+                    if self.config.model_wrong_path:
+                        # the front end fetched down the wrong path from
+                        # the cycle after the branch until the redirect
+                        wasted_cycles = max(
+                            0, self.cycle - inst.fetch_cycle - 1
+                        )
+                        self.stats.wrong_path_fetched += (
+                            wasted_cycles * self.config.width
+                        )
+            elif kind == _EV_REPLAY:
+                if inst.commit_cycle < 0:
+                    self._replay(inst)
+
+    # ==================================================================
+    # commit
+    # ==================================================================
+    def _commit(self):
+        stats = self.stats
+        for inst in self.rob.commit_ready(self.config.width):
+            self.rename.commit(inst)
+            if inst.is_mem:
+                self.lsq.retire(inst)
+                if inst.is_store:
+                    self.hierarchy.access_data(inst.mem_addr)
+            if inst.phys_dest >= 0:
+                stats.regwrites += 1
+            inst.commit_cycle = self.cycle
+            stats.committed += 1
+            self._train_tep(inst)
+
+    def _train_tep(self, inst):
+        """Train the predictor on the instruction's observed outcome."""
+        if not self.scheme.uses_tep or inst.replayed:
+            # replayed instances trained at detection time (Section 2.1.2)
+            return
+        key = inst.tep_key
+        if key is None:
+            if self.tep is None:
+                return
+            key = self.tep.key_for(inst.pc, self.bp.ghr)
+        faulted_stage = self._earliest_fault_stage(inst)
+        if faulted_stage is not None:
+            self.tep.train(key, faulted_stage, True)
+        elif inst.predicted_faulty:
+            self.stats.false_predictions += 1
+            self.tep.train(key, None, False)
+
+    @staticmethod
+    def _earliest_fault_stage(inst):
+        if not inst.fault_stages:
+            return None
+        mask = inst.fault_stages
+        for stage in PipeStage:
+            if mask & (1 << int(stage)):
+                return stage
+        return None
+
+    # ==================================================================
+    # select / issue (the OoO engine)
+    # ==================================================================
+    def _load_gate(self, inst):
+        """Store-set gate: wait only for a predicted-conflicting store."""
+        wait_seq = self.memdep.must_wait_for(inst.pc, inst.seq)
+        if wait_seq is None:
+            return True
+        return not self.lsq.unresolved(wait_seq, self.cycle)
+
+    def _select(self):
+        gate = self._load_gate if self.memdep is not None else None
+        ready = self.iq.ready_entries(
+            self.cycle, self.rename, self.lsq, load_gate=gate
+        )
+        if not ready:
+            return
+        ordered = self.scheme.policy.order(ready, self.iq)
+        issued = 0
+        for inst in ordered:
+            if issued >= self.config.width:
+                break
+            unit = self.fus.find_available(inst.fu_kind, self.cycle)
+            if unit is None:
+                continue
+            self._issue(inst, unit)
+            issued += 1
+
+    def _issue(self, inst, unit):
+        """Issue one instruction: timing chain, VTE effects, fault events."""
+        cycle = self.cycle
+        stats = self.stats
+        inst.issue_cycle = cycle
+        self.iq.remove(inst)
+        stats.issued += 1
+        stats.regreads += len(inst.phys_srcs)
+        stats.count_fu_op(inst.op)
+
+        # -- prediction handling ---------------------------------------
+        pred_stage = inst.pred_fault_stage
+        effects = None
+        if pred_stage is not None and self.scheme.uses_vte:
+            effects = vte_effects(pred_stage, inst.op)
+            if effects.stage is not None:
+                stats.padded_instructions += 1
+        rr_extra = effects.rr_extra if effects else 0
+        ex_extra = effects.ex_extra if effects else 0
+        mem_extra = effects.mem_extra if effects else 0
+        wb_extra = effects.wb_extra if effects else 0
+
+        # -- actual violations: classify tolerated vs recovery ----------
+        selective_stages = []
+        flush_stage = None
+        if inst.fault_stages:
+            for stage in (PipeStage.ISSUE, PipeStage.REGREAD,
+                          PipeStage.EXECUTE, PipeStage.MEM,
+                          PipeStage.WRITEBACK):
+                if not inst.faults_in(stage):
+                    continue
+                if stage is PipeStage.MEM and not inst.is_mem:
+                    continue
+                tolerated = (
+                    stage == pred_stage
+                    and self.scheme.tolerates_predicted_faults
+                )
+                stats.count_fault(stage, tolerated)
+                if tolerated:
+                    continue
+                if self.config.replay_mode == "selective":
+                    selective_stages.append(stage)
+                elif flush_stage is None:
+                    flush_stage = stage
+        # selective (Razor-I) recovery: the faulty instruction re-executes
+        # in place with the recovery penalty; its dependents simply wait
+        penalty = self.config.replay_recovery
+        for stage in selective_stages:
+            stats.replays += 1
+            if stage in (PipeStage.ISSUE, PipeStage.REGREAD):
+                rr_extra += penalty
+            elif stage is PipeStage.EXECUTE:
+                ex_extra += penalty
+            elif stage is PipeStage.MEM:
+                mem_extra += penalty
+            else:
+                wb_extra += penalty
+
+        exec_lat = inst.latency + ex_extra
+        agen_end = cycle + 2 + rr_extra  # address generation for mem ops
+
+        # -- per-class timing ------------------------------------------
+        if inst.is_load:
+            self.lsq.resolve_address(inst, agen_end)
+            cam_cycle = agen_end
+            if self.lsq.search_forward(inst, cam_cycle):
+                data_lat = 1
+            else:
+                data_lat = self.hierarchy.access_data(inst.mem_addr).latency
+            wakeup = agen_end + mem_extra + data_lat
+            wb_request = wakeup + 1
+        elif inst.is_store:
+            self.lsq.resolve_address(inst, agen_end)
+            cam_cycle = agen_end
+            self.lsq.cam_searches += 1
+            wakeup = None
+            wb_request = agen_end + mem_extra + 1
+            if self.memdep is not None:
+                self.memdep.store_resolved(inst.pc, inst.seq)
+                self._check_ordering_violations(inst, agen_end)
+        else:
+            cam_cycle = None
+            wakeup = cycle + inst.latency + rr_extra + ex_extra
+            wb_request = cycle + 2 + rr_extra + exec_lat
+        exec_end = cycle + 1 + rr_extra + exec_lat
+
+        # -- writeback arbitration ---------------------------------------
+        wb_cycle = self._reserve_writeback(wb_request, wb_extra)
+        complete_cycle = wb_cycle + wb_extra
+        if wakeup is not None and inst.phys_dest >= 0:
+            self.rename.set_ready(inst.phys_dest, wakeup)
+            stats.broadcasts += 1
+            stats.broadcast_occupancy += len(self.iq)
+            if self.cdl is not None:
+                n_dep = self.iq.count_dependents(inst.phys_dest)
+                self.cdl.observe_broadcast(inst, n_dep)
+        self._schedule(complete_cycle, _EV_COMPLETE, inst)
+
+        # -- functional unit reservation + VTE freezing -------------------
+        self.fus.issue(unit, inst, cycle, exec_lat)
+        if effects is not None and effects.freeze is not FreezeKind.NONE:
+            stats.slot_freezes += 1
+            if effects.freeze is FreezeKind.SLOT_ONE_CYCLE:
+                unit.next_issue = max(unit.next_issue, cycle + 2)
+            elif effects.freeze is FreezeKind.UNTIL_COMPLETE:
+                unit.next_issue = max(unit.next_issue, exec_end)
+            elif effects.freeze is FreezeKind.BUSY_PLUS_ONE:
+                unit.freeze_extra(1)
+            # WB_SLOT freezing is handled inside the writeback arbiter
+
+        # -- branch resolution -------------------------------------------
+        if inst.is_branch and inst.mispredicted:
+            self._schedule(exec_end, _EV_RESOLVE, inst)
+
+        # -- Error Padding stalls ------------------------------------------
+        if pred_stage is not None and self.scheme.uses_ep_stall:
+            stage_cycle = self._stage_cycle(
+                pred_stage, cycle, cam_cycle, exec_end, wb_cycle
+            )
+            if stage_cycle is not None:
+                stats.padded_instructions += 1
+                # the stall fires when the instruction occupies the faulty
+                # stage; issue-stage stalls land in the next cycle (this
+                # one's select already happened)
+                stall_cycle = max(stage_cycle, cycle + 1)
+                self._ep_stalls[stall_cycle] = (
+                    self._ep_stalls.get(stall_cycle, 0) + 1
+                )
+
+        # -- recovery scheduling ---------------------------------------------
+        for stage in selective_stages:
+            # recovery bubbles while the errant stage re-latches and the
+            # pipeline control restores (Razor recovery sequence)
+            stage_cycle = self._stage_cycle(
+                stage, cycle, cam_cycle, exec_end, wb_cycle
+            )
+            if stage_cycle is None:
+                continue
+            stall_cycle = max(stage_cycle, cycle + 1)
+            self._ep_stalls[stall_cycle] = (
+                self._ep_stalls.get(stall_cycle, 0)
+                + self.config.recovery_bubbles
+            )
+        if flush_stage is not None:
+            stage_cycle = self._stage_cycle(
+                flush_stage, cycle, cam_cycle, exec_end, wb_cycle
+            )
+            # detection happens when the stage executes; recovery can
+            # trigger at the earliest in the next cycle
+            self._schedule(
+                max(stage_cycle, cycle + 1), _EV_REPLAY, inst
+            )
+
+    def _stage_cycle(self, stage, select_cycle, cam_cycle, exec_end, wb_cycle):
+        """Cycle at which ``stage`` is occupied by this instruction."""
+        if stage is PipeStage.ISSUE:
+            return select_cycle
+        if stage is PipeStage.REGREAD:
+            return select_cycle + 1
+        if stage is PipeStage.EXECUTE:
+            return exec_end
+        if stage is PipeStage.MEM:
+            return cam_cycle  # None for non-memory instructions
+        if stage is PipeStage.WRITEBACK:
+            return wb_cycle
+        return None
+
+    def _check_ordering_violations(self, store_inst, cycle):
+        """Squash loads that speculated past a conflicting older store.
+
+        A correctness repair, so it always uses flush-style replay (the
+        load consumed stale data); the store-set predictor is trained so
+        the pair synchronizes in the future.
+        """
+        victims = self.lsq.issued_younger_loads_matching(store_inst, cycle)
+        if not victims:
+            return
+        oldest = min(victims, key=lambda i: i.seq)
+        self.memdep.train_violation(oldest.pc, store_inst.pc)
+        self.stats.memdep_violations += 1
+        if oldest.commit_cycle < 0 and not oldest.squashed:
+            self._schedule(max(cycle, self.cycle + 1), _EV_REPLAY, oldest)
+
+    def _reserve_writeback(self, request_cycle, wb_extra):
+        """Find the first cycle with a free writeback lane from ``request``.
+
+        A predicted-faulty-in-writeback instruction also reserves its lane
+        in the following cycle (input recirculation, Section 3.3.5).
+        """
+        width = self.config.width
+        t = request_cycle
+        while self._wb_count.get(t, 0) >= width:
+            t += 1
+        self._wb_count[t] = self._wb_count.get(t, 0) + 1
+        if wb_extra:
+            self._wb_count[t + 1] = self._wb_count.get(t + 1, 0) + 1
+        return t
+
+    # ==================================================================
+    # replay (Razor-style recovery, Section 2.1.2)
+    # ==================================================================
+    def _replay(self, inst):
+        """Squash ``inst`` and everything younger; refetch from ``inst``."""
+        stats = self.stats
+        stats.replays += 1
+        if self.scheme.uses_tep and inst.tep_key is not None:
+            self.tep.train(
+                inst.tep_key, self._earliest_fault_stage(inst), True
+            )
+        squashed = self.rob.squash_from(inst.seq)  # youngest first
+        for s in squashed:
+            self.rename.squash(s)
+            s.squashed = True
+            stats.squashed += 1
+        self.iq.squash_from(inst.seq)
+        self.lsq.squash_from(inst.seq)
+        conveyor_insts = []
+        for latch in self._conveyor:
+            conveyor_insts.extend(latch)
+            latch.clear()
+        requeue = sorted(squashed + conveyor_insts, key=lambda s: s.seq)
+        for s in requeue:
+            s.reset_for_refetch()
+        inst.replayed = True
+        inst.fault_stages = 0  # the recovery re-executes with safe timing
+        for s in reversed(requeue):
+            self._refetch.appendleft(s)
+        self._blocking_branch = None
+        self._fetch_resume_at = self.cycle + self.config.replay_recovery
+        self._dispatch_hold_until = 0
+
+    # ==================================================================
+    # front end
+    # ==================================================================
+    def _frontend(self):
+        self._dispatch()
+        conveyor = self._conveyor
+        for i in range(len(conveyor) - 1, 0, -1):
+            if not conveyor[i]:
+                conveyor[i], conveyor[i - 1] = conveyor[i - 1], conveyor[i]
+        if not conveyor[0]:
+            self._fetch(conveyor[0])
+
+    def _dispatch(self):
+        if self.cycle < self._dispatch_hold_until:
+            return
+        latch = self._conveyor[-1]
+        dispatched = 0
+        while latch and dispatched < self.config.width:
+            inst = latch[0]
+            if self.rob.full or self.iq.full:
+                break
+            if inst.is_mem and self.lsq.full:
+                break
+            if not self.rename.can_rename(inst.static.dest is not None):
+                break
+            latch.pop(0)
+            self.rename.rename(inst)
+            self.rob.allocate(inst)
+            self.iq.insert(inst)
+            if inst.is_mem:
+                self.lsq.allocate(inst)
+                if self.memdep is not None and inst.is_store:
+                    self.memdep.store_fetched(inst.pc, inst.seq)
+            inst.dispatch_cycle = self.cycle
+            self.stats.dispatched += 1
+            dispatched += 1
+            self._inorder_fault_checks(inst)
+
+    def _inorder_fault_checks(self, inst):
+        """Stall/replay handling for faults outside the OoO engine (§2.2)."""
+        pred = inst.pred_fault_stage
+        if pred in _INORDER_STALL_STAGES and self.scheme.uses_tep:
+            # the faulty in-order stage takes two cycles behind a stall signal
+            self._dispatch_hold_until = self.cycle + 2
+            self.stats.inorder_stalls += 1
+        for stage in _REPLAY_ONLY_STAGES + _INORDER_STALL_STAGES:
+            if inst.faults_in(stage):
+                tolerated = (
+                    stage == pred
+                    and stage in _INORDER_STALL_STAGES
+                    and self.scheme.uses_tep
+                )
+                self.stats.count_fault(stage, tolerated)
+                if not tolerated:
+                    self._schedule(self.cycle + 1, _EV_REPLAY, inst)
+                    break
+
+    def _next_inst(self):
+        if self._refetch:
+            return self._refetch.popleft()
+        try:
+            return next(self.trace)
+        except StopIteration:
+            self._done_fetching = True
+            return None
+
+    def _fetch(self, latch):
+        if self._done_fetching and not self._refetch:
+            return
+        if self._blocking_branch is not None:
+            return
+        if self.cycle < self._fetch_resume_at:
+            return
+        icache_stall = 0
+        for _ in range(self.config.width):
+            inst = self._next_inst()
+            if inst is None:
+                break
+            inst.fetch_cycle = self.cycle
+            self.stats.fetched += 1
+            line = inst.pc >> 6
+            if line != self._last_fetch_line:
+                self._last_fetch_line = line
+                result = self.hierarchy.access_inst(inst.pc)
+                if result.latency > 1:
+                    icache_stall = max(icache_stall, result.latency - 1)
+            if self.injector is not None and not inst.refetched:
+                self.injector.resolve(inst, self.vdd)
+            self._predict_branch(inst)
+            self._predict_fault(inst)
+            latch.append(inst)
+            if inst.is_branch and inst.mispredicted:
+                self._blocking_branch = inst.seq
+                break
+        if icache_stall:
+            self._fetch_resume_at = max(
+                self._fetch_resume_at, self.cycle + 1 + icache_stall
+            )
+
+    def _predict_branch(self, inst):
+        if not inst.is_branch:
+            return
+        conditional = 0.0 < inst.static.taken_prob < 1.0
+        if inst.refetched:
+            return  # outcome/misprediction decided at first fetch
+        if conditional:
+            self.stats.branches += 1
+            wrong = self.bp.predict_and_update(inst.pc, inst.taken)
+            if wrong:
+                inst.mispredicted = True
+                self.stats.branch_mispredicts += 1
+
+    def _predict_fault(self, inst):
+        """TEP lookup at decode (Section 2.1.1), gated by the sensors."""
+        if not self.scheme.uses_tep:
+            return
+        if self.sensor is not None and not self.sensor.favorable():
+            return
+        prediction = self.tep.predict(inst.pc, self.bp.ghr)
+        if prediction is not None:
+            inst.pred_fault_stage = prediction.stage
+            inst.pred_critical = prediction.critical
+            inst.tep_key = prediction.key
+        else:
+            inst.tep_key = self.tep.key_for(inst.pc, self.bp.ghr)
+
+    # ==================================================================
+    def _drained(self):
+        if not self._done_fetching or self._refetch:
+            return False
+        if len(self.rob) or any(self._conveyor):
+            return False
+        return True
+
+    @classmethod
+    def default(cls, trace, hierarchy, scheme, **kwargs):
+        """Convenience constructor with the Core-1 configuration."""
+        return cls(CoreConfig.core1(), trace, hierarchy, scheme, **kwargs)

@@ -1,0 +1,106 @@
+"""Pipeline timeline visualization (gem5-O3-pipeview style, in ASCII).
+
+Records every dynamic instruction flowing through a core and renders a
+per-instruction cycle timeline::
+
+    seq  pc      op      |f....d.i.ec              |
+    seq  pc      op      |f....d..i.ec             |
+
+with ``f`` fetch, ``d`` dispatch, ``i`` issue (select), ``c`` complete
+(writeback) and ``r`` retire. Useful for debugging scheduling behaviour
+and for demonstrating the VTE mechanisms instruction by instruction.
+"""
+
+
+class PipeTraceRecord:
+    """Stage cycles of one dynamic instruction."""
+
+    __slots__ = ("seq", "pc", "op", "fetch", "dispatch", "issue",
+                 "complete", "commit", "faulty", "predicted")
+
+    def __init__(self, inst):
+        self.seq = inst.seq
+        self.pc = inst.pc
+        self.op = inst.op.name
+        self.fetch = inst.fetch_cycle
+        self.dispatch = inst.dispatch_cycle
+        self.issue = inst.issue_cycle
+        self.complete = inst.complete_cycle
+        self.commit = inst.commit_cycle
+        self.faulty = bool(inst.fault_stages)
+        self.predicted = inst.pred_fault_stage is not None
+
+
+class PipeTracer:
+    """Wraps a core's trace iterator and records every instruction.
+
+    Usage::
+
+        core = build_core(spec)
+        tracer = PipeTracer(core)
+        core.run(200)
+        print(tracer.render())
+    """
+
+    def __init__(self, core, max_records=10_000):
+        self.core = core
+        self.max_records = max_records
+        self._insts = []
+        self._inner = core.trace
+        core.trace = self
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        inst = next(self._inner)
+        if len(self._insts) < self.max_records:
+            self._insts.append(inst)
+        return inst
+
+    def records(self):
+        """Snapshot the recorded instructions as trace records."""
+        return [PipeTraceRecord(i) for i in self._insts]
+
+    def render(self, first_seq=0, count=32, width=80):
+        """Render a timeline for ``count`` instructions from ``first_seq``."""
+        records = [
+            r for r in self.records()
+            if first_seq <= r.seq < first_seq + count and r.fetch >= 0
+        ]
+        return render_records(records, width=width)
+
+
+_STAGES = (
+    ("fetch", "f"),
+    ("dispatch", "d"),
+    ("issue", "i"),
+    ("complete", "c"),
+    ("commit", "r"),
+)
+
+
+def render_records(records, width=80):
+    """Render timeline rows for a list of :class:`PipeTraceRecord`."""
+    if not records:
+        return "(no instructions recorded)"
+    t0 = min(r.fetch for r in records if r.fetch >= 0)
+    t_end = max(
+        max(getattr(r, name) for name, _ in _STAGES) for r in records
+    )
+    span = min(t_end - t0 + 1, width)
+    lines = [
+        f"cycles {t0}..{t0 + span - 1} "
+        f"(f=fetch d=dispatch i=issue c=complete r=retire, * = faulty)"
+    ]
+    for r in records:
+        row = ["."] * span
+        for name, letter in _STAGES:
+            cycle = getattr(r, name)
+            if cycle >= 0 and 0 <= cycle - t0 < span:
+                row[cycle - t0] = letter
+        marker = "*" if r.faulty else (":" if r.predicted else " ")
+        lines.append(
+            f"{r.seq:>5} {r.pc:#08x} {r.op:<7}{marker}|{''.join(row)}|"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Register renaming state: RAT, free list, and the ready-cycle scoreboard.
+
+The ready-cycle scoreboard replaces an explicit tag-broadcast CAM in the
+software model: ``ready_cycle[p]`` holds the absolute cycle at which
+physical register ``p``'s value becomes visible to dependents (set when the
+producer is scheduled, per the countdown logic of Section 3.2.2; the
+delayed-broadcast rule for faulty producers adds one). An operand is ready
+in cycle ``c`` iff ``ready_cycle[p] <= c`` — exactly what a dependent's tag
+match against the (possibly delayed) broadcast would conclude.
+"""
+
+INFINITE = 1 << 60
+
+
+class RenameState:
+    """RAT + free list + per-physical-register ready cycles."""
+
+    def __init__(self, n_arch_regs, n_phys_regs):
+        if n_phys_regs <= n_arch_regs:
+            raise ValueError("need more physical than architectural registers")
+        self.n_arch_regs = n_arch_regs
+        self.n_phys_regs = n_phys_regs
+        self.rat = list(range(n_arch_regs))
+        self.free_list = list(range(n_arch_regs, n_phys_regs))
+        self.ready_cycle = [0] * n_phys_regs
+        for p in range(n_arch_regs, n_phys_regs):
+            self.ready_cycle[p] = INFINITE
+
+    @property
+    def free_regs(self):
+        """Number of free physical registers."""
+        return len(self.free_list)
+
+    def can_rename(self, needs_dest):
+        """True when a destination register (if needed) can be allocated."""
+        return not needs_dest or bool(self.free_list)
+
+    def rename(self, inst):
+        """Rename one instruction's sources and destination in place."""
+        inst.phys_srcs = tuple(self.rat[a] for a in inst.static.srcs)
+        dest = inst.static.dest
+        if dest is None:
+            inst.phys_dest = -1
+            inst.prev_phys_dest = -1
+            return
+        if not self.free_list:
+            raise RuntimeError("rename called with empty free list")
+        new_phys = self.free_list.pop()
+        inst.prev_phys_dest = self.rat[dest]
+        inst.phys_dest = new_phys
+        self.rat[dest] = new_phys
+        self.ready_cycle[new_phys] = INFINITE
+
+    def commit(self, inst):
+        """Free the previous mapping of a committing instruction."""
+        if inst.phys_dest >= 0:
+            self.free_list.append(inst.prev_phys_dest)
+
+    def squash(self, inst):
+        """Undo one instruction's rename (call youngest-first)."""
+        if inst.phys_dest >= 0:
+            self.rat[inst.static.dest] = inst.prev_phys_dest
+            self.free_list.append(inst.phys_dest)
+            self.ready_cycle[inst.phys_dest] = INFINITE
+            inst.phys_dest = -1
+            inst.prev_phys_dest = -1
+        inst.phys_srcs = ()
+
+    def set_ready(self, phys_reg, cycle):
+        """Record the broadcast cycle of ``phys_reg`` (producer scheduled)."""
+        if phys_reg >= 0:
+            self.ready_cycle[phys_reg] = cycle
+
+    def srcs_ready(self, inst, cycle):
+        """True when all of ``inst``'s sources are ready in ``cycle``."""
+        ready = self.ready_cycle
+        for p in inst.phys_srcs:
+            if ready[p] > cycle:
+                return False
+        return True
+
+    def ready_by(self, inst):
+        """The cycle at which the last source of ``inst`` becomes ready."""
+        if not inst.phys_srcs:
+            return 0
+        return max(self.ready_cycle[p] for p in inst.phys_srcs)
+
+    def shift_pending(self, now, delta=1):
+        """Shift not-yet-ready broadcast cycles by ``delta`` (EP stall)."""
+        ready = self.ready_cycle
+        for p in range(self.n_phys_regs):
+            c = ready[p]
+            if now < c < INFINITE:
+                ready[p] = c + delta

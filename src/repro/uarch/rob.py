@@ -1,0 +1,55 @@
+"""Reorder buffer: in-order window with squash support."""
+
+from collections import deque
+
+
+class ReorderBuffer:
+    """A bounded in-order window of in-flight instructions."""
+
+    def __init__(self, size):
+        if size <= 0:
+            raise ValueError("ROB size must be positive")
+        self.size = size
+        self._entries = deque()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    @property
+    def full(self):
+        """True when no entry can be allocated."""
+        return len(self._entries) >= self.size
+
+    @property
+    def head(self):
+        """The oldest in-flight instruction, or None when empty."""
+        return self._entries[0] if self._entries else None
+
+    def allocate(self, inst):
+        """Insert a dispatched instruction at the tail."""
+        if self.full:
+            raise RuntimeError("ROB overflow")
+        self._entries.append(inst)
+
+    def commit_ready(self, width):
+        """Pop and return up to ``width`` completed head instructions."""
+        committed = []
+        while self._entries and len(committed) < width:
+            head = self._entries[0]
+            if not head.completed:
+                break
+            committed.append(self._entries.popleft())
+        return committed
+
+    def squash_from(self, seq):
+        """Remove and return all instructions with ``seq`` >= the given one.
+
+        Returned youngest-first, which is the order rename undo requires.
+        """
+        squashed = []
+        while self._entries and self._entries[-1].seq >= seq:
+            squashed.append(self._entries.pop())
+        return squashed

@@ -1,0 +1,96 @@
+"""Simulation statistics.
+
+Counters are plain attributes incremented by the pipeline; the energy model
+turns them into joules after the run (see ``repro.power.energy_model``).
+"""
+
+
+class SimStats:
+    """All counters collected during one simulation run."""
+
+    def __init__(self):
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.dispatched = 0
+        self.issued = 0
+        self.squashed = 0
+        self.replays = 0
+        self.branch_mispredicts = 0
+        self.branches = 0
+        # fault accounting
+        self.faults_total = 0
+        self.faults_predicted = 0
+        self.faults_unpredicted = 0
+        self.false_predictions = 0
+        self.stage_faults = {}
+        # scheme mechanics
+        self.ep_stalls = 0
+        self.slot_freezes = 0
+        self.padded_instructions = 0
+        self.inorder_stalls = 0
+        self.memdep_violations = 0
+        self.wrong_path_fetched = 0
+        # activity for the energy model
+        self.fu_ops = {}
+        self.regreads = 0
+        self.regwrites = 0
+        self.broadcasts = 0
+        self.broadcast_occupancy = 0
+        self.lsq_searches = 0
+        self.store_forwards = 0
+        self.iq_occupancy_accum = 0
+        self.wb_writes = 0
+
+    # ------------------------------------------------------------------
+    def count_fault(self, stage, predicted):
+        """Record one actual timing violation in ``stage``."""
+        self.faults_total += 1
+        self.stage_faults[stage] = self.stage_faults.get(stage, 0) + 1
+        if predicted:
+            self.faults_predicted += 1
+        else:
+            self.faults_unpredicted += 1
+
+    def count_fu_op(self, op):
+        """Record one executed operation of class ``op``."""
+        self.fu_ops[op] = self.fu_ops.get(op, 0) + 1
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self):
+        """Committed instructions per cycle."""
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def fault_rate(self):
+        """Faulting instructions per committed instruction."""
+        return self.faults_total / self.committed if self.committed else 0.0
+
+    @property
+    def mispredict_rate(self):
+        """Branch misprediction rate."""
+        return self.branch_mispredicts / self.branches if self.branches else 0.0
+
+    @property
+    def avg_iq_occupancy(self):
+        """Mean issue-queue occupancy per cycle."""
+        return self.iq_occupancy_accum / self.cycles if self.cycles else 0.0
+
+    def as_dict(self):
+        """Flat dict of the headline numbers (for reports and tests)."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "fault_rate": self.fault_rate,
+            "faults_total": self.faults_total,
+            "faults_predicted": self.faults_predicted,
+            "faults_unpredicted": self.faults_unpredicted,
+            "false_predictions": self.false_predictions,
+            "replays": self.replays,
+            "ep_stalls": self.ep_stalls,
+            "slot_freezes": self.slot_freezes,
+            "squashed": self.squashed,
+            "mispredict_rate": self.mispredict_rate,
+        }

@@ -1,0 +1,38 @@
+"""Synthetic SPEC-like workloads.
+
+The paper evaluates SPEC CPU2006 phases (selected with SimPoint) on a
+full-system simulator, and SPEC2000int operand streams at the gate level.
+Neither binary suite is redistributable, so this package generates
+CFG-structured synthetic programs whose *statistics* — instruction mix,
+dependency distances, working-set behaviour, branch bias, PC recurrence and
+timing-fault rates — are calibrated per benchmark to the paper's Table 1.
+"""
+
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    SPEC2006_PROFILES,
+    get_profile,
+    profile_names,
+)
+from repro.workloads.generator import build_program, estimate_pc_freq
+from repro.workloads.trace import TraceGenerator
+from repro.workloads.simpoint import (
+    BBVCollector,
+    choose_simpoints,
+    kmeans,
+    random_projection,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "SPEC2006_PROFILES",
+    "get_profile",
+    "profile_names",
+    "build_program",
+    "estimate_pc_freq",
+    "TraceGenerator",
+    "BBVCollector",
+    "kmeans",
+    "random_projection",
+    "choose_simpoints",
+]

@@ -1,0 +1,240 @@
+"""Synthetic program synthesis from a benchmark profile.
+
+``build_program`` turns a :class:`~repro.workloads.profiles.BenchmarkProfile`
+into a concrete CFG of basic blocks with static instructions. The generator
+is deterministic given (profile, seed).
+
+Program structure: the blocks are partitioned into loops; loop tails take
+their back-edge with the profile's ``loop_trip_p`` (PC recurrence for the
+TEP), interior blocks fall through or skip (conditional branch behaviour).
+Register dataflow uses a rolling recent-producer window with geometric
+dependency distances; ``fanout_frac`` blocks are restructured around a
+single producer to create high-dependent-count instructions (the CDS
+criticality target). Memory instructions get strided address streams over
+regions sized for L1-resident, L2-resident or streaming behaviour.
+"""
+
+import random
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import BasicBlock, Program
+
+_PC_BASE = 0x1000
+
+_OP_BY_NAME = {
+    "ialu": OpClass.IALU,
+    "imul": OpClass.IMUL,
+    "idiv": OpClass.IDIV,
+    "fpu": OpClass.FPU,
+    "load": OpClass.LOAD,
+    "store": OpClass.STORE,
+}
+
+# Address-space layout for the three working-set classes (bytes).
+_L1_POOL = (0x0000_0000, 24 * 1024)            # shared, L1-resident
+_L2_POOL = (0x0100_0000, 6 * 1024 * 1024)      # spread, L2-resident
+_MEM_POOL = (0x4000_0000, 1 << 30)             # streaming, beyond L2
+
+_L1_REGION, _L1_STRIDE = 2048, 8
+# L2-resident: ~51 distinct lines per static instruction; a handful of such
+# statics exceed L1 capacity together but warm the L2 within a short run.
+_L2_REGION, _L2_STRIDE = 16 * 1024, 320
+# streaming: never wraps within a run, every access misses L1 and L2
+_MEM_REGION, _MEM_STRIDE = 1 << 28, 128
+
+
+class _Synth:
+    """Mutable state shared across one program synthesis.
+
+    Two independent generators keep calibration tractable: ``rng`` drives
+    program *structure* (block shapes, op classes, memory placement, CFG
+    edges), while ``rng_data`` drives *dataflow* (register choices and
+    dependency distances). Tuning a dataflow parameter such as ``imm_frac``
+    therefore does not reshuffle the program's structure.
+    """
+
+    def __init__(self, profile, seed):
+        self.profile = profile
+        self.rng = random.Random(seed)
+        self.rng_data = random.Random(seed ^ 0x9E3779B9)
+        self.next_pc = _PC_BASE
+        self.recent_dests = []
+        self.op_names = list(profile.normalized_mix)
+        self.op_weights = [profile.normalized_mix[n] for n in self.op_names]
+        self._l1_cursor = 0
+        self._l2_cursor = 0
+        self._mem_cursor = 0
+
+    def alloc_pc(self):
+        pc = self.next_pc
+        self.next_pc += 4
+        return pc
+
+    def pick_op(self):
+        return _OP_BY_NAME[
+            self.rng.choices(self.op_names, weights=self.op_weights)[0]
+        ]
+
+    def pick_dest(self):
+        dest = self.rng_data.randrange(1, 32)
+        self.recent_dests.append(dest)
+        if len(self.recent_dests) > 64:
+            self.recent_dests.pop(0)
+        return dest
+
+    def pick_src(self):
+        """One source register via geometric dependency distance, or None."""
+        rng = self.rng_data
+        if rng.random() < self.profile.imm_frac or not self.recent_dests:
+            return None
+        p = self.profile.dep_geom_p
+        distance = 1
+        while rng.random() > p and distance < len(self.recent_dests):
+            distance += 1
+        return self.recent_dests[-distance]
+
+    def mem_params(self):
+        """Assign (base, stride, region) per the working-set split."""
+        r = self.rng.random()
+        pr = self.profile
+        if r < pr.l1_ws:
+            base0, span = _L1_POOL
+            region, stride = _L1_REGION, _L1_STRIDE
+            base = base0 + (self._l1_cursor % max(span - region, 1))
+            self._l1_cursor += 1024
+        elif r < pr.l1_ws + pr.l2_ws:
+            base0, span = _L2_POOL
+            region, stride = _L2_REGION, _L2_STRIDE
+            base = base0 + (self._l2_cursor % max(span - region, 1))
+            self._l2_cursor += 64 * 1024
+        else:
+            base0, span = _MEM_POOL
+            region, stride = _MEM_REGION, _MEM_STRIDE
+            base = base0 + (self._mem_cursor % max(span - region, 1))
+            self._mem_cursor += 1 << 20
+        return base, stride, region
+
+
+def _make_inst(synth, op, fanout_src=None):
+    """Create one non-branch static instruction."""
+    n_srcs = 2 if op in (OpClass.IALU, OpClass.IMUL, OpClass.IDIV, OpClass.FPU) else 1
+    srcs = []
+    if fanout_src is not None:
+        srcs.append(fanout_src)
+        n_srcs -= 1
+    for _ in range(n_srcs):
+        s = synth.pick_src()
+        if s is not None:
+            srcs.append(s)
+    if op is OpClass.STORE:
+        dest = None
+    else:
+        dest = synth.pick_dest()
+    kwargs = {}
+    if op is OpClass.LOAD or op is OpClass.STORE:
+        base, stride, region = synth.mem_params()
+        kwargs = {"mem_base": base, "mem_stride": stride, "mem_region": region}
+    return StaticInst(synth.alloc_pc(), op, dest=dest, srcs=srcs, **kwargs)
+
+
+def _make_block(synth, index, successors, taken_prob):
+    """Create one basic block ending in a branch."""
+    profile = synth.profile
+    rng = synth.rng
+    body_len = max(
+        1, round(rng.gauss(profile.block_len - 1.0, profile.block_len * 0.25))
+    )
+    insts = []
+    fanout_src = None
+    is_fanout = rng.random() < profile.fanout_frac
+    for i in range(body_len):
+        op = synth.pick_op()
+        if is_fanout and i == 0:
+            # the block's producer: everything after consumes its result
+            inst = _make_inst(synth, OpClass.IALU if op is OpClass.STORE else op)
+            fanout_src = inst.dest
+            insts.append(inst)
+            continue
+        insts.append(_make_inst(synth, op, fanout_src=fanout_src))
+    branch_src = synth.pick_src()
+    branch = StaticInst(
+        synth.alloc_pc(),
+        OpClass.BRANCH,
+        srcs=[s for s in (branch_src,) if s is not None],
+        taken_prob=taken_prob,
+    )
+    insts.append(branch)
+    return BasicBlock(index, insts, successors)
+
+
+def _loop_partition(n_blocks, rng):
+    """Partition block indices into contiguous loops of 3-9 blocks."""
+    loops = []
+    start = 0
+    while start < n_blocks:
+        size = min(rng.randint(3, 9), n_blocks - start)
+        loops.append((start, start + size - 1))
+        start += size
+    return loops
+
+
+def build_program(profile, seed=0):
+    """Synthesize a :class:`~repro.isa.program.Program` from a profile."""
+    synth = _Synth(profile, seed)
+    rng = synth.rng
+    n = profile.n_blocks
+    loops = _loop_partition(n, rng)
+    blocks = []
+    for lo, hi in loops:
+        # a minority of loops are hot (high trip count): these dominate
+        # the dynamic PC mix, as inner loops do in real programs
+        if rng.random() < 0.25:
+            p_back = min(0.995, profile.loop_trip_p + 0.06)
+        else:
+            p_back = rng.uniform(0.55, profile.loop_trip_p)
+        for i in range(lo, hi + 1):
+            if i == hi:
+                # loop tail: back-edge vs exit to the next loop (wrap at end)
+                exit_to = (hi + 1) % n
+                succ = [(exit_to, 1.0 - p_back), (lo, p_back)]
+                taken_prob = p_back
+            else:
+                # interior: fall through, sometimes skip one block
+                bias = profile.branch_bias
+                p_fall = bias if rng.random() < 0.5 else 1.0 - bias
+                skip_to = min(i + 2, hi)
+                if skip_to == i + 1:
+                    succ = [(i + 1, 1.0)]
+                    taken_prob = 0.0
+                else:
+                    succ = [(i + 1, p_fall), (skip_to, 1.0 - p_fall)]
+                    taken_prob = 1.0 - p_fall
+            blocks.append(_make_block(synth, i, succ, taken_prob))
+    return Program(blocks, entry=0, name=profile.name)
+
+
+def estimate_pc_freq(program, seed=1, n_instructions=20000, skip=0):
+    """Estimate dynamic PC frequencies by a CFG walk.
+
+    Returns a dict PC -> fraction of dynamic instructions (sums to ~1)
+    over the window ``[skip, skip + n_instructions)`` of the walk. The
+    injector uses these weights to hit dynamic fault-rate targets; with
+    the same seed as the run's trace and ``skip`` set to the warmup
+    length, the weights describe exactly the measured window (synthetic
+    programs can have long loop phases, so window alignment matters).
+    """
+    rng = random.Random(seed)
+    counts = {}
+    emitted = 0
+    for block in program.walk(rng):
+        for inst in block.insts:
+            if emitted >= skip:
+                counts[inst.pc] = counts.get(inst.pc, 0) + 1
+            emitted += 1
+        if emitted >= skip + n_instructions:
+            break
+    total = float(sum(counts.values()))
+    if not total:
+        raise ValueError("empty estimation window")
+    return {pc: c / total for pc, c in counts.items()}

@@ -1,0 +1,121 @@
+"""Synthetic microbenchmark kernels.
+
+Beyond the SPEC-calibrated profiles, these idealized kernels isolate one
+behaviour each — useful for studying how a scheduling scheme responds to a
+*single* pressure source, and as clean inputs for new experiments:
+
+* ``pointer_chase`` — serial loads, every load feeds the next address;
+* ``streaming`` — high-bandwidth loads/stores over huge regions;
+* ``dense_alu`` — wide independent integer work, no memory;
+* ``branchy`` — short blocks, weakly biased branches;
+* ``reduction`` — serial dependence chains spanning whole loop laps
+  (independent laps overlap in the window, so IPC reflects the ratio of
+  window size to chain length);
+* ``fanout_kernel`` — single producers feeding many consumers (the CDS
+  criticality pattern in its purest form).
+
+They are ordinary :class:`~repro.workloads.profiles.BenchmarkProfile`
+instances and work everywhere a SPEC profile does::
+
+    run_one(RunSpec("pointer_chase", SchemeKind.ABS, vdd=0.97))
+"""
+
+from repro.workloads.profiles import BenchmarkProfile
+
+
+def _m(name, **kw):
+    defaults = dict(fr_low=0.02, fr_high=0.08, ipc_paper=1.0)
+    defaults.update(kw)
+    return BenchmarkProfile(name=name, **defaults)
+
+
+#: Microbenchmark kernel registry.
+MICROBENCH_PROFILES = {
+    p.name: p
+    for p in [
+        _m(
+            "pointer_chase",
+            n_blocks=8,
+            block_len=4.0,
+            mix={"ialu": 0.25, "imul": 0.0, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.7, "store": 0.05},
+            imm_frac=0.05,
+            dep_geom_p=0.9,
+            fanout_frac=0.0,
+            l1_ws=0.3, l2_ws=0.5, mem_ws=0.2,
+            branch_bias=0.98,
+            ipc_paper=0.15,
+        ),
+        _m(
+            "streaming",
+            n_blocks=6,
+            block_len=8.0,
+            mix={"ialu": 0.3, "imul": 0.0, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.45, "store": 0.25},
+            imm_frac=0.6,
+            dep_geom_p=0.3,
+            fanout_frac=0.0,
+            l1_ws=0.1, l2_ws=0.2, mem_ws=0.7,
+            branch_bias=0.99,
+            loop_trip_p=0.97,
+            ipc_paper=0.2,
+        ),
+        _m(
+            "dense_alu",
+            n_blocks=10,
+            block_len=10.0,
+            mix={"ialu": 0.95, "imul": 0.05, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.0, "store": 0.0},
+            imm_frac=0.8,
+            dep_geom_p=0.15,
+            fanout_frac=0.0,
+            l1_ws=1.0, l2_ws=0.0, mem_ws=0.0,
+            branch_bias=0.99,
+            ipc_paper=2.5,
+        ),
+        _m(
+            "branchy",
+            n_blocks=64,
+            block_len=3.0,
+            mix={"ialu": 0.8, "imul": 0.0, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.15, "store": 0.05},
+            imm_frac=0.6,
+            dep_geom_p=0.4,
+            fanout_frac=0.0,
+            l1_ws=1.0, l2_ws=0.0, mem_ws=0.0,
+            branch_bias=0.65,
+            ipc_paper=0.8,
+        ),
+        _m(
+            "reduction",
+            n_blocks=4,
+            block_len=8.0,
+            mix={"ialu": 0.9, "imul": 0.1, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.0, "store": 0.0},
+            imm_frac=0.1,
+            dep_geom_p=0.95,
+            fanout_frac=0.0,
+            l1_ws=1.0, l2_ws=0.0, mem_ws=0.0,
+            branch_bias=0.99,
+            ipc_paper=2.0,
+        ),
+        _m(
+            "fanout_kernel",
+            n_blocks=8,
+            block_len=14.0,
+            mix={"ialu": 0.85, "imul": 0.05, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.05, "store": 0.05},
+            imm_frac=0.5,
+            dep_geom_p=0.5,
+            fanout_frac=1.0,
+            l1_ws=1.0, l2_ws=0.0, mem_ws=0.0,
+            branch_bias=0.99,
+            ipc_paper=1.5,
+        ),
+    ]
+}
+
+
+def microbench_names():
+    """Kernel names in registry order."""
+    return list(MICROBENCH_PROFILES)

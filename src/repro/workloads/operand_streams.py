@@ -1,0 +1,214 @@
+"""Per-benchmark operand streams for the gate-level commonality study.
+
+Section S1 drives four synthesized components with inputs extracted from
+SPEC2000 integer benchmarks (bzip, gap, gzip, mcf, parser, vortex). The
+paper's measurement is transition-based: for every dynamic instance of a
+static PC, the *preceding instruction's* inputs set the circuit state, then
+the instance's own inputs are applied, and the gates that change state form
+the sensitized set.
+
+We model each benchmark as a set of static PCs per component; a PC has a
+base input pattern and a base predecessor pattern, and successive dynamic
+instances perturb a benchmark-dependent number of low-order bits of both.
+The ``locality`` parameter captures the paper's observation that e.g.
+vortex "operates on a smaller range of input values" (hence its 96%
+issue-queue commonality) while pointer-heavy codes perturb more bits.
+
+Streams are lists of ``(pc, prev_vector, vector)`` triples consumed by
+:func:`repro.circuits.sensitization.toggle_sets_per_pc`.
+"""
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OperandProfile:
+    """Input-locality description of one SPEC2000int benchmark.
+
+    ``locality`` in [0, 1]: the fraction of operand bits that stay fixed
+    across dynamic instances of the same static instruction.
+    """
+
+    name: str
+    locality: float
+    n_pcs: int = 12
+    instances_per_pc: int = 10
+
+    def __post_init__(self):
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be in [0, 1]")
+
+
+#: The six SPEC2000int benchmarks of Figure 7.
+SPEC2000INT_PROFILES = {
+    p.name: p
+    for p in [
+        OperandProfile("bzip", locality=0.87),
+        OperandProfile("gap", locality=0.89),
+        OperandProfile("gzip", locality=0.88),
+        OperandProfile("mcf", locality=0.83),
+        OperandProfile("parser", locality=0.85),
+        OperandProfile("vortex", locality=0.96),
+    ]
+}
+
+
+def spec2000_names():
+    """Benchmark names in the paper's Figure 7 order."""
+    return list(SPEC2000INT_PROFILES)
+
+
+def _to_bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+class _PatternFamily:
+    """A base bit pattern with occasional low-bit deviations.
+
+    With probability ``locality`` a dynamic instance reuses the base value
+    exactly (the recurring code path recomputes the same transition);
+    otherwise it flips one to three low-order bits (the array-index /
+    loop-counter drift the paper identifies as the residual variation).
+    ``static=True`` fields (opcodes, valid masks) never vary.
+    """
+
+    def __init__(self, rng, width, locality, static=False, vary_span=2):
+        self.rng = rng
+        self.width = width
+        self.locality = locality
+        self.static = static
+        self.vary_span = min(vary_span, width)
+        self.base = rng.randrange(1 << width)
+
+    def instance(self, deviate=False):
+        """One dynamic-instance value (perturbed when ``deviate``)."""
+        if self.static or not deviate:
+            return self.base
+        return self.base ^ (1 << self.rng.randrange(self.vary_span))
+
+
+class StreamBuilder:
+    """Builds interleaved (pc, prev_vector, vector) streams."""
+
+    def __init__(self, profile, seed=0):
+        self.profile = profile
+        self.rng = random.Random(seed)
+
+    def _interleave(self, per_pc):
+        """Round-robin the per-PC instance lists into one stream."""
+        stream = []
+        for round_idx in range(self.profile.instances_per_pc):
+            for pc, triples in per_pc.items():
+                stream.append(triples[round_idx])
+        return stream
+
+    def _families(self, fields):
+        """One pattern family per field, plus predecessor families.
+
+        ``fields`` is a list of (width, static) pairs.
+        """
+        loc = self.profile.locality
+        cur = [
+            _PatternFamily(self.rng, w, loc, static=s, vary_span=span)
+            for w, s, span in fields
+        ]
+        prev = [
+            _PatternFamily(self.rng, w, loc, static=s, vary_span=span)
+            for w, s, span in fields
+        ]
+        return cur, prev
+
+    def _build(self, fields, encode):
+        """Generic per-PC triple generation over field families.
+
+        Deviation is decided once per dynamic instance: with probability
+        ``locality`` the instance repeats the PC's base transition exactly;
+        otherwise a single input field of the current vector (and, half the
+        time, of the predecessor vector) is perturbed in its low bits.
+        """
+        rng = self.rng
+        loc = self.profile.locality
+        per_pc = {}
+        for pc in range(self.profile.n_pcs):
+            cur_fams, prev_fams = self._families(fields)
+            variable = [i for i, (_, static, _) in enumerate(fields) if not static]
+            triples = []
+            for _ in range(self.profile.instances_per_pc):
+                deviant = rng.random() >= loc
+                dev_cur = rng.choice(variable) if deviant else -1
+                dev_prev = (
+                    rng.choice(variable)
+                    if deviant and rng.random() < 0.5
+                    else -1
+                )
+                prev_vec = encode(
+                    [f.instance(i == dev_prev) for i, f in enumerate(prev_fams)]
+                )
+                cur_vec = encode(
+                    [f.instance(i == dev_cur) for i, f in enumerate(cur_fams)]
+                )
+                triples.append((pc, prev_vec, cur_vec))
+            per_pc[pc] = triples
+        return self._interleave(per_pc)
+
+    # -- per-component streams -----------------------------------------
+    def alu_stream(self, width=32):
+        """(a, b, op) vectors; the opcode is fixed per PC."""
+        def encode(values):
+            a, b, op = values
+            return _to_bits(a, width) + _to_bits(b, width) + _to_bits(op, 3)
+
+        # a is the walking operand; b (stride/constant) and op are static
+        return self._build(
+            [(width, False, 2), (width, True, 2), (3, True, 2)], encode
+        )
+
+    def agen_stream(self, width=32):
+        """(base, offset): array-walk offsets vary in low bits only."""
+        def encode(values):
+            base, offset = values
+            return _to_bits(base, width) + _to_bits(offset, width)
+
+        return self._build([(width, True, 2), (width, False, 2)], encode)
+
+    def select_stream(self, n_requests=32):
+        """Request vectors: recurring patterns with sparse flips."""
+        def encode(values):
+            return _to_bits(values[0], n_requests)
+
+        # a deviation can appear on any entry's request line
+        return self._build([(n_requests, False, n_requests)], encode)
+
+    def fwdcheck_stream(self, width=4, n_srcs=2, tag_bits=7):
+        """Producer/consumer tags from recurring schedules."""
+        n_tags = width + width * n_srcs
+
+        def encode(values):
+            tags, valids = values[:n_tags], values[n_tags]
+            vec = []
+            for t in tags[:width]:
+                vec.extend(_to_bits(t, tag_bits))
+            vec.extend(_to_bits(valids, width))
+            for t in tags[width:]:
+                vec.extend(_to_bits(t, tag_bits))
+            return vec
+
+        fields = [(tag_bits, False, 2)] * n_tags + [(width, True, 2)]
+        return self._build(fields, encode)
+
+    def stream_for(self, component):
+        """Dispatch by component name used in Figure 7."""
+        if component == "IssueQSelect":
+            return self.select_stream()
+        if component == "AGen":
+            return self.agen_stream()
+        if component == "ForwardCheck":
+            return self.fwdcheck_stream()
+        if component == "ALU":
+            return self.alu_stream()
+        raise KeyError(f"unknown component {component!r}")
+
+
+#: Component presentation order of Figure 7.
+FIG7_COMPONENTS = ("IssueQSelect", "AGen", "ForwardCheck", "ALU")

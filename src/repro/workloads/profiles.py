@@ -1,0 +1,286 @@
+"""Per-benchmark statistical profiles.
+
+Each :class:`BenchmarkProfile` captures the program statistics that drive
+the scheduling study: instruction mix, dependency structure (the ILP/slack
+lever), memory working sets (the stall lever), branch bias (the front-end
+lever), dependence fan-out (the criticality lever for CDS), and the
+Table 1 fault-rate targets used by the fault injector.
+
+The parameters were calibrated so that fault-free IPC on the Core-1
+configuration approximates Table 1 of the paper; see
+``tests/harness/test_calibration.py``.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Statistical description of one benchmark workload.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (SPEC CPU2006 short name).
+    n_blocks:
+        Static code size in basic blocks.
+    block_len:
+        Mean instructions per basic block (incl. the terminating branch).
+    mix:
+        Relative weights of non-branch op classes:
+        keys ``ialu``, ``imul``, ``idiv``, ``fpu``, ``load``, ``store``.
+    imm_frac:
+        Probability that a source operand is an immediate (no register
+        dependency) — the main instruction-level-parallelism lever.
+    dep_geom_p:
+        Geometric-distribution parameter for register dependency distance:
+        high values chain instructions tightly (low ILP).
+    fanout_frac:
+        Fraction of blocks restructured as one producer feeding the rest of
+        the block — creates the high-dependent-count instructions that the
+        CDS policy targets.
+    l1_ws / l2_ws / mem_ws:
+        Probability that a static memory instruction's region is
+        L1-resident / L2-resident / beyond L2 (streaming or huge).
+    branch_bias:
+        How biased conditional branches are (close to 1.0 = predictable).
+    loop_trip_p:
+        Probability a loop back-edge is taken (mean trip count lever).
+    fr_low / fr_high:
+        Target dynamic fault rates at 1.04V / 0.97V (Table 1).
+    ipc_paper:
+        Fault-free IPC reported by the paper (calibration target).
+    """
+
+    name: str
+    n_blocks: int = 64
+    block_len: float = 6.0
+    mix: dict = field(
+        default_factory=lambda: {
+            "ialu": 0.55,
+            "imul": 0.03,
+            "idiv": 0.005,
+            "fpu": 0.0,
+            "load": 0.28,
+            "store": 0.135,
+        }
+    )
+    imm_frac: float = 0.4
+    dep_geom_p: float = 0.5
+    fanout_frac: float = 0.1
+    l1_ws: float = 0.9
+    l2_ws: float = 0.08
+    mem_ws: float = 0.02
+    branch_bias: float = 0.9
+    loop_trip_p: float = 0.9
+    fr_low: float = 0.02
+    fr_high: float = 0.08
+    ipc_paper: float = 1.0
+
+    def __post_init__(self):
+        total = sum(self.mix.values())
+        if total <= 0:
+            raise ValueError("mix weights must be positive")
+        ws = self.l1_ws + self.l2_ws + self.mem_ws
+        if abs(ws - 1.0) > 1e-6:
+            raise ValueError(f"working-set fractions sum to {ws}, not 1")
+        if not 0 < self.fr_low <= self.fr_high < 0.5:
+            raise ValueError("fault-rate targets out of range")
+
+    @property
+    def normalized_mix(self):
+        """Mix weights normalized to sum to 1."""
+        total = sum(self.mix.values())
+        return {k: v / total for k, v in self.mix.items()}
+
+
+def _p(name, **kw):
+    return BenchmarkProfile(name=name, **kw)
+
+
+#: SPEC CPU2006 profiles, calibrated to the paper's Table 1.
+SPEC2006_PROFILES = {
+    p.name: p
+    for p in [
+        _p(
+            "astar",
+            n_blocks=72,
+            block_len=5.0,
+            mix={"ialu": 0.5, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.34, "store": 0.15},
+            imm_frac=0.37,
+            dep_geom_p=0.5,
+            fanout_frac=0.08,
+            l1_ws=0.76, l2_ws=0.23, mem_ws=0.01,
+            branch_bias=0.86,
+            fr_low=0.0201, fr_high=0.0674, ipc_paper=0.69,
+        ),
+        _p(
+            "bzip2",
+            n_blocks=56,
+            block_len=6.5,
+            mix={"ialu": 0.62, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.25, "store": 0.12},
+            imm_frac=0.35,
+            dep_geom_p=0.46,
+            fanout_frac=0.12,
+            l1_ws=0.9, l2_ws=0.09, mem_ws=0.01,
+            branch_bias=0.9,
+            fr_low=0.0224, fr_high=0.0892, ipc_paper=1.48,
+        ),
+        _p(
+            "gcc",
+            n_blocks=160,
+            block_len=5.5,
+            mix={"ialu": 0.58, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.27, "store": 0.14},
+            imm_frac=0.5,
+            dep_geom_p=0.42,
+            fanout_frac=0.1,
+            l1_ws=0.92, l2_ws=0.08, mem_ws=0.0,
+            branch_bias=0.93,
+            fr_low=0.015, fr_high=0.0843, ipc_paper=1.34,
+        ),
+        _p(
+            "gobmk",
+            n_blocks=120,
+            block_len=6.0,
+            mix={"ialu": 0.63, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.24, "store": 0.12},
+            imm_frac=0.82,
+            dep_geom_p=0.22,
+            fanout_frac=0.08,
+            l1_ws=0.952, l2_ws=0.048, mem_ws=0.0,
+            branch_bias=0.96,
+            fr_low=0.0216, fr_high=0.0864, ipc_paper=1.68,
+        ),
+        _p(
+            "libquantum",
+            n_blocks=24,
+            block_len=12.0,
+            mix={"ialu": 0.52, "imul": 0.02, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.3, "store": 0.16},
+            imm_frac=0.36,
+            dep_geom_p=0.66,
+            fanout_frac=0.55,
+            l1_ws=0.64, l2_ws=0.35, mem_ws=0.01,
+            branch_bias=0.97,
+            loop_trip_p=0.97,
+            fr_low=0.021, fr_high=0.1054, ipc_paper=0.51,
+        ),
+        _p(
+            "mcf",
+            n_blocks=40,
+            block_len=5.0,
+            mix={"ialu": 0.45, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.38, "store": 0.16},
+            imm_frac=0.33,
+            dep_geom_p=0.62,
+            fanout_frac=0.06,
+            l1_ws=0.595, l2_ws=0.38, mem_ws=0.025,
+            branch_bias=0.85,
+            fr_low=0.0173, fr_high=0.0645, ipc_paper=0.34,
+        ),
+        _p(
+            "perlbench",
+            n_blocks=140,
+            block_len=5.5,
+            mix={"ialu": 0.57, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.28, "store": 0.14},
+            imm_frac=0.55,
+            dep_geom_p=0.4,
+            fanout_frac=0.1,
+            l1_ws=0.93, l2_ws=0.065, mem_ws=0.005,
+            branch_bias=0.92,
+            fr_low=0.018, fr_high=0.0721, ipc_paper=1.31,
+        ),
+        _p(
+            "povray",
+            n_blocks=80,
+            block_len=7.5,
+            mix={"ialu": 0.47, "imul": 0.03, "idiv": 0.003, "fpu": 0.14,
+                 "load": 0.24, "store": 0.117},
+            imm_frac=0.55,
+            dep_geom_p=0.32,
+            fanout_frac=0.08,
+            l1_ws=0.955, l2_ws=0.045, mem_ws=0.0,
+            branch_bias=0.98,
+            fr_low=0.0157, fr_high=0.0631, ipc_paper=1.94,
+        ),
+        _p(
+            "sjeng",
+            n_blocks=96,
+            block_len=7.0,
+            mix={"ialu": 0.64, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.23, "store": 0.12},
+            imm_frac=0.85,
+            dep_geom_p=0.15,
+            fanout_frac=0.08,
+            l1_ws=0.945, l2_ws=0.055, mem_ws=0.0,
+            branch_bias=0.98,
+            fr_low=0.0229, fr_high=0.0919, ipc_paper=1.93,
+        ),
+        _p(
+            "sphinx3",
+            n_blocks=72,
+            block_len=6.0,
+            mix={"ialu": 0.45, "imul": 0.02, "idiv": 0.0, "fpu": 0.12,
+                 "load": 0.28, "store": 0.13},
+            imm_frac=0.31,
+            dep_geom_p=0.52,
+            fanout_frac=0.1,
+            l1_ws=0.935, l2_ws=0.065, mem_ws=0.0,
+            branch_bias=0.95,
+            fr_low=0.0173, fr_high=0.0695, ipc_paper=1.30,
+        ),
+        _p(
+            "tonto",
+            n_blocks=88,
+            block_len=6.5,
+            mix={"ialu": 0.4, "imul": 0.02, "idiv": 0.002, "fpu": 0.2,
+                 "load": 0.25, "store": 0.128},
+            imm_frac=0.41,
+            dep_geom_p=0.46,
+            fanout_frac=0.1,
+            l1_ws=0.94, l2_ws=0.06, mem_ws=0.0,
+            branch_bias=0.95,
+            fr_low=0.0139, fr_high=0.0559, ipc_paper=1.41,
+        ),
+        _p(
+            "xalancbmk",
+            n_blocks=150,
+            block_len=5.0,
+            mix={"ialu": 0.47, "imul": 0.01, "idiv": 0.0, "fpu": 0.0,
+                 "load": 0.36, "store": 0.16},
+            imm_frac=0.38,
+            dep_geom_p=0.6,
+            fanout_frac=0.06,
+            l1_ws=0.62, l2_ws=0.38, mem_ws=0.0,
+            branch_bias=0.84,
+            fr_low=0.0199, fr_high=0.0795, ipc_paper=0.51,
+        ),
+    ]
+}
+
+
+def profile_names(suite="spec2006"):
+    """Return benchmark names of a suite in the paper's presentation order."""
+    if suite != "spec2006":
+        raise KeyError(f"unknown suite {suite!r}")
+    return list(SPEC2006_PROFILES)
+
+
+def get_profile(name):
+    """Look up a benchmark profile by name.
+
+    Resolves SPEC CPU2006 profiles first, then the synthetic
+    microbenchmark kernels of :mod:`repro.workloads.microbench`.
+    """
+    if name in SPEC2006_PROFILES:
+        return SPEC2006_PROFILES[name]
+    from repro.workloads.microbench import MICROBENCH_PROFILES
+
+    if name in MICROBENCH_PROFILES:
+        return MICROBENCH_PROFILES[name]
+    known = sorted(SPEC2006_PROFILES) + sorted(MICROBENCH_PROFILES)
+    raise KeyError(f"unknown benchmark {name!r}; known: {known}")

@@ -1,0 +1,69 @@
+"""Dynamic instruction trace generation.
+
+A :class:`TraceGenerator` walks a program's CFG and emits
+:class:`~repro.isa.instruction.DynInst` objects in fetch order. The
+generator is an infinite iterator (programs loop); the pipeline decides
+when to stop (committed-instruction budget).
+"""
+
+import random
+
+from repro.isa.instruction import DynInst
+
+
+class TraceGenerator:
+    """Iterator of dynamic instructions over a program's CFG walk."""
+
+    def __init__(self, program, seed=0):
+        self.program = program
+        self._rng = random.Random(seed)
+        self._seq = 0
+        self._block = program.blocks[program.entry]
+        self._pos = 0
+        self._exec_counts = {}  # per-trace instance counters (determinism)
+        self.emitted = 0
+
+    def _choose_successor(self, block):
+        if not block.successors:
+            return None
+        r = self._rng.random()
+        cumulative = 0.0
+        chosen = block.successors[-1][0]
+        for succ, prob in block.successors:
+            cumulative += prob
+            if r < cumulative:
+                chosen = succ
+                break
+        return chosen
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        block = self._block
+        if block is None:
+            raise StopIteration
+        static = block.insts[self._pos]
+        taken = False
+        if self._pos == len(block.insts) - 1:
+            # block terminator: pick the successor now so the branch
+            # outcome is part of the dynamic instance
+            succ = self._choose_successor(block)
+            if succ is None:
+                self._block = None
+            else:
+                target = self.program.blocks[succ]
+                # taken iff control does not fall through to the next PC
+                taken = target.insts[0].pc != static.pc + 4
+                self._block = target
+            self._pos = 0
+        else:
+            self._pos += 1
+        k = self._exec_counts.get(static.pc, 0)
+        self._exec_counts[static.pc] = k + 1
+        mem_addr = static.address_at(k)
+        static.exec_count += 1  # aggregate profile statistic only
+        inst = DynInst(self._seq, static, mem_addr=mem_addr, taken=taken)
+        self._seq += 1
+        self.emitted += 1
+        return inst

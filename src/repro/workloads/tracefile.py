@@ -1,0 +1,145 @@
+"""External instruction-trace import/export (JSON-lines format).
+
+Users with real program traces (from a binary-instrumentation tool, an
+architectural simulator, or hand-written kernels) can feed them to the
+pipeline instead of the synthetic generator. The format is one JSON object
+per line::
+
+    {"pc": 4096, "op": "LOAD", "dest": 3, "srcs": [1], "addr": 256}
+    {"pc": 4100, "op": "IALU", "dest": 4, "srcs": [3]}
+    {"pc": 4104, "op": "BRANCH", "srcs": [4], "taken": true}
+
+Fields: ``pc`` (int), ``op`` (an :class:`~repro.isa.opcodes.OpClass`
+name), optional ``dest`` (int or null), ``srcs`` (list of ints), ``addr``
+(loads/stores), ``taken`` (branches). Static instructions are deduplicated
+by PC — all dynamic records of a PC must agree on op/dest/srcs.
+
+``save_trace`` writes any iterable of DynInst back to the same format, so
+synthetic traces can be exported, edited, and replayed.
+"""
+
+import json
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed trace records."""
+
+
+def _static_from_record(record, line_no):
+    try:
+        op = OpClass[record["op"]]
+    except KeyError:
+        raise TraceFormatError(
+            f"line {line_no}: unknown op {record.get('op')!r}"
+        ) from None
+    dest = record.get("dest")
+    srcs = tuple(record.get("srcs", ()))
+    taken_prob = 0.5 if op is OpClass.BRANCH else 0.0
+    return StaticInst(
+        record["pc"], op, dest=dest, srcs=srcs, taken_prob=taken_prob
+    )
+
+
+class FileTrace:
+    """An iterator of DynInst parsed from a JSON-lines trace file.
+
+    The whole file is parsed eagerly (traces at our simulation scales are
+    small); ``statics`` exposes the deduplicated static instructions so
+    fault injectors can assign per-PC timing properties.
+    """
+
+    def __init__(self, path_or_lines):
+        if isinstance(path_or_lines, (str, bytes)) or hasattr(
+            path_or_lines, "__fspath__"
+        ):
+            with open(path_or_lines) as handle:
+                lines = handle.readlines()
+        else:
+            lines = list(path_or_lines)
+        self._statics = {}
+        self._records = []
+        for line_no, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(f"line {line_no}: {exc}") from None
+            if "pc" not in record or "op" not in record:
+                raise TraceFormatError(
+                    f"line {line_no}: records need 'pc' and 'op'"
+                )
+            pc = record["pc"]
+            static = self._statics.get(pc)
+            if static is None:
+                static = _static_from_record(record, line_no)
+                self._statics[pc] = static
+            else:
+                if (static.op.name != record["op"]
+                        or static.dest != record.get("dest")
+                        or static.srcs != tuple(record.get("srcs", ()))):
+                    raise TraceFormatError(
+                        f"line {line_no}: PC {pc:#x} disagrees with an "
+                        "earlier record of the same static instruction"
+                    )
+            self._records.append(record)
+        self._pos = 0
+        self._seq = 0
+
+    @property
+    def statics(self):
+        """Deduplicated static instructions, in PC order."""
+        return [self._statics[pc] for pc in sorted(self._statics)]
+
+    def __len__(self):
+        return len(self._records)
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._pos >= len(self._records):
+            raise StopIteration
+        record = self._records[self._pos]
+        self._pos += 1
+        static = self._statics[record["pc"]]
+        inst = DynInst(
+            self._seq,
+            static,
+            mem_addr=record.get("addr", 0),
+            taken=bool(record.get("taken", False)),
+        )
+        self._seq += 1
+        static.exec_count += 1
+        return inst
+
+    def rewind(self):
+        """Restart iteration from the first record (fresh seq numbers)."""
+        self._pos = 0
+        self._seq = 0
+
+
+def load_trace(path):
+    """Parse a trace file; returns a :class:`FileTrace`."""
+    return FileTrace(path)
+
+
+def save_trace(insts, path):
+    """Write dynamic instructions to a JSON-lines trace file."""
+    with open(path, "w") as handle:
+        for inst in insts:
+            record = {"pc": inst.pc, "op": inst.op.name}
+            if inst.static.dest is not None:
+                record["dest"] = inst.static.dest
+            if inst.static.srcs:
+                record["srcs"] = list(inst.static.srcs)
+            if inst.is_mem:
+                record["addr"] = inst.mem_addr
+            if inst.is_branch:
+                record["taken"] = bool(inst.taken)
+            handle.write(json.dumps(record) + "\n")
+    return path

@@ -1,0 +1,94 @@
+"""Activity-based dynamic power."""
+
+import random
+
+import pytest
+
+from repro.circuits.activity import compare_activity, measure_activity
+from repro.circuits.builders import build_agen
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _inv_chain(n=4):
+    nl = Netlist("chain")
+    net = nl.add_input()
+    for _ in range(n):
+        net = nl.add_gate(GateType.INV, [net])
+    nl.mark_output(net)
+    return nl
+
+
+def test_constant_input_stops_toggling():
+    nl = _inv_chain()
+    report = measure_activity(nl, [[1]] + [[1]] * 9)
+    # only the settling of the first vector toggles anything
+    assert report.total_toggles <= nl.n_gates
+    assert report.mean_activity < 0.2
+
+
+def test_alternating_input_toggles_every_gate_every_vector():
+    nl = _inv_chain()
+    vectors = [[i % 2] for i in range(1, 11)]
+    report = measure_activity(nl, vectors)
+    # after the first vector every gate flips on every subsequent vector
+    assert report.mean_activity > 0.8
+    assert report.energy > 0
+
+
+def test_energy_weights_cell_type():
+    # an XOR toggle costs more than an inverter toggle
+    inv = Netlist("inv")
+    a = inv.add_input()
+    inv.mark_output(inv.add_gate(GateType.INV, [a]))
+    xor = Netlist("xor")
+    a2, b2 = xor.add_input(), xor.add_input()
+    xor.mark_output(xor.add_gate(GateType.XOR2, [a2, b2]))
+    vec_inv = [[i % 2] for i in range(10)]
+    vec_xor = [[i % 2, 0] for i in range(10)]
+    assert (
+        measure_activity(xor, vec_xor).energy
+        > measure_activity(inv, vec_inv).energy
+    )
+
+
+def test_hottest_ranks_by_toggle_count():
+    nl = _inv_chain(3)
+    report = measure_activity(nl, [[i % 2] for i in range(8)])
+    hottest = report.hottest(2)
+    assert len(hottest) == 2
+    assert hottest[0][1] >= hottest[1][1]
+
+
+def test_local_operands_switch_less_than_random():
+    netlist, _ = build_agen(width=16)
+    rng = random.Random(0)
+    base = rng.randrange(1 << 16)
+    local = [
+        _bits(base, 16) + _bits(8 * i, 16) for i in range(30)
+    ]
+    netlist2, _ = build_agen(width=16)
+    rand = [
+        _bits(rng.randrange(1 << 16), 16) + _bits(rng.randrange(1 << 16), 16)
+        for _ in range(30)
+    ]
+    _, _, ratio = compare_activity(netlist, local, rand)
+    del netlist2
+    assert ratio > 1.3  # random operands burn measurably more energy
+
+
+def test_compare_requires_switching():
+    nl = _inv_chain()
+    with pytest.raises(ValueError):
+        compare_activity(nl, [], [[1]])
+
+
+def test_empty_stream_report():
+    report = measure_activity(_inv_chain(), [])
+    assert report.n_vectors == 0
+    assert report.energy_per_vector == 0.0
+    assert report.mean_activity == 0.0

@@ -1,0 +1,146 @@
+"""Functional correctness of the netlist builders (property-based)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits.builders import (
+    build_agen,
+    build_alu,
+    build_forward_check,
+    build_incrementer,
+    build_issue_select,
+    build_match_counter,
+    build_threshold_compare,
+    carry_lookahead_adder,
+    ripple_carry_adder,
+)
+from repro.circuits.netlist import Netlist
+
+U32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
+MASK = (1 << 32) - 1
+
+
+def _bits(value, width):
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _bus(outputs):
+    return sum(bit << i for i, bit in enumerate(outputs))
+
+
+def _adder_netlist(builder):
+    nl = Netlist()
+    a = nl.add_inputs(32)
+    b = nl.add_inputs(32)
+    sums, cout = builder(nl, a, b)
+    for net in sums:
+        nl.mark_output(net)
+    nl.mark_output(cout)
+    return nl
+
+
+@given(U32, U32)
+@settings(max_examples=60, deadline=None)
+def test_ripple_carry_adder_matches_integer_addition(a, b):
+    nl = _adder_netlist(ripple_carry_adder)
+    out = nl.simulate(_bits(a, 32) + _bits(b, 32))
+    assert _bus(out[:32]) == (a + b) & MASK
+    assert out[32] == ((a + b) >> 32) & 1
+
+
+@given(U32, U32)
+@settings(max_examples=60, deadline=None)
+def test_cla_matches_integer_addition(a, b):
+    nl = _adder_netlist(carry_lookahead_adder)
+    out = nl.simulate(_bits(a, 32) + _bits(b, 32))
+    assert _bus(out[:32]) == (a + b) & MASK
+
+
+def test_cla_is_shallower_than_ripple():
+    assert (
+        _adder_netlist(carry_lookahead_adder).depth
+        < _adder_netlist(ripple_carry_adder).depth
+    )
+
+
+@given(U32, U32, st.integers(min_value=0, max_value=7))
+@settings(max_examples=60, deadline=None)
+def test_alu_matches_reference(a, b, op):
+    nl, _ = build_alu()
+    out = nl.simulate(_bits(a, 32) + _bits(b, 32) + _bits(op, 3))
+    sh = b & 31
+    reference = {
+        0: (a + b) & MASK,
+        1: (a - b) & MASK,
+        2: a & b,
+        3: a | b,
+        4: a ^ b,
+        5: (a >> sh) & MASK,
+        6: (a << sh) & MASK,
+        7: (a + b) & MASK,
+    }[op]
+    assert _bus(out) == reference
+
+
+@given(U32, U32)
+@settings(max_examples=60, deadline=None)
+def test_agen_computes_effective_address(base, offset):
+    nl, _ = build_agen()
+    out = nl.simulate(_bits(base, 32) + _bits(offset, 32))
+    assert _bus(out[:32]) == (base + offset) & MASK
+
+
+@given(st.lists(st.booleans(), min_size=16, max_size=16))
+@settings(max_examples=60, deadline=None)
+def test_select_grants_highest_priority_requests(requests):
+    nl, _ = build_issue_select(16, 4)
+    out = nl.simulate([int(r) for r in requests])
+    grants = [out[i * 16:(i + 1) * 16] for i in range(4)]
+    expected = [i for i, r in enumerate(requests) if r][:4]
+    for rank, grant in enumerate(grants):
+        want = [0] * 16
+        if rank < len(expected):
+            want[expected[rank]] = 1
+        assert grant == want
+
+
+@given(st.integers(min_value=0, max_value=127),
+       st.integers(min_value=0, max_value=127))
+@settings(max_examples=40, deadline=None)
+def test_forward_check_matches_tags(prod_tag, src_tag):
+    nl, ports = build_forward_check(width=1, n_srcs=1, tag_bits=7)
+    vec = _bits(prod_tag, 7) + [1] + _bits(src_tag, 7)
+    out = nl.simulate(vec)
+    match, forward = out
+    assert match == int(prod_tag == src_tag)
+    assert forward == match
+
+
+def test_forward_check_respects_valid_bit():
+    nl, _ = build_forward_check(width=1, n_srcs=1, tag_bits=7)
+    vec = _bits(42, 7) + [0] + _bits(42, 7)
+    assert nl.simulate(vec) == [0, 0]
+
+
+@given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+@settings(max_examples=60, deadline=None)
+def test_match_counter_is_popcount(lines):
+    nl, _ = build_match_counter(32)
+    out = nl.simulate(_bits(lines, 32))
+    assert _bus(out) == bin(lines).count("1")
+
+
+@given(st.integers(min_value=0, max_value=63),
+       st.integers(min_value=1, max_value=63))
+@settings(max_examples=60, deadline=None)
+def test_threshold_compare(count, threshold):
+    nl, _ = build_threshold_compare(6, threshold)
+    out = nl.simulate(_bits(count, 6))
+    assert out[0] == int(count >= threshold)
+
+
+@given(st.integers(min_value=0, max_value=63))
+@settings(max_examples=30, deadline=None)
+def test_incrementer_wraps_modulo(value):
+    nl, _ = build_incrementer(6)
+    out = nl.simulate(_bits(value, 6))
+    assert _bus(out) == (value + 1) % 64

@@ -1,0 +1,42 @@
+"""Gate truth tables."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.gates import GATE_ARITY, GateType, eval_gate
+
+
+REFERENCE = {
+    GateType.INV: lambda a: a ^ 1,
+    GateType.BUF: lambda a: a,
+    GateType.AND2: lambda a, b: a & b,
+    GateType.OR2: lambda a, b: a | b,
+    GateType.NAND2: lambda a, b: (a & b) ^ 1,
+    GateType.NOR2: lambda a, b: (a | b) ^ 1,
+    GateType.XOR2: lambda a, b: a ^ b,
+    GateType.XNOR2: lambda a, b: a ^ b ^ 1,
+    GateType.MUX2: lambda a, b, s: b if s else a,
+    GateType.AND3: lambda a, b, c: a & b & c,
+    GateType.OR3: lambda a, b, c: a | b | c,
+}
+
+
+def test_every_gate_has_arity_and_reference():
+    for gtype in GateType:
+        assert gtype in GATE_ARITY
+        assert gtype in REFERENCE
+
+
+@pytest.mark.parametrize("gtype", list(GateType))
+def test_full_truth_table(gtype):
+    arity = GATE_ARITY[gtype]
+    for inputs in itertools.product((0, 1), repeat=arity):
+        assert eval_gate(gtype, list(inputs)) == REFERENCE[gtype](*inputs)
+
+
+def test_outputs_are_binary():
+    for gtype in GateType:
+        arity = GATE_ARITY[gtype]
+        for inputs in itertools.product((0, 1), repeat=arity):
+            assert eval_gate(gtype, list(inputs)) in (0, 1)

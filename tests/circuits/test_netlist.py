@@ -1,0 +1,104 @@
+"""Netlist construction, simulation, toggles, depth."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+
+def _xor_netlist():
+    nl = Netlist("xor")
+    a = nl.add_input()
+    b = nl.add_input()
+    out = nl.add_gate(GateType.XOR2, [a, b])
+    nl.mark_output(out)
+    return nl
+
+
+def test_simulate_combinational_function():
+    nl = _xor_netlist()
+    assert nl.simulate([0, 0]) == [0]
+    assert nl.simulate([1, 0]) == [1]
+    assert nl.simulate([1, 1]) == [0]
+
+
+def test_input_count_enforced():
+    nl = _xor_netlist()
+    with pytest.raises(ValueError):
+        nl.simulate([1])
+
+
+def test_gate_arity_enforced():
+    nl = Netlist()
+    a = nl.add_input()
+    with pytest.raises(ValueError):
+        nl.add_gate(GateType.AND2, [a])
+
+
+def test_unknown_net_rejected():
+    nl = Netlist()
+    with pytest.raises(ValueError):
+        nl.add_gate(GateType.INV, [99])
+    with pytest.raises(ValueError):
+        nl.mark_output(99)
+
+
+def test_const_nets():
+    nl = Netlist()
+    a = nl.add_input()
+    nl.mark_output(nl.add_gate(GateType.AND2, [a, nl.const1]))
+    nl.mark_output(nl.add_gate(GateType.OR2, [a, nl.const0]))
+    assert nl.simulate([1]) == [1, 1]
+    assert nl.simulate([0]) == [0, 0]
+
+
+def test_toggle_tracking_between_vectors():
+    nl = _xor_netlist()
+    nl.simulate([0, 0])
+    _, toggled = nl.simulate([1, 0], track_toggles=True)
+    assert toggled == {0}  # the single XOR gate changed output
+    _, toggled = nl.simulate([0, 1], track_toggles=True)
+    assert toggled == set()  # output stayed 1
+
+
+def test_depth_counts_longest_path():
+    nl = Netlist()
+    a = nl.add_input()
+    x = nl.add_gate(GateType.INV, [a])
+    y = nl.add_gate(GateType.INV, [x])
+    z = nl.add_gate(GateType.AND2, [a, y])  # depth 3 through inverters
+    nl.mark_output(z)
+    assert nl.depth == 3
+    assert nl.n_gates == 3
+
+
+def test_empty_netlist_depth_zero():
+    assert Netlist().depth == 0
+
+
+def test_read_bus():
+    nl = Netlist()
+    bits = nl.add_inputs(4)
+    for b in bits:
+        nl.mark_output(nl.add_gate(GateType.BUF, [b]))
+    nl.simulate([1, 0, 1, 0])
+    assert nl.read_bus(bits) == 0b0101
+
+
+def test_gate_histogram():
+    nl = _xor_netlist()
+    nl.add_gate(GateType.XOR2, [nl.inputs[0], nl.inputs[1]])
+    nl.add_gate(GateType.INV, [nl.inputs[0]])
+    hist = nl.gate_histogram()
+    assert hist[GateType.XOR2] == 2
+    assert hist[GateType.INV] == 1
+
+
+def test_state_persists_between_calls():
+    nl = Netlist()
+    a = nl.add_input()
+    out = nl.add_gate(GateType.BUF, [a])
+    nl.mark_output(out)
+    nl.simulate([1])
+    _, toggled = nl.simulate([1], track_toggles=True)
+    assert toggled == set()  # no change: state was retained

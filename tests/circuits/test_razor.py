@@ -1,0 +1,130 @@
+"""Razor flip-flop detection model: coverage, hold padding, overhead."""
+
+import pytest
+
+from repro.circuits.builders import build_agen, build_forward_check
+from repro.circuits.gates import GateType
+from repro.circuits.library import default_library
+from repro.circuits.netlist import Netlist
+from repro.circuits.razor import (
+    RazorOverheadReport,
+    detection_coverage,
+    min_delay_padding,
+    min_path_delays,
+    razor_overhead,
+)
+from repro.circuits.sta import critical_path
+from repro.faults.variation import ProcessVariationModel
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def agen():
+    netlist, _ = build_agen(width=8)
+    return netlist
+
+
+class TestDetectionCoverage:
+    def test_slack_rich_clock_never_violates(self, agen, lib):
+        nominal, _ = critical_path(agen, lib)
+        report = detection_coverage(
+            agen, lib, ProcessVariationModel(seed=1), t_clk=2 * nominal,
+            n_samples=16,
+        )
+        assert report.coverage == 1.0
+        assert report.escape_rate == 0.0
+
+    def test_tight_clock_with_wide_window_catches_all(self, agen, lib):
+        nominal, _ = critical_path(agen, lib)
+        report = detection_coverage(
+            agen, lib, ProcessVariationModel(seed=1),
+            t_clk=0.95 * nominal, window_frac=1.0, n_samples=32,
+        )
+        assert report.coverage == 1.0
+
+    def test_narrow_window_lets_violations_escape(self, agen, lib):
+        nominal, _ = critical_path(agen, lib)
+        # clock far below the slowest path: most violations exceed a 1%
+        # shadow window and escape detection
+        report = detection_coverage(
+            agen, lib, ProcessVariationModel(deviation=0.3, seed=2),
+            t_clk=0.7 * nominal, window_frac=0.01, n_samples=32,
+        )
+        assert report.escape_rate > 0.5
+
+    def test_rejects_bad_parameters(self, agen, lib):
+        with pytest.raises(ValueError):
+            detection_coverage(agen, lib, ProcessVariationModel(), t_clk=0)
+
+
+class TestMinDelay:
+    def test_min_path_of_chain(self, lib):
+        nl = Netlist()
+        a = nl.add_input()
+        x = nl.add_gate(GateType.INV, [a])
+        nl.mark_output(x)
+        mins = min_path_delays(nl, lib)
+        assert mins[x] == pytest.approx(lib.gate_delay(GateType.INV))
+
+    def test_min_takes_fastest_input(self, lib):
+        nl = Netlist()
+        a = nl.add_input()
+        slow = nl.add_gate(GateType.INV, [a])
+        slow = nl.add_gate(GateType.INV, [slow])
+        out = nl.add_gate(GateType.AND2, [a, slow])  # fast side: direct a
+        nl.mark_output(out)
+        mins = min_path_delays(nl, lib)
+        assert mins[out] == pytest.approx(lib.gate_delay(GateType.AND2))
+
+    def test_padding_counts_buffers(self, lib):
+        nl = Netlist()
+        a = nl.add_input()
+        out = nl.add_gate(GateType.INV, [a])  # ~11ps min path
+        nl.mark_output(out)
+        n_buffers, padded = min_delay_padding(nl, lib, window=50.0)
+        assert padded == 1
+        # needs ceil((50-11)/16) = 3 buffers
+        assert n_buffers == 3
+
+    def test_no_padding_when_paths_slow(self, agen, lib):
+        n_buffers, padded = min_delay_padding(agen, lib, window=1.0)
+        assert n_buffers == 0 and padded == 0
+
+    def test_rejects_negative_window(self, agen, lib):
+        with pytest.raises(ValueError):
+            min_delay_padding(agen, lib, window=-1)
+
+
+class TestOverhead:
+    def test_overhead_positive_and_bounded(self, agen, lib):
+        report = razor_overhead(agen, lib)
+        assert isinstance(report, RazorOverheadReport)
+        assert report.n_flops == len(agen.outputs)
+        assert 0.0 < report.area_overhead < 1.0
+        assert 0.0 < report.energy_overhead < 1.0
+
+    def test_shallow_logic_needs_hold_buffers(self, lib):
+        # the forward-check's fast comparator outputs violate the hold
+        # window at its own critical-path-derived Tclk
+        netlist, _ = build_forward_check(width=2, n_srcs=1, tag_bits=4)
+        report = razor_overhead(netlist, lib, window_frac=0.5)
+        assert report.n_buffers > 0
+
+    def test_wider_window_costs_more(self, agen, lib):
+        narrow = razor_overhead(agen, lib, window_frac=0.2)
+        wide = razor_overhead(agen, lib, window_frac=0.9)
+        assert wide.n_buffers >= narrow.n_buffers
+
+    def test_razor_costs_more_than_vte_metadata(self, lib):
+        """The paper's economics: per-stage Razor protection is far more
+        expensive than the VTE's 4-bit issue-queue field (Section S3)."""
+        from repro.power.overhead import SchedulerOverheadModel
+
+        netlist, _ = build_agen()
+        razor = razor_overhead(netlist, lib)
+        vte = SchedulerOverheadModel().report("ABS")
+        assert razor.area_overhead > 5 * vte.area

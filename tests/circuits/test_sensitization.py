@@ -1,0 +1,76 @@
+"""Sensitized-path commonality estimation."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.circuits.sensitization import (
+    commonality,
+    toggle_sets_per_pc,
+    weighted_commonality,
+)
+
+
+def test_commonality_identical_sets():
+    assert commonality([{1, 2, 3}, {1, 2, 3}]) == 1.0
+
+
+def test_commonality_disjoint_sets():
+    assert commonality([{1, 2}, {3, 4}]) == 0.0
+
+
+def test_commonality_partial_overlap():
+    assert commonality([{1, 2, 3}, {2, 3, 4}]) == pytest.approx(0.5)
+
+
+def test_commonality_empty_union_is_one():
+    assert commonality([set(), set()]) == 1.0
+
+
+def test_commonality_requires_instances():
+    with pytest.raises(ValueError):
+        commonality([])
+
+
+def test_weighted_commonality_uses_instance_counts():
+    sets = {
+        "hot": [{1, 2}] * 8,             # commonality 1.0, weight 8
+        "cold": [{1, 2}, {3, 4}],        # commonality 0.0, weight 2
+    }
+    assert weighted_commonality(sets) == pytest.approx(0.8)
+
+
+def test_weighted_commonality_skips_single_instance_pcs():
+    sets = {"single": [{1}], "pair": [{1, 2}, {1, 2}]}
+    assert weighted_commonality(sets) == 1.0
+
+
+def test_weighted_commonality_requires_usable_pcs():
+    with pytest.raises(ValueError):
+        weighted_commonality({"single": [{1}]})
+
+
+def test_toggle_sets_apply_predecessor_state_first():
+    # a buffer chain: toggles happen exactly when prev != cur
+    nl = Netlist()
+    a = nl.add_input()
+    out = nl.add_gate(GateType.BUF, [a])
+    nl.mark_output(out)
+    stream = [
+        ("pc", [0], [1]),   # prev 0, cur 1: the buffer toggles
+        ("pc", [1], [1]),   # no transition
+        ("pc", [0], [1]),   # toggles again
+    ]
+    sets = toggle_sets_per_pc(nl, stream)
+    assert sets["pc"][0] == {0}
+    assert sets["pc"][1] == set()
+    assert sets["pc"][2] == {0}
+
+
+def test_identical_transitions_give_full_commonality():
+    nl = Netlist()
+    a, b = nl.add_input(), nl.add_input()
+    nl.mark_output(nl.add_gate(GateType.XOR2, [a, b]))
+    stream = [("pc", [0, 0], [1, 0])] * 5
+    sets = toggle_sets_per_pc(nl, stream)
+    assert weighted_commonality(sets) == 1.0

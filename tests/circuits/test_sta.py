@@ -1,0 +1,94 @@
+"""Static timing analysis and Monte-Carlo delay."""
+
+import pytest
+
+from repro.circuits.builders import build_agen, carry_lookahead_adder, ripple_carry_adder
+from repro.circuits.gates import GateType
+from repro.circuits.library import default_library
+from repro.circuits.netlist import Netlist
+from repro.circuits.sta import critical_path, monte_carlo_delay
+from repro.faults.variation import ProcessVariationModel
+
+
+def _chain(n):
+    nl = Netlist()
+    net = nl.add_input()
+    for _ in range(n):
+        net = nl.add_gate(GateType.INV, [net])
+    nl.mark_output(net)
+    return nl
+
+
+def test_chain_delay_is_sum_of_gate_delays():
+    lib = default_library()
+    delay, path = critical_path(_chain(5), lib)
+    assert delay == pytest.approx(5 * lib.gate_delay(GateType.INV))
+    assert len(path) == 5
+
+
+def test_path_indices_are_in_order():
+    _, path = critical_path(_chain(4), default_library())
+    assert path == sorted(path)
+
+
+def test_requires_outputs():
+    nl = Netlist()
+    nl.add_input()
+    with pytest.raises(ValueError):
+        critical_path(nl, default_library())
+
+
+def test_cla_faster_than_ripple():
+    lib = default_library()
+
+    def adder_delay(builder):
+        nl = Netlist()
+        a = nl.add_inputs(32)
+        b = nl.add_inputs(32)
+        sums, cout = builder(nl, a, b)
+        for net in sums:
+            nl.mark_output(net)
+        nl.mark_output(cout)
+        return critical_path(nl, lib)[0]
+
+    assert adder_delay(carry_lookahead_adder) < adder_delay(ripple_carry_adder)
+
+
+def test_factors_scale_delay():
+    lib = default_library()
+    nl = _chain(3)
+    nominal, _ = critical_path(nl, lib)
+    scaled, _ = critical_path(nl, lib, factors=[2.0] * nl.n_gates)
+    assert scaled == pytest.approx(2 * nominal)
+
+
+def test_monte_carlo_distribution():
+    nl, _ = build_agen(width=8)
+    variation = ProcessVariationModel(deviation=0.2, seed=4)
+    delays, mu, sigma = monte_carlo_delay(
+        nl, default_library(), variation, n_samples=48
+    )
+    nominal, _ = critical_path(nl, default_library())
+    assert len(delays) == 48
+    assert sigma > 0
+    assert mu == pytest.approx(nominal, rel=0.15)
+
+
+def test_monte_carlo_rejects_zero_samples():
+    nl = _chain(2)
+    with pytest.raises(ValueError):
+        monte_carlo_delay(
+            nl, default_library(), ProcessVariationModel(), n_samples=0
+        )
+
+
+def test_monte_carlo_sigma_grows_with_variation():
+    nl = _chain(20)
+    lib = default_library()
+    _, _, narrow = monte_carlo_delay(
+        nl, lib, ProcessVariationModel(deviation=0.05, seed=1), 48
+    )
+    _, _, wide = monte_carlo_delay(
+        nl, lib, ProcessVariationModel(deviation=0.30, seed=1), 48
+    )
+    assert wide > narrow

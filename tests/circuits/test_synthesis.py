@@ -1,0 +1,53 @@
+"""Synthesis reports and library accounting."""
+
+import pytest
+
+from repro.circuits.builders import build_agen, build_alu
+from repro.circuits.library import default_library
+from repro.circuits.synthesis import synthesize
+
+
+def test_report_fields_consistent():
+    nl, _ = build_agen(width=8)
+    report = synthesize(nl, mapped=False)
+    assert report.n_gates == nl.n_gates
+    assert report.depth == nl.depth
+    assert report.area > 0
+    assert report.leakage > 0
+    assert sum(report.histogram.values()) == report.n_gates
+
+
+def test_mapped_report_counts_nand_level_gates():
+    nl, _ = build_agen(width=8)
+    native = synthesize(nl, mapped=False)
+    mapped = synthesize(nl, mapped=True)
+    assert mapped.n_gates > native.n_gates
+    assert mapped.name == native.name
+
+
+def test_alu_is_the_largest_component():
+    alu, _ = build_alu()
+    agen, _ = build_agen()
+    assert synthesize(alu).n_gates > synthesize(agen).n_gates
+
+
+def test_library_storage_accounting():
+    lib = default_library()
+    assert lib.storage_area(10) == pytest.approx(10 * lib.dff.area)
+    assert lib.storage_area(10, ram=True) < lib.storage_area(10)
+    assert lib.storage_leakage(4, ram=True) == pytest.approx(
+        4 * lib.ram_bit.leakage
+    )
+
+
+def test_component_magnitudes_comparable_to_paper():
+    # Table 3: the paper's NAND-level counts are 189-4728 gates at depths
+    # 15-46; our generated components must land within ~4x of that band
+    from repro.circuits.builders import build_forward_check, build_issue_select
+
+    for builder in (build_alu, build_agen, build_issue_select,
+                    build_forward_check):
+        nl, _ = builder()
+        report = synthesize(nl, mapped=True)
+        assert 100 <= report.n_gates <= 20000
+        assert 5 <= report.depth <= 150

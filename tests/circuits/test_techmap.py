@@ -1,0 +1,44 @@
+"""Technology mapping: functional equivalence and cell subset."""
+
+import random
+
+import pytest
+
+from repro.circuits.builders import (
+    build_agen,
+    build_forward_check,
+    build_incrementer,
+    build_issue_select,
+    tech_map,
+)
+from repro.circuits.gates import GateType
+
+_ALLOWED = {GateType.NAND2, GateType.NOR2, GateType.INV}
+
+
+@pytest.mark.parametrize("builder,kwargs", [
+    (build_agen, {"width": 8}),
+    (build_issue_select, {"n_requests": 8, "n_grants": 2}),
+    (build_forward_check, {"width": 2, "n_srcs": 1, "tag_bits": 4}),
+    (build_incrementer, {"bits": 6}),
+])
+def test_mapped_netlist_is_equivalent(builder, kwargs):
+    original, _ = builder(**kwargs)
+    mapped = tech_map(original)
+    assert {g.gtype for g in mapped.gates} <= _ALLOWED
+    rng = random.Random(11)
+    for _ in range(50):
+        vector = [rng.randint(0, 1) for _ in original.inputs]
+        assert original.simulate(vector) == mapped.simulate(vector)
+
+
+def test_mapping_preserves_port_counts():
+    original, _ = build_agen(width=8)
+    mapped = tech_map(original)
+    assert len(mapped.inputs) == len(original.inputs)
+    assert len(mapped.outputs) == len(original.outputs)
+
+
+def test_mapping_increases_gate_count():
+    original, _ = build_agen(width=8)
+    assert tech_map(original).n_gates > original.n_gates

@@ -1,0 +1,75 @@
+"""VCD waveform output."""
+
+import pytest
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+from repro.circuits.vcd import VcdWriter, _identifier, dump_vcd
+
+
+def _xor_netlist():
+    nl = Netlist("xor2")
+    a, b = nl.add_input(), nl.add_input()
+    nl.mark_output(nl.add_gate(GateType.XOR2, [a, b]))
+    return nl
+
+
+def test_identifier_codes_unique():
+    ids = {_identifier(i) for i in range(500)}
+    assert len(ids) == 500
+    assert _identifier(0) == "!"
+
+
+def test_header_declares_all_ports():
+    writer = VcdWriter(_xor_netlist())
+    text = writer.render()
+    assert "$timescale 1ns $end" in text
+    assert "$var wire 1 ! in0 $end" in text
+    assert "out0" in text
+    assert "$enddefinitions $end" in text
+
+
+def test_changes_recorded_per_timestep():
+    nl = _xor_netlist()
+    writer = VcdWriter(nl)
+    writer.sample([0, 0])
+    writer.sample([1, 0])   # output toggles
+    writer.sample([1, 0])   # nothing changes
+    text = writer.render()
+    assert "#0" in text and "#1" in text
+    # the quiet step emits no #2 timestamp; the document ends at #3
+    assert "#2" not in text
+    assert text.rstrip().endswith("#3")
+
+
+def test_only_changes_emitted():
+    nl = _xor_netlist()
+    writer = VcdWriter(nl)
+    writer.sample([0, 0])
+    writer.sample([0, 0])
+    changes_after = len(writer._changes)
+    # first sample records initial values; the identical second adds none
+    assert changes_after == len(writer._nets)
+
+
+def test_internal_nets_optional():
+    nl = Netlist("chain")
+    a = nl.add_input()
+    x = nl.add_gate(GateType.INV, [a])
+    nl.mark_output(nl.add_gate(GateType.INV, [x]))
+    plain = VcdWriter(nl)
+    full = VcdWriter(nl, include_internal=True)
+    assert len(full._nets) > len(plain._nets)
+
+
+def test_dump_vcd_file(tmp_path):
+    nl = _xor_netlist()
+    path = dump_vcd(nl, [[0, 0], [1, 0], [1, 1]], tmp_path / "wave.vcd")
+    content = open(path).read()
+    assert content.startswith("$date")
+    assert "#2" in content
+
+
+def test_dump_vcd_type_check(tmp_path):
+    with pytest.raises(TypeError):
+        dump_vcd("not a netlist", [], tmp_path / "x.vcd")

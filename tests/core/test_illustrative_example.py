@@ -1,0 +1,124 @@
+"""Figure 2: scheduling around a faulty instruction.
+
+The paper's example: I2 is predicted faulty in a single-cycle execution
+unit. Under violation-aware scheduling the unit's FUSR is cleared for one
+cycle (no new instruction behind I2), the tag broadcast is delayed by one
+cycle, and the dependent I3 is held back exactly one cycle — independent
+instructions and the rest of the pipeline are unaffected.
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.core.tep import TimingErrorPredictor
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.isa.program import BasicBlock, Program
+
+from tests.conftest import make_core
+from tests.uarch.test_pipeline_faults import ForcedInjector
+from repro.uarch.config import CoreConfig
+
+I1, I2, I3, I4 = 0x1000, 0x1004, 0x1008, 0x100C
+
+
+def _example_program():
+    insts = [
+        StaticInst(I1, OpClass.IALU, dest=1, srcs=()),
+        StaticInst(I2, OpClass.IALU, dest=2, srcs=()),
+        StaticInst(I3, OpClass.IALU, dest=3, srcs=(2,)),   # depends on I2
+        StaticInst(I4, OpClass.IALU, dest=4, srcs=()),     # independent
+        StaticInst(0x1010, OpClass.BRANCH, srcs=(), taken_prob=0.0),
+    ]
+    return Program([BasicBlock(0, insts, [])], name="fig2")
+
+
+class _Recorder:
+    """Wraps a trace iterator, keeping every emitted instruction."""
+
+    def __init__(self, trace):
+        self.trace = iter(trace)
+        self.insts = {}
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        inst = next(self.trace)
+        self.insts[inst.pc] = inst
+        return inst
+
+
+def _run(scheme, faulty):
+    config = CoreConfig.core1(n_simple_alu=1)
+    tep = None
+    injector = None
+    if faulty:
+        injector = ForcedInjector(PipeStage.EXECUTE, [I2])
+        tep = TimingErrorPredictor()
+        key = tep.key_for(I2, 0)
+        for _ in range(3):
+            tep.train(key, PipeStage.EXECUTE, True)
+    core = make_core(_example_program(), scheme, injector, vdd=1.04,
+                     config=config, tep=tep)
+    recorder = _Recorder(core.trace)
+    core.trace = recorder
+    core.run(5)
+    return recorder.insts
+
+
+def test_fault_free_schedule_is_back_to_back():
+    insts = _run(SchemeKind.FAULT_FREE, faulty=False)
+    assert insts[I2].issue_cycle == insts[I1].issue_cycle + 1
+    # I3 waits for I2's broadcast: one cycle after I2's select
+    assert insts[I3].issue_cycle == insts[I2].issue_cycle + 1
+
+
+def test_dependent_held_back_exactly_one_cycle():
+    base = _run(SchemeKind.ABS, faulty=False)
+    faulty = _run(SchemeKind.ABS, faulty=True)
+    assert faulty[I2].issue_cycle == base[I2].issue_cycle
+    # the delayed broadcast holds I3 back one extra cycle (Section 3.4)
+    assert (
+        faulty[I3].issue_cycle - faulty[I2].issue_cycle
+        == base[I3].issue_cycle - base[I2].issue_cycle + 1
+    )
+
+
+def test_fusr_blocks_the_unit_for_one_cycle():
+    faulty = _run(SchemeKind.ABS, faulty=True)
+    # no instruction is selected for the (single) ALU in the cycle right
+    # after the faulty I2
+    issue_cycles = sorted(
+        inst.issue_cycle for inst in faulty.values()
+    )
+    frozen_cycle = faulty[I2].issue_cycle + 1
+    assert frozen_cycle not in issue_cycles
+
+
+def test_no_replay_in_tolerated_example():
+    base = _run(SchemeKind.ABS, faulty=False)
+    faulty = _run(SchemeKind.ABS, faulty=True)
+    assert all(not inst.squashed for inst in faulty.values())
+    # total slip is bounded: only the faulty instruction's dependents move
+    slip = max(
+        faulty[pc].commit_cycle - base[pc].commit_cycle
+        for pc in (I1, I2, I3, I4)
+    )
+    assert slip <= 2
+
+
+@pytest.mark.parametrize("scheme", [SchemeKind.ABS, SchemeKind.CDS])
+def test_age_ordered_policies_leave_older_independents_alone(scheme):
+    base = _run(scheme, faulty=False)
+    faulty = _run(scheme, faulty=True)
+    # I1 (older, independent) is completely unaffected
+    assert faulty[I1].issue_cycle == base[I1].issue_cycle
+
+
+def test_ffs_schedules_the_faulty_instruction_eagerly():
+    faulty = _run(SchemeKind.FFS, faulty=True)
+    # faulty-first: I2 wins the single ALU over the older I1, releasing
+    # its dependent I3 as early as possible (Section 3.5)
+    assert faulty[I2].issue_cycle < faulty[I1].issue_cycle
+    assert all(not inst.squashed for inst in faulty.values())

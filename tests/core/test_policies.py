@@ -1,0 +1,122 @@
+"""Selection policy ordering (ABS / FFS / CDS)."""
+
+import pytest
+
+from repro.core.policies import (
+    AgeBasedSelection,
+    CriticalityDrivenSelection,
+    FaultyFirstSelection,
+    SelectionPolicy,
+)
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.uarch.issue_queue import IssueQueue
+
+
+def _entry(seq, faulty=False, critical=False):
+    inst = DynInst(seq, StaticInst(0x100 + 4 * seq, OpClass.IALU, dest=1))
+    if faulty:
+        inst.pred_fault_stage = PipeStage.EXECUTE
+    inst.pred_critical = critical
+    return inst
+
+
+def _fill(iq, entries):
+    for inst in entries:
+        iq.insert(inst)
+    return entries
+
+
+def test_base_policy_is_abstract():
+    with pytest.raises(NotImplementedError):
+        SelectionPolicy().order([], IssueQueue(4))
+
+
+class TestAgeBased:
+    def test_oldest_first(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(s) for s in range(5)])
+        shuffled = [entries[3], entries[0], entries[4], entries[1]]
+        ordered = AgeBasedSelection().order(shuffled, iq)
+        assert [e.seq for e in ordered] == [0, 1, 3, 4]
+
+    def test_mod64_wraparound(self):
+        iq = IssueQueue(8)
+        # advance the dispatch counter to just before the wrap
+        for seq in range(62):
+            filler = _entry(seq)
+            iq.insert(filler)
+            iq.remove(filler)
+        old = _entry(62)   # timestamp 62
+        young = _entry(63)  # timestamp 63
+        younger = _entry(64)  # timestamp 0 after wrap
+        _fill(iq, [old, young, younger])
+        assert younger.timestamp == 0
+        ordered = AgeBasedSelection().order([younger, young, old], iq)
+        assert [e.seq for e in ordered] == [62, 63, 64]
+
+    def test_exact_mode_matches_mod64_in_small_window(self):
+        iq = IssueQueue(16)
+        entries = _fill(iq, [_entry(s) for s in range(10)])
+        a = AgeBasedSelection(exact=False).order(list(entries), iq)
+        b = AgeBasedSelection(exact=True).order(list(entries), iq)
+        assert [e.seq for e in a] == [e.seq for e in b]
+
+    def test_ignores_fault_bits(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(0), _entry(1, faulty=True)])
+        ordered = AgeBasedSelection().order(list(entries), iq)
+        assert ordered[0].seq == 0
+
+
+class TestFaultyFirst:
+    def test_faulty_wins_over_age(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(0), _entry(1, faulty=True), _entry(2)])
+        ordered = FaultyFirstSelection().order(list(entries), iq)
+        assert [e.seq for e in ordered] == [1, 0, 2]
+
+    def test_falls_back_to_age_without_faulty(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(s) for s in range(4)])
+        ordered = FaultyFirstSelection().order(list(entries)[::-1], iq)
+        assert [e.seq for e in ordered] == [0, 1, 2, 3]
+
+    def test_multiple_faulty_ordered_by_age(self):
+        iq = IssueQueue(8)
+        entries = _fill(
+            iq, [_entry(0), _entry(1, faulty=True), _entry(2, faulty=True)]
+        )
+        ordered = FaultyFirstSelection().order(list(entries), iq)
+        assert [e.seq for e in ordered] == [1, 2, 0]
+
+
+class TestCriticalityDriven:
+    def test_critical_faulty_wins(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [
+            _entry(0),
+            _entry(1, faulty=True),                 # faulty, not critical
+            _entry(2, faulty=True, critical=True),  # the CDS target
+        ])
+        ordered = CriticalityDrivenSelection().order(list(entries), iq)
+        assert ordered[0].seq == 2
+
+    def test_non_faulty_critical_does_not_win(self):
+        # criticality only matters for predicted-faulty instructions
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(0), _entry(1, critical=True)])
+        ordered = CriticalityDrivenSelection().order(list(entries), iq)
+        assert ordered[0].seq == 0
+
+    def test_falls_back_to_age(self):
+        iq = IssueQueue(8)
+        entries = _fill(iq, [_entry(s, faulty=True) for s in range(3)])
+        ordered = CriticalityDrivenSelection().order(list(entries)[::-1], iq)
+        assert [e.seq for e in ordered] == [0, 1, 2]
+
+
+def test_policy_names():
+    assert AgeBasedSelection().name == "ABS"
+    assert FaultyFirstSelection().name == "FFS"
+    assert CriticalityDrivenSelection().name == "CDS"

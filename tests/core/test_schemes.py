@@ -1,0 +1,73 @@
+"""Scheme factory and flags."""
+
+import pytest
+
+from repro.core.policies import (
+    AgeBasedSelection,
+    CriticalityDrivenSelection,
+    FaultyFirstSelection,
+)
+from repro.core.schemes import PROPOSED_SCHEMES, SchemeKind, make_scheme
+
+
+def test_fault_free_flags():
+    scheme = make_scheme(SchemeKind.FAULT_FREE)
+    assert not scheme.uses_tep
+    assert not scheme.tolerates_predicted_faults
+
+
+def test_razor_replays_everything():
+    scheme = make_scheme(SchemeKind.RAZOR)
+    assert not scheme.uses_tep
+    assert not scheme.uses_vte
+    assert not scheme.uses_ep_stall
+
+
+def test_ep_uses_stalls_not_vte():
+    scheme = make_scheme(SchemeKind.EP)
+    assert scheme.uses_tep
+    assert scheme.uses_ep_stall
+    assert not scheme.uses_vte
+    assert scheme.tolerates_predicted_faults
+    # the paper uses age-based selection for the EP baseline (Section 4.2)
+    assert isinstance(scheme.policy, AgeBasedSelection)
+
+
+@pytest.mark.parametrize("kind,policy_cls", [
+    (SchemeKind.ABS, AgeBasedSelection),
+    (SchemeKind.FFS, FaultyFirstSelection),
+    (SchemeKind.CDS, CriticalityDrivenSelection),
+])
+def test_proposed_schemes_use_vte(kind, policy_cls):
+    scheme = make_scheme(kind)
+    assert scheme.uses_tep and scheme.uses_vte
+    assert not scheme.uses_ep_stall
+    assert isinstance(scheme.policy, policy_cls)
+
+
+def test_only_cds_detects_criticality():
+    assert make_scheme(SchemeKind.CDS).detects_criticality
+    assert not make_scheme(SchemeKind.FFS).detects_criticality
+    assert not make_scheme(SchemeKind.ABS).detects_criticality
+
+
+def test_string_lookup_by_name_and_value():
+    assert make_scheme("ABS").kind is SchemeKind.ABS
+    assert make_scheme("abs").kind is SchemeKind.ABS
+    assert make_scheme("fault_free").kind is SchemeKind.FAULT_FREE
+
+
+def test_unknown_scheme_raises():
+    with pytest.raises(ValueError):
+        make_scheme("made_up")
+
+
+def test_proposed_scheme_list():
+    assert PROPOSED_SCHEMES == (
+        SchemeKind.ABS, SchemeKind.FFS, SchemeKind.CDS
+    )
+
+
+def test_scheme_name_matches_paper_figures():
+    for kind in PROPOSED_SCHEMES:
+        assert make_scheme(kind).name == kind.name

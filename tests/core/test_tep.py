@@ -1,0 +1,132 @@
+"""Timing Error Predictor behaviour."""
+
+import pytest
+
+from repro.core.tep import TEPConfig, TimingErrorPredictor
+from repro.isa.opcodes import PipeStage
+
+
+@pytest.fixture
+def tep():
+    return TimingErrorPredictor()
+
+
+def test_config_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        TEPConfig(n_entries=100)
+
+
+def test_storage_bits_accounting():
+    config = TEPConfig(n_entries=1024, tag_bits=16, counter_bits=2)
+    # 16 tag + 2 counter + 4 stage + 1 criticality per entry
+    assert config.storage_bits == 1024 * 23
+
+
+def test_cold_predictor_predicts_nothing(tep):
+    assert tep.predict(0x1234, 0) is None
+
+
+def test_single_fault_allocates_and_predicts(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    prediction = tep.predict(0x1000, 0)
+    assert prediction is not None
+    assert prediction.stage is PipeStage.ISSUE
+    assert not prediction.critical
+
+
+def test_counter_saturates(tep):
+    key = tep.key_for(0x1000, 0)
+    for _ in range(10):
+        tep.train(key, PipeStage.EXECUTE, True)
+    entry = tep._entries[key[0]]
+    assert entry.counter == tep.config.counter_max
+
+
+def test_clean_executions_decay_prediction(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    tep.train(key, None, False)
+    assert tep.predict(0x1000, 0) is None
+
+
+def test_saturated_counter_survives_occasional_clean_run(tep):
+    key = tep.key_for(0x1000, 0)
+    for _ in range(3):
+        tep.train(key, PipeStage.ISSUE, True)
+    tep.train(key, None, False)
+    assert tep.predict(0x1000, 0) is not None
+
+
+def test_stage_update_on_refault(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    tep.train(key, PipeStage.MEM, True)
+    assert tep.predict(0x1000, 0).stage is PipeStage.MEM
+
+
+def test_conflicting_pc_replaces_entry(tep):
+    # two PCs that alias to the same index (distance = table size words)
+    pc_a = 0x1000
+    pc_b = pc_a + (tep.config.n_entries << 2) * 1024  # differ in tag bits
+    key_a = tep.key_for(pc_a, 0)
+    key_b = tep.key_for(pc_b, 0)
+    assert key_a[0] == key_b[0] and key_a[1] != key_b[1]
+    tep.train(key_a, PipeStage.ISSUE, True)
+    tep.train(key_b, PipeStage.MEM, True)
+    assert tep.predict(pc_a, 0) is None
+    assert tep.predict(pc_b, 0).stage is PipeStage.MEM
+
+
+def test_train_none_key_is_noop(tep):
+    tep.train(None, PipeStage.ISSUE, True)
+    assert tep.occupancy == 0.0
+
+
+def test_mark_critical_requires_tag_match(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    other = tep.key_for(0x1000 + (tep.config.n_entries << 2) * 1024, 0)
+    tep.mark_critical(other)
+    assert not tep.predict(0x1000, 0).critical
+    tep.mark_critical(key)
+    assert tep.predict(0x1000, 0).critical
+
+
+def test_criticality_cleared_on_replacement(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    tep.mark_critical(key)
+    evictor = tep.key_for(0x1000 + (tep.config.n_entries << 2) * 1024, 0)
+    tep.train(evictor, PipeStage.MEM, True)
+    tep.train(key, PipeStage.ISSUE, True)  # reallocate
+    assert not tep.predict(0x1000, 0).critical
+
+
+def test_history_hash_changes_index():
+    tep = TimingErrorPredictor(TEPConfig(history_bits=4))
+    assert tep.key_for(0x1000, 0b0000) != tep.key_for(0x1000, 0b1010)
+
+
+def test_default_history_is_pc_only(tep):
+    assert tep.key_for(0x1000, 0) == tep.key_for(0x1000, 0xFF)
+
+
+def test_reset(tep):
+    key = tep.key_for(0x1000, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    tep.reset()
+    assert tep.predict(0x1000, 0) is None
+    assert tep.lookups == 1  # the predict above, counters were cleared first
+
+
+def test_stats_counting(tep):
+    tep.predict(0x1, 0)
+    tep.predict(0x2, 0)
+    key = tep.key_for(0x1, 0)
+    tep.train(key, PipeStage.ISSUE, True)
+    tep.predict(0x1, 0)
+    assert tep.lookups == 3
+    assert tep.hits == 1
+    assert tep.trainings == 1
+    assert tep.occupancy == pytest.approx(1 / tep.config.n_entries)

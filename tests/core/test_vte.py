@@ -1,0 +1,90 @@
+"""Per-stage VTE effects (Sections 3.2-3.3)."""
+
+import pytest
+
+from repro.core.vte import FreezeKind, vte_effects
+from repro.isa.opcodes import OpClass, PipeStage
+
+
+def test_no_prediction_no_effects():
+    effects = vte_effects(None, OpClass.IALU)
+    assert effects.stage is None
+    assert effects.freeze is FreezeKind.NONE
+    assert effects.broadcast_delay == 0
+
+
+@pytest.mark.parametrize("stage", [
+    PipeStage.FETCH, PipeStage.DECODE, PipeStage.RENAME,
+    PipeStage.DISPATCH, PipeStage.RETIRE,
+])
+def test_in_order_stages_have_no_scheduler_effects(stage):
+    assert vte_effects(stage, OpClass.IALU).stage is None
+
+
+def test_issue_fault_freezes_slot_without_delaying_instruction():
+    effects = vte_effects(PipeStage.ISSUE, OpClass.IALU)
+    assert effects.freeze is FreezeKind.SLOT_ONE_CYCLE
+    assert effects.broadcast_delay == 0
+    assert effects.rr_extra == effects.ex_extra == 0
+
+
+def test_regread_fault_adds_cycle_and_blocks_port():
+    effects = vte_effects(PipeStage.REGREAD, OpClass.IALU)
+    assert effects.rr_extra == 1
+    assert effects.freeze is FreezeKind.SLOT_ONE_CYCLE
+    assert effects.broadcast_delay == 1
+
+
+def test_execute_fault_single_cycle_unit():
+    effects = vte_effects(PipeStage.EXECUTE, OpClass.IALU)
+    assert effects.ex_extra == 1
+    assert effects.freeze is FreezeKind.SLOT_ONE_CYCLE
+
+
+def test_execute_fault_pipelined_multicycle_unit():
+    effects = vte_effects(PipeStage.EXECUTE, OpClass.IMUL)
+    assert effects.freeze is FreezeKind.UNTIL_COMPLETE
+
+
+def test_execute_fault_unpipelined_unit():
+    effects = vte_effects(PipeStage.EXECUTE, OpClass.IDIV)
+    assert effects.freeze is FreezeKind.BUSY_PLUS_ONE
+
+
+def test_mem_fault_on_load():
+    effects = vte_effects(PipeStage.MEM, OpClass.LOAD)
+    assert effects.mem_extra == 1
+    assert effects.freeze is FreezeKind.SLOT_ONE_CYCLE
+
+
+def test_mem_fault_on_store():
+    assert vte_effects(PipeStage.MEM, OpClass.STORE).mem_extra == 1
+
+
+def test_mem_prediction_on_non_mem_op_is_inert():
+    effects = vte_effects(PipeStage.MEM, OpClass.IALU)
+    assert effects.stage is None
+    assert effects.freeze is FreezeKind.NONE
+
+
+def test_writeback_fault_recirculates_slot():
+    effects = vte_effects(PipeStage.WRITEBACK, OpClass.IALU)
+    assert effects.wb_extra == 1
+    assert effects.freeze is FreezeKind.WB_SLOT
+    # the bypass already delivered the value: no broadcast delay
+    assert effects.broadcast_delay == 0
+
+
+def test_exactly_one_extra_cycle_per_prediction():
+    for stage in (PipeStage.REGREAD, PipeStage.EXECUTE, PipeStage.WRITEBACK):
+        effects = vte_effects(stage, OpClass.IALU)
+        total = (effects.rr_extra + effects.ex_extra + effects.mem_extra
+                 + effects.wb_extra)
+        assert total == 1
+    effects = vte_effects(PipeStage.MEM, OpClass.LOAD)
+    assert (effects.rr_extra + effects.ex_extra + effects.mem_extra
+            + effects.wb_extra) == 1
+
+
+def test_repr_mentions_stage():
+    assert "EXECUTE" in repr(vte_effects(PipeStage.EXECUTE, OpClass.IALU))

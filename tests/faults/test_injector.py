@@ -1,0 +1,148 @@
+"""Fault injector: assignment targets and per-instance resolution."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.timing import (
+    TimingClass,
+    VDD_HIGH_FAULT,
+    VDD_LOW_FAULT,
+    VDD_NOMINAL,
+)
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+
+
+def _program_statics(n=60):
+    """A flat set of static instructions with a uniform frequency map."""
+    statics = []
+    for i in range(n):
+        op = OpClass.LOAD if i % 4 == 0 else OpClass.IALU
+        statics.append(
+            StaticInst(0x1000 + 4 * i, op, dest=1,
+                       mem_base=0x100, mem_stride=8, mem_region=64)
+        )
+    freq = {si.pc: 1.0 / n for si in statics}
+    return statics, freq
+
+
+@pytest.fixture
+def injector(timing_model):
+    return FaultInjector(timing_model, seed=5)
+
+
+class TestAssignment:
+    def test_rejects_inverted_targets(self, injector):
+        statics, freq = _program_statics()
+        with pytest.raises(ValueError):
+            injector.assign(statics, freq, fr_low=0.1, fr_high=0.05)
+
+    def test_dynamic_weight_near_targets(self, injector):
+        statics, freq = _program_statics(200)
+        freq = {si.pc: 1.0 / 200 for si in statics}
+        injector.assign(statics, freq, fr_low=0.02, fr_high=0.08)
+        hot = sum(
+            freq[pc] for pc, t in injector._pc_timing.items()
+            if t.timing_class is TimingClass.HOT
+        )
+        warm = sum(
+            freq[pc] for pc, t in injector._pc_timing.items()
+            if t.timing_class is TimingClass.WARM
+        )
+        assert hot == pytest.approx(0.02 / injector.repeatability, rel=0.5)
+        assert warm == pytest.approx(0.06 / injector.repeatability, rel=0.5)
+
+    def test_mem_stage_only_for_mem_ops(self, injector):
+        statics, freq = _program_statics(200)
+        injector.assign(statics, freq, fr_low=0.05, fr_high=0.2)
+        by_pc = {si.pc: si for si in statics}
+        for pc, timing in injector._pc_timing.items():
+            if timing.stage is PipeStage.MEM:
+                assert by_pc[pc].is_mem
+
+    def test_assignment_for_unassigned_pc_is_none(self, injector):
+        statics, freq = _program_statics()
+        injector.assign(statics, freq, fr_low=0.01, fr_high=0.02)
+        assert injector.assignment_for(0xDEAD) is None
+
+
+class TestResolution:
+    def _dyn(self, static, seq=0):
+        return DynInst(seq, static)
+
+    def test_no_faults_at_nominal_voltage(self, injector):
+        statics, freq = _program_statics()
+        injector.assign(statics, freq, fr_low=0.05, fr_high=0.2)
+        for i, si in enumerate(statics):
+            inst = injector.resolve(self._dyn(si, i), VDD_NOMINAL)
+            assert not inst.has_fault
+
+    def test_hot_pc_faults_repeatably_at_low_fault_voltage(self, injector):
+        statics, freq = _program_statics(100)
+        injector.assign(statics, freq, fr_low=0.2, fr_high=0.4)
+        hot_pcs = {
+            pc for pc, t in injector._pc_timing.items()
+            if t.timing_class is TimingClass.HOT
+        }
+        assert hot_pcs
+        by_pc = {si.pc: si for si in statics}
+        faulted = 0
+        trials = 0
+        for pc in hot_pcs:
+            for i in range(50):
+                inst = injector.resolve(self._dyn(by_pc[pc], i), VDD_LOW_FAULT)
+                trials += 1
+                if inst.has_fault:
+                    faulted += 1
+        assert faulted / trials == pytest.approx(
+            injector.repeatability, abs=0.08
+        )
+
+    def test_warm_pcs_rarely_fault_at_low_fault_voltage(self, injector):
+        # WARM paths are below the 1.04V violation boundary; only a
+        # positive temporal-noise excursion on a near-boundary path can
+        # push one over, so faults must be rare (these are exactly the
+        # unpredictable violations that trigger replays)
+        statics, freq = _program_statics(100)
+        injector.background_rate = 0.0
+        injector.assign(statics, freq, fr_low=0.05, fr_high=0.3)
+        warm = [
+            pc for pc, t in injector._pc_timing.items()
+            if t.timing_class is TimingClass.WARM
+        ]
+        by_pc = {si.pc: si for si in statics}
+        faults = 0
+        trials = 0
+        for pc in warm:
+            for i in range(30):
+                inst = injector.resolve(self._dyn(by_pc[pc], i), VDD_LOW_FAULT)
+                trials += 1
+                faults += bool(inst.has_fault)
+        assert trials > 0
+        assert faults / trials < 0.25
+
+    def test_replayed_instances_never_fault(self, injector):
+        statics, freq = _program_statics(50)
+        injector.assign(statics, freq, fr_low=0.3, fr_high=0.45)
+        by_pc = {si.pc: si for si in statics}
+        for pc in injector.critical_pcs:
+            inst = self._dyn(by_pc[pc])
+            inst.replayed = True
+            injector.resolve(inst, VDD_HIGH_FAULT)
+            assert not inst.has_fault
+
+    def test_disabled_injector_is_inert(self, injector):
+        statics, freq = _program_statics(50)
+        injector.assign(statics, freq, fr_low=0.3, fr_high=0.45)
+        injector.enabled = False
+        by_pc = {si.pc: si for si in statics}
+        for pc in injector.critical_pcs:
+            inst = injector.resolve(self._dyn(by_pc[pc]), VDD_HIGH_FAULT)
+            assert not inst.has_fault
+
+    def test_background_rate_scales_with_voltage(self, injector):
+        assert injector._background_prob(VDD_NOMINAL) == 0.0
+        low = injector._background_prob(VDD_LOW_FAULT)
+        high = injector._background_prob(VDD_HIGH_FAULT)
+        assert 0 < low < high
+        assert high == pytest.approx(injector.background_rate)

@@ -1,0 +1,45 @@
+"""Thermal model and the TEP-gating voltage sensor."""
+
+from repro.faults.sensors import ThermalModel, VoltageSensor
+from repro.faults.timing import VDD_HIGH_FAULT, VDD_LOW_FAULT, VDD_NOMINAL
+
+
+class TestThermalModel:
+    def test_stays_within_bounds(self):
+        thermal = ThermalModel(t_ambient=40, t_max=90, step=2.0, seed=1)
+        for _ in range(2000):
+            t = thermal.advance()
+            assert 40 <= t <= 90
+
+    def test_advance_scales_with_cycles(self):
+        a = ThermalModel(step=0.5, seed=2)
+        b = ThermalModel(step=0.5, seed=2)
+        a.advance(cycles=1)
+        b.advance(cycles=100)
+        # same seed: the 100-cycle step draws from a wider window
+        assert abs(b.temperature - 62.5) >= abs(a.temperature - 62.5) * 0.999
+
+
+class TestVoltageSensor:
+    def test_nominal_voltage_not_favorable(self):
+        assert not VoltageSensor(VDD_NOMINAL).favorable()
+
+    def test_lowered_voltages_favorable(self):
+        assert VoltageSensor(VDD_LOW_FAULT).favorable()
+        assert VoltageSensor(VDD_HIGH_FAULT).favorable()
+
+    def test_high_temperature_arms_sensor_at_nominal(self):
+        thermal = ThermalModel(t_ambient=90, t_max=95, seed=0)
+        thermal.temperature = 94.0
+        sensor = VoltageSensor(VDD_NOMINAL, thermal=thermal, t_threshold=90)
+        assert sensor.favorable()
+
+    def test_cool_die_at_nominal_not_favorable(self):
+        thermal = ThermalModel(seed=0)
+        thermal.temperature = 50.0
+        sensor = VoltageSensor(VDD_NOMINAL, thermal=thermal, t_threshold=90)
+        assert not sensor.favorable()
+
+    def test_custom_threshold(self):
+        sensor = VoltageSensor(1.05, v_threshold=1.0)
+        assert not sensor.favorable()

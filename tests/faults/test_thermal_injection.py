@@ -1,0 +1,69 @@
+"""Temperature-dependent fault injection (temporal variation, Section 1)."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.sensors import ThermalModel
+from repro.faults.timing import TimingClass, VDD_LOW_FAULT
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+
+
+def _statics(n=120):
+    statics = [
+        StaticInst(0x1000 + 4 * i, OpClass.IALU, dest=1) for i in range(n)
+    ]
+    return statics, {si.pc: 1.0 / n for si in statics}
+
+
+def _fault_rate(injector, statics, pcs, vdd, trials=40):
+    by_pc = {si.pc: si for si in statics}
+    faults = total = 0
+    for pc in pcs:
+        for i in range(trials):
+            inst = injector.resolve(DynInst(i, by_pc[pc]), vdd)
+            total += 1
+            faults += bool(inst.has_fault)
+    return faults / total
+
+
+def _warm_pcs(injector):
+    return [
+        pc for pc, t in injector._pc_timing.items()
+        if t.timing_class is TimingClass.WARM
+    ]
+
+
+def test_hot_die_faults_more_than_cold_die(timing_model):
+    statics, freq = _statics()
+
+    def rate_at(temperature):
+        thermal = ThermalModel(t_ambient=40, t_max=100, step=0.0, seed=0)
+        thermal.temperature = temperature
+        injector = FaultInjector(
+            timing_model, seed=9, thermal=thermal,
+            thermal_coefficient=5e-3, background_rate=0.0,
+        )
+        injector.assign(statics, freq, fr_low=0.05, fr_high=0.35)
+        # WARM paths sit just below the 1.04V boundary: thermal bias
+        # decides whether they trip
+        return _fault_rate(
+            injector, statics, _warm_pcs(injector), VDD_LOW_FAULT
+        )
+
+    assert rate_at(99.0) > rate_at(41.0)
+
+
+def test_no_thermal_model_means_no_bias(timing_model):
+    statics, freq = _statics()
+    injector = FaultInjector(timing_model, seed=9, background_rate=0.0)
+    injector.assign(statics, freq, fr_low=0.05, fr_high=0.35)
+    assert injector.thermal is None
+    rate = _fault_rate(injector, statics, _warm_pcs(injector), VDD_LOW_FAULT)
+    assert rate < 0.3  # only the Gaussian tail trips WARM paths at 1.04V
+
+
+def test_thermal_bias_is_bounded(timing_model):
+    thermal = ThermalModel(seed=1)
+    injector = FaultInjector(timing_model, thermal=thermal)
+    assert injector.thermal_coefficient == pytest.approx(5e-4)

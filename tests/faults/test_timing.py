@@ -1,0 +1,101 @@
+"""Voltage scaling and the mu+2sigma fault criterion."""
+
+import random
+
+import pytest
+
+from repro.faults.timing import (
+    StageTimingModel,
+    TimingClass,
+    VDD_HIGH_FAULT,
+    VDD_LOW_FAULT,
+    VDD_NOMINAL,
+    VoltageScaling,
+    expected_class,
+)
+from repro.faults.variation import ProcessVariationModel
+
+
+@pytest.fixture
+def model():
+    return StageTimingModel(VoltageScaling(), ProcessVariationModel(seed=0))
+
+
+class TestVoltageScaling:
+    def test_nominal_slowdown_is_one(self):
+        assert VoltageScaling().slowdown(VDD_NOMINAL) == pytest.approx(1.0)
+
+    def test_lower_voltage_is_slower(self):
+        scaling = VoltageScaling()
+        assert scaling.slowdown(VDD_LOW_FAULT) > 1.0
+        assert scaling.slowdown(VDD_HIGH_FAULT) > scaling.slowdown(VDD_LOW_FAULT)
+
+    def test_rejects_voltage_below_threshold(self):
+        with pytest.raises(ValueError):
+            VoltageScaling(vth=0.35).slowdown(0.3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            VoltageScaling(vth=-1)
+
+
+class TestClassBands:
+    def test_bands_are_ordered_and_disjoint(self, model):
+        safe = model.class_band(TimingClass.SAFE)
+        warm = model.class_band(TimingClass.WARM)
+        hot = model.class_band(TimingClass.HOT)
+        assert safe[0] < safe[1] <= warm[0] < warm[1] <= hot[0] < hot[1]
+
+    def test_sampled_fraction_lands_in_band(self, model):
+        rng = random.Random(1)
+        for cls in TimingClass:
+            lo, hi = model.class_band(cls)
+            for _ in range(50):
+                frac = model.sample_path_fraction(cls, rng)
+                assert lo <= frac <= hi
+
+    @pytest.mark.parametrize("cls", list(TimingClass))
+    def test_sampled_fraction_classifies_back(self, model, cls):
+        rng = random.Random(2)
+        for _ in range(100):
+            frac = model.sample_path_fraction(cls, rng)
+            assert expected_class(frac, model) is cls
+
+
+class TestCriterion:
+    def test_hot_path_faults_at_low_fault_voltage(self, model):
+        rng = random.Random(3)
+        frac = model.sample_path_fraction(TimingClass.HOT, rng)
+        assert model.violates(frac, VDD_LOW_FAULT)
+        assert model.violates(frac, VDD_HIGH_FAULT)
+        assert not model.violates(frac, VDD_NOMINAL)
+
+    def test_warm_path_faults_only_at_high_fault_voltage(self, model):
+        rng = random.Random(4)
+        frac = model.sample_path_fraction(TimingClass.WARM, rng)
+        assert not model.violates(frac, VDD_LOW_FAULT)
+        assert model.violates(frac, VDD_HIGH_FAULT)
+
+    def test_safe_path_never_faults(self, model):
+        rng = random.Random(5)
+        frac = model.sample_path_fraction(TimingClass.SAFE, rng)
+        for vdd in (VDD_NOMINAL, VDD_LOW_FAULT, VDD_HIGH_FAULT):
+            assert not model.violates(frac, vdd)
+
+    def test_dynamic_noise_can_push_over(self, model):
+        lo, hi = model.class_band(TimingClass.WARM)
+        # just under the HOT boundary: a positive temporal excursion at
+        # 1.04V can still cause an (unpredicted) violation
+        frac = hi * 0.999
+        assert not model.violates(frac, VDD_LOW_FAULT, dynamic_noise=0.0)
+        assert model.violates(frac, VDD_LOW_FAULT, dynamic_noise=0.05)
+
+    def test_fault_margin_sign_matches_criterion(self, model):
+        rng = random.Random(6)
+        for cls, vdd, faulty in (
+            (TimingClass.HOT, VDD_LOW_FAULT, True),
+            (TimingClass.WARM, VDD_LOW_FAULT, False),
+            (TimingClass.WARM, VDD_HIGH_FAULT, True),
+        ):
+            frac = model.sample_path_fraction(cls, rng)
+            assert (model.fault_margin(frac, vdd) > 0) is faulty

@@ -1,0 +1,58 @@
+"""Process variation model."""
+
+import pytest
+
+from repro.faults.variation import ProcessVariationModel
+
+
+def test_rejects_bad_deviation():
+    with pytest.raises(ValueError):
+        ProcessVariationModel(deviation=1.5)
+    with pytest.raises(ValueError):
+        ProcessVariationModel(deviation=-0.1)
+
+
+def test_sample_centered_near_one():
+    model = ProcessVariationModel(deviation=0.2, seed=1)
+    sample = model.sample_gate_factors(20000)
+    assert sample.mean == pytest.approx(1.0, abs=0.02)
+    assert 0.0 < sample.std < 0.25
+
+
+def test_factors_always_positive():
+    model = ProcessVariationModel(deviation=0.2, seed=2)
+    sample = model.sample_gate_factors(50000)
+    assert (sample.factors > 0).all()
+
+
+def test_larger_deviation_larger_spread():
+    narrow = ProcessVariationModel(deviation=0.05, seed=3)
+    wide = ProcessVariationModel(deviation=0.30, seed=3)
+    assert (
+        wide.sample_gate_factors(5000).std
+        > narrow.sample_gate_factors(5000).std
+    )
+
+
+def test_deterministic_given_seed():
+    a = ProcessVariationModel(seed=7).sample_gate_factors(100)
+    b = ProcessVariationModel(seed=7).sample_gate_factors(100)
+    assert (a.factors == b.factors).all()
+
+
+def test_path_sigma_shrinks_with_depth():
+    model = ProcessVariationModel(deviation=0.2)
+    shallow = model.path_sigma_over_mu(4)
+    deep = model.path_sigma_over_mu(64)
+    assert deep < shallow
+    assert deep == pytest.approx(shallow / 4)
+
+
+def test_path_sigma_rejects_bad_depth():
+    with pytest.raises(ValueError):
+        ProcessVariationModel().path_sigma_over_mu(0)
+
+
+def test_sample_len():
+    sample = ProcessVariationModel(seed=1).sample_gate_factors(17)
+    assert len(sample) == 17

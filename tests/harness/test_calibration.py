@@ -1,0 +1,47 @@
+"""Calibration against the paper's Table 1 (IPC and fault-rate bands).
+
+These are the contract the workload profiles were tuned to: fault-free IPC
+within a moderate tolerance of the paper's per-benchmark IPC, and dynamic
+fault rates in the right band at each faulty voltage.
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.timing import VDD_HIGH_FAULT, VDD_LOW_FAULT, VDD_NOMINAL
+from repro.harness.runner import RunSpec, run_one
+from repro.workloads.profiles import SPEC2006_PROFILES
+
+_FAST = dict(n_instructions=4000, warmup=2000, seed=1)
+
+
+@pytest.mark.parametrize("bench", sorted(SPEC2006_PROFILES))
+def test_fault_free_ipc_near_paper(bench):
+    profile = SPEC2006_PROFILES[bench]
+    result = run_one(
+        RunSpec(bench, SchemeKind.FAULT_FREE, VDD_NOMINAL, **_FAST)
+    )
+    assert result.ipc == pytest.approx(profile.ipc_paper, rel=0.40)
+
+
+def test_ipc_ordering_extremes():
+    # the paper's fastest and slowest benchmarks must stay ordered
+    def ipc(b):
+        return run_one(
+            RunSpec(b, SchemeKind.FAULT_FREE, VDD_NOMINAL, **_FAST)
+        ).ipc
+
+    assert ipc("povray") > 2.5 * ipc("mcf")
+    assert ipc("sjeng") > 2.0 * ipc("xalancbmk")
+
+
+@pytest.mark.parametrize("bench", ["astar", "sjeng", "libquantum"])
+def test_fault_rates_scale_with_voltage(bench):
+    profile = SPEC2006_PROFILES[bench]
+    low = run_one(RunSpec(bench, SchemeKind.RAZOR, VDD_LOW_FAULT, **_FAST))
+    high = run_one(
+        RunSpec(bench, SchemeKind.RAZOR, VDD_HIGH_FAULT, **_FAST)
+    )
+    assert high.fault_rate > low.fault_rate
+    assert low.fault_rate == pytest.approx(profile.fr_low, rel=0.8)
+    assert high.fault_rate == pytest.approx(profile.fr_high, rel=0.8)

@@ -1,0 +1,66 @@
+"""JSON export of results and experiments."""
+
+import json
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness import experiments
+from repro.harness.export import (
+    experiment_to_dict,
+    sim_result_to_dict,
+    write_json,
+)
+from repro.harness.runner import RunSpec, run_one
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_one(RunSpec("astar", SchemeKind.ABS, 1.04, 1200, 600))
+
+
+def test_sim_result_roundtrips_through_json(result):
+    payload = sim_result_to_dict(result)
+    text = json.dumps(payload)
+    back = json.loads(text)
+    assert back["spec"]["benchmark"] == "astar"
+    assert back["spec"]["scheme"] == "ABS"
+    assert back["metrics"]["ipc"] == pytest.approx(result.ipc)
+    assert back["stats"]["committed"] == result.stats.committed
+
+
+def test_stage_faults_use_names(result):
+    payload = sim_result_to_dict(result)
+    for key in payload["stage_faults"]:
+        assert key in ("ISSUE", "REGREAD", "EXECUTE", "MEM", "WRITEBACK",
+                       "FETCH", "DECODE", "RENAME", "DISPATCH", "RETIRE")
+
+
+def test_experiment_export(tmp_path):
+    exp = experiments.table3()
+    payload = experiment_to_dict(exp)
+    assert payload["experiment"] == "table3"
+    assert "ALU" in payload["data"]
+    path = write_json(exp, tmp_path / "t3.json")
+    loaded = json.loads(open(path).read())
+    assert loaded["data"]["ALU"]["n_gates"] > 0
+
+
+def test_write_json_sim_result(result, tmp_path):
+    path = write_json(result, tmp_path / "run.json")
+    loaded = json.loads(open(path).read())
+    assert loaded["metrics"]["cycles"] == result.cycles
+
+
+def test_write_json_plain_data(tmp_path):
+    path = write_json({"a": [1, 2], "b": {"c": 3.5}}, tmp_path / "d.json")
+    assert json.loads(open(path).read()) == {"a": [1, 2], "b": {"c": 3.5}}
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    from repro.harness.cli import main
+
+    out = tmp_path / "table3.json"
+    assert main(["table3", "--json", str(out)]) == 0
+    assert out.exists()
+    assert "wrote" in capsys.readouterr().out

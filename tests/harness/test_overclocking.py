@@ -1,0 +1,87 @@
+"""Overclocked operation (tighter frequency at nominal supply)."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.sensors import VoltageSensor
+from repro.faults.timing import (
+    StageTimingModel,
+    TimingClass,
+    VDD_NOMINAL,
+    VoltageScaling,
+)
+from repro.faults.variation import ProcessVariationModel
+from repro.harness.runner import RunSpec, run_one
+
+_FAST = dict(n_instructions=2500, warmup=1200)
+
+
+def test_criterion_frequency_factor(timing_model):
+    import random
+
+    frac = timing_model.sample_path_fraction(TimingClass.HOT,
+                                             random.Random(1))
+    # a HOT path is safe at nominal V/f but violates when the cycle time
+    # shrinks past its guardband
+    assert not timing_model.violates(frac, VDD_NOMINAL)
+    assert timing_model.violates(frac, VDD_NOMINAL, frequency_factor=1.08)
+    assert (
+        timing_model.fault_margin(frac, VDD_NOMINAL, frequency_factor=1.08)
+        > 0
+    )
+
+
+def test_nominal_frequency_no_faults():
+    result = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, VDD_NOMINAL, overclock=1.0,
+                **_FAST)
+    )
+    assert result.fault_rate == 0.0
+
+
+def test_overclocking_causes_faults():
+    result = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, VDD_NOMINAL, overclock=1.08,
+                **_FAST)
+    )
+    assert result.fault_rate > 0.005
+
+
+def test_fault_rate_grows_with_frequency():
+    mild = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, VDD_NOMINAL, overclock=1.03,
+                **_FAST)
+    )
+    hard = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, VDD_NOMINAL, overclock=1.09,
+                **_FAST)
+    )
+    assert hard.fault_rate > mild.fault_rate
+
+
+def test_sensor_armed_when_overclocked():
+    assert VoltageSensor(VDD_NOMINAL, overclocked=True).favorable()
+    assert not VoltageSensor(VDD_NOMINAL, overclocked=False).favorable()
+
+
+def test_predictive_scheme_tolerates_overclock_faults():
+    abs_run = run_one(
+        RunSpec("bzip2", SchemeKind.ABS, VDD_NOMINAL, overclock=1.06,
+                **_FAST)
+    )
+    razor = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, VDD_NOMINAL, overclock=1.06,
+                **_FAST)
+    )
+    assert abs_run.stats.faults_predicted > 0
+    assert abs_run.cycles < razor.cycles
+
+
+def test_overclock_and_undervolt_compose(timing_model):
+    import random
+
+    frac = timing_model.sample_path_fraction(TimingClass.WARM,
+                                             random.Random(2))
+    # WARM: safe at 1.04V alone, violating with an extra frequency squeeze
+    assert not timing_model.violates(frac, 1.04)
+    assert timing_model.violates(frac, 1.04, frequency_factor=1.05)

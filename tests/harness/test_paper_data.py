@@ -1,0 +1,70 @@
+"""Internal consistency of the transcribed paper data."""
+
+import pytest
+
+from repro.harness.paper_data import (
+    HIGH_FR_BENCHMARKS,
+    PAPER_CLAIMS,
+    PAPER_FIG7_AVG,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+)
+from repro.workloads.profiles import SPEC2006_PROFILES
+
+
+def test_table1_covers_all_benchmarks():
+    assert set(PAPER_TABLE1) == set(SPEC2006_PROFILES)
+
+
+def test_profiles_target_the_published_fault_rates():
+    for name, row in PAPER_TABLE1.items():
+        profile = SPEC2006_PROFILES[name]
+        assert profile.fr_low == pytest.approx(row.fr_low / 100, rel=1e-6)
+        assert profile.fr_high == pytest.approx(row.fr_high / 100, rel=1e-6)
+        assert profile.ipc_paper == pytest.approx(row.ipc, abs=0.02)
+
+
+def test_high_fr_always_exceeds_low_fr():
+    for row in PAPER_TABLE1.values():
+        assert row.fr_high > row.fr_low
+
+
+def test_razor_always_worse_than_ep_in_the_paper():
+    for row in PAPER_TABLE1.values():
+        assert row.razor_high[0] > row.ep_high[0]
+        assert row.razor_low[0] > row.ep_low[0]
+        # ED degradation always at least the performance degradation
+        assert row.razor_high[1] >= row.razor_high[0]
+
+
+def test_fig8_omits_povray():
+    assert "povray" not in HIGH_FR_BENCHMARKS
+    assert len(HIGH_FR_BENCHMARKS) == 11
+
+
+def test_table2_structure():
+    assert PAPER_TABLE2["ABS"] == PAPER_TABLE2["FFS"]
+    assert PAPER_TABLE2["CDS"]["sched"][0] > PAPER_TABLE2["ABS"]["sched"][0]
+    for entry in PAPER_TABLE2.values():
+        assert all(v < 0.3 for v in entry["core"])  # core-level tiny
+
+
+def test_table3_alu_largest():
+    gates = {name: g for name, (g, _) in PAPER_TABLE3.items()}
+    assert gates["ALU"] == max(gates.values())
+    depths = {name: d for name, (_, d) in PAPER_TABLE3.items()}
+    assert depths["ForwardCheck"] == min(depths.values())
+
+
+def test_fig7_averages_in_band():
+    for value in PAPER_FIG7_AVG.values():
+        assert 0.85 < value < 0.95
+
+
+def test_claims_band():
+    lo, hi = PAPER_CLAIMS["reduction_band"]
+    assert lo == 0.64 and hi == 0.97
+    for key in ("perf_reduction_low_fr", "ed_reduction_low_fr",
+                "perf_reduction_high_fr", "ed_reduction_high_fr"):
+        assert lo <= PAPER_CLAIMS[key] <= hi

@@ -1,0 +1,79 @@
+"""Cross-feature interactions: schemes x overclock x predictors x memdep."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+from repro.uarch.config import CoreConfig
+
+_FAST = dict(n_instructions=1500, warmup=700)
+
+
+def test_ep_tolerates_overclock_faults_with_stalls():
+    result = run_one(
+        RunSpec("bzip2", SchemeKind.EP, 1.10, overclock=1.06, **_FAST)
+    )
+    assert result.stats.faults_predicted > 0
+    assert result.stats.ep_stalls > 0
+
+
+def test_store_sets_compose_with_fault_tolerance():
+    config = CoreConfig.core1(mem_dependence="store_sets")
+    result = run_one(
+        RunSpec("mcf", SchemeKind.ABS, 0.97, config=config, **_FAST)
+    )
+    assert result.stats.committed >= _FAST["n_instructions"]
+    assert result.stats.faults_total > 0
+    assert result.stats.replays < result.stats.faults_total
+
+
+def test_flush_mode_composes_with_ep():
+    config = CoreConfig.core1(replay_mode="flush")
+    result = run_one(
+        RunSpec("astar", SchemeKind.EP, 0.97, config=config, **_FAST)
+    )
+    assert result.stats.committed >= _FAST["n_instructions"]
+    # predicted faults stall; only the unpredicted ones flush
+    assert result.stats.ep_stalls > 0
+
+
+def test_mre_predictor_with_cds_scheme():
+    result = run_one(
+        RunSpec("libquantum", SchemeKind.CDS, 0.97, predictor="mre", **_FAST)
+    )
+    assert result.stats.committed >= _FAST["n_instructions"]
+    assert result.stats.faults_predicted > 0
+
+
+def test_overclock_and_undervolt_stack():
+    mild = run_one(RunSpec("bzip2", SchemeKind.RAZOR, 1.04, **_FAST))
+    stacked = run_one(
+        RunSpec("bzip2", SchemeKind.RAZOR, 1.04, overclock=1.05, **_FAST)
+    )
+    assert stacked.fault_rate > mild.fault_rate
+
+
+def test_narrow_core_with_faults():
+    config = CoreConfig.core2()
+    base = run_one(
+        RunSpec("gcc", SchemeKind.FAULT_FREE, 0.97, config=config, **_FAST)
+    )
+    abs_run = run_one(
+        RunSpec("gcc", SchemeKind.ABS, 0.97, config=config, **_FAST)
+    )
+    razor = run_one(
+        RunSpec("gcc", SchemeKind.RAZOR, 0.97, config=config, **_FAST)
+    )
+    assert abs_run.perf_overhead(base) < razor.perf_overhead(base)
+
+
+def test_determinism_across_feature_matrix():
+    spec_kwargs = dict(
+        predictor="mre", overclock=1.03,
+        config=CoreConfig.core1(mem_dependence="store_sets",
+                                replay_mode="flush"),
+        **_FAST,
+    )
+    a = run_one(RunSpec("astar", SchemeKind.FFS, 1.04, **spec_kwargs))
+    b = run_one(RunSpec("astar", SchemeKind.FFS, 1.04, **spec_kwargs))
+    assert a.stats.as_dict() == b.stats.as_dict()

@@ -1,0 +1,67 @@
+"""Integration: the paper's qualitative result shape must hold.
+
+Razor >> Error Padding >> {ABS, FFS, CDS}; the proposed schemes recover a
+large fraction of EP's overhead (the paper reports 64-97%).
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.timing import VDD_HIGH_FAULT
+from repro.harness.experiments import SchedulingSweep
+
+_BENCHMARKS = ["astar", "sjeng"]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return SchedulingSweep(
+        VDD_HIGH_FAULT, n_instructions=5000, warmup=2500, seed=1,
+        benchmarks=_BENCHMARKS,
+    )
+
+
+@pytest.mark.parametrize("bench", _BENCHMARKS)
+def test_razor_much_worse_than_ep(sweep, bench):
+    razor = sweep.perf_overhead(bench, SchemeKind.RAZOR)
+    ep = sweep.perf_overhead(bench, SchemeKind.EP)
+    assert razor > 1.5 * ep
+
+
+@pytest.mark.parametrize("bench", _BENCHMARKS)
+@pytest.mark.parametrize("scheme", [SchemeKind.ABS, SchemeKind.FFS,
+                                    SchemeKind.CDS])
+def test_proposed_schemes_beat_ep(sweep, bench, scheme):
+    proposed = sweep.perf_overhead(bench, scheme)
+    ep = sweep.perf_overhead(bench, SchemeKind.EP)
+    assert proposed < ep
+
+
+@pytest.mark.parametrize("bench", _BENCHMARKS)
+def test_reduction_in_paper_band(sweep, bench):
+    ep = sweep.perf_overhead(bench, SchemeKind.EP)
+    best = min(
+        sweep.perf_overhead(bench, s)
+        for s in (SchemeKind.ABS, SchemeKind.FFS, SchemeKind.CDS)
+    )
+    reduction = 1.0 - best / ep
+    # paper band is 64-97%; allow generous slack at this test's very small
+    # scale (sjeng — the highest-ILP, least-slack benchmark — recovers
+    # least; the benchmark suite asserts tighter bounds at larger scale)
+    assert reduction > 0.35
+
+
+@pytest.mark.parametrize("bench", _BENCHMARKS)
+def test_ed_overheads_track_performance(sweep, bench):
+    for scheme in (SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS):
+        perf = sweep.perf_overhead(bench, scheme)
+        ed = sweep.ed_overhead(bench, scheme)
+        assert ed >= perf * 0.9  # ED compounds delay with energy
+
+
+def test_fault_rates_consistent_across_schemes(sweep):
+    rates = [
+        sweep.result("astar", s).fault_rate
+        for s in (SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS)
+    ]
+    assert max(rates) < 2.0 * min(rates)

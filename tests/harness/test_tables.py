@@ -1,0 +1,45 @@
+"""Text table/bar rendering."""
+
+from repro.harness.tables import format_bar_series, format_table
+
+
+def test_table_has_header_separator_rows():
+    text = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    assert len(lines) == 5
+
+
+def test_table_floats_formatted():
+    text = format_table(["x"], [[1.23456]])
+    assert "1.235" in text
+
+
+def test_table_columns_aligned():
+    text = format_table(["col"], [[1], [100]])
+    rows = text.splitlines()[2:]
+    assert len(rows[0]) == len(rows[1])
+
+
+def test_bar_series_scales_to_peak():
+    text = format_bar_series(
+        "B", ["x"], {"s1": {"x": 1.0}, "s2": {"x": 0.5}}, max_width=10
+    )
+    lines = text.splitlines()
+    s1_bar = [l for l in lines if "s1" in l][0]
+    s2_bar = [l for l in lines if "s2" in l][0]
+    assert s1_bar.count("#") == 10
+    assert s2_bar.count("#") == 5
+
+
+def test_bar_series_skips_missing_categories():
+    text = format_bar_series("B", ["x", "y"], {"s": {"x": 1.0}})
+    assert "y:" in text
+    assert text.count("#") >= 1
+
+
+def test_bar_series_handles_all_zero():
+    text = format_bar_series("B", ["x"], {"s": {"x": 0.0}})
+    assert "0.000" in text

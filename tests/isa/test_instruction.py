@@ -1,0 +1,103 @@
+"""Static and dynamic instruction behaviour."""
+
+import pytest
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import FuKind, OpClass, PipeStage
+
+
+def _load(pc=0x1000, base=0x4000, stride=8, region=64):
+    return StaticInst(
+        pc, OpClass.LOAD, dest=3, srcs=(1,),
+        mem_base=base, mem_stride=stride, mem_region=region,
+    )
+
+
+class TestStaticInst:
+    def test_basic_fields(self):
+        si = StaticInst(0x2000, OpClass.IMUL, dest=5, srcs=(1, 2))
+        assert si.fu_kind is FuKind.COMPLEX
+        assert si.latency == 3
+        assert not si.is_mem and not si.is_branch
+
+    def test_address_stream_strides_and_wraps(self):
+        si = _load(stride=8, region=32)
+        addrs = []
+        for _ in range(8):
+            addrs.append(si.next_address())
+            si.exec_count += 1
+        assert addrs[:4] == [0x4000, 0x4008, 0x4010, 0x4018]
+        assert addrs[4] == 0x4000  # wrapped inside the region
+
+    def test_address_of_non_mem_is_zero(self):
+        si = StaticInst(0x2000, OpClass.IALU, dest=1)
+        assert si.next_address() == 0
+
+    def test_zero_region_is_fixed_address(self):
+        si = _load(region=0)
+        si.exec_count = 10
+        assert si.next_address() == 0x4000
+
+    def test_branch_flag(self):
+        si = StaticInst(0x3000, OpClass.BRANCH, taken_prob=0.5)
+        assert si.is_branch
+
+
+class TestDynInst:
+    def test_passthrough_properties(self):
+        si = _load()
+        di = DynInst(7, si, mem_addr=0x4000, taken=False)
+        assert di.pc == si.pc
+        assert di.op is OpClass.LOAD
+        assert di.is_load and di.is_mem and not di.is_store
+        assert di.fu_kind is FuKind.MEM
+
+    def test_fault_bitmask_roundtrip(self):
+        di = DynInst(0, _load())
+        assert not di.has_fault
+        di.add_fault(PipeStage.MEM)
+        di.add_fault(PipeStage.ISSUE)
+        assert di.faults_in(PipeStage.MEM)
+        assert di.faults_in(PipeStage.ISSUE)
+        assert not di.faults_in(PipeStage.EXECUTE)
+        assert di.has_fault
+
+    def test_predicted_faulty(self):
+        di = DynInst(0, _load())
+        assert not di.predicted_faulty
+        di.pred_fault_stage = PipeStage.ISSUE
+        assert di.predicted_faulty
+
+    def test_reset_for_refetch_preserves_identity(self):
+        di = DynInst(42, _load(), mem_addr=0xBEEF, taken=True)
+        di.phys_dest = 9
+        di.completed = True
+        di.squashed = True
+        di.add_fault(PipeStage.EXECUTE)
+        version = di.version
+        di.reset_for_refetch()
+        assert di.seq == 42
+        assert di.mem_addr == 0xBEEF
+        assert di.taken is True
+        assert di.fault_stages  # fault annotations retained
+        assert di.phys_dest == -1
+        assert not di.completed and not di.squashed
+        assert di.refetched
+        assert di.version == version + 1
+
+    def test_reset_clears_prediction(self):
+        di = DynInst(0, _load())
+        di.pred_fault_stage = PipeStage.MEM
+        di.pred_critical = True
+        di.tep_key = (1, 2)
+        di.reset_for_refetch()
+        assert di.pred_fault_stage is None
+        assert not di.pred_critical
+        assert di.tep_key is None
+
+
+@pytest.mark.parametrize("op", list(OpClass))
+def test_dyninst_constructible_for_every_op(op):
+    si = StaticInst(0x100, op, dest=None if op == OpClass.STORE else 1)
+    di = DynInst(0, si)
+    assert di.latency == si.latency

@@ -1,0 +1,78 @@
+"""Op classes, FU kinds, and pipe-stage classification."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    FuKind,
+    OOO_STAGES,
+    OP_FU_KIND,
+    OP_LATENCY,
+    OpClass,
+    PIPELINED_OPS,
+    PipeStage,
+    UNPIPELINED_OPS,
+    is_mem_op,
+)
+
+
+def test_every_op_has_latency_and_fu():
+    for op in OpClass:
+        assert op in OP_LATENCY
+        assert op in OP_FU_KIND
+
+
+def test_single_cycle_ops():
+    assert OP_LATENCY[OpClass.IALU] == 1
+    assert OP_LATENCY[OpClass.BRANCH] == 1
+
+
+def test_multi_cycle_ops_slower_than_simple():
+    for op in (OpClass.IMUL, OpClass.IDIV, OpClass.FPU):
+        assert OP_LATENCY[op] > OP_LATENCY[OpClass.IALU]
+
+
+def test_divide_is_slowest():
+    assert OP_LATENCY[OpClass.IDIV] == max(OP_LATENCY.values())
+
+
+def test_mem_ops_use_mem_port():
+    assert OP_FU_KIND[OpClass.LOAD] is FuKind.MEM
+    assert OP_FU_KIND[OpClass.STORE] is FuKind.MEM
+
+
+def test_branch_resolves_on_simple_alu():
+    assert OP_FU_KIND[OpClass.BRANCH] is FuKind.SIMPLE
+
+
+def test_complex_ops_on_complex_unit():
+    for op in (OpClass.IMUL, OpClass.IDIV, OpClass.FPU):
+        assert OP_FU_KIND[op] is FuKind.COMPLEX
+
+
+def test_pipelined_unpipelined_split_is_disjoint():
+    assert not (PIPELINED_OPS & UNPIPELINED_OPS)
+    assert OpClass.IDIV in UNPIPELINED_OPS
+    assert OpClass.IMUL in PIPELINED_OPS
+
+
+def test_ooo_engine_stage_classification():
+    for stage in OOO_STAGES:
+        assert stage.in_ooo_engine
+    for stage in (PipeStage.FETCH, PipeStage.DECODE, PipeStage.RENAME,
+                  PipeStage.DISPATCH, PipeStage.RETIRE):
+        assert not stage.in_ooo_engine
+
+
+def test_ooo_stages_in_pipeline_order():
+    values = [int(s) for s in OOO_STAGES]
+    assert values == sorted(values)
+
+
+@pytest.mark.parametrize("op,expected", [
+    (OpClass.LOAD, True),
+    (OpClass.STORE, True),
+    (OpClass.IALU, False),
+    (OpClass.BRANCH, False),
+])
+def test_is_mem_op(op, expected):
+    assert is_mem_op(op) is expected

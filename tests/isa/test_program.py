@@ -1,0 +1,79 @@
+"""Basic block and CFG program behaviour."""
+
+import random
+
+import pytest
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import BasicBlock, Program
+
+
+def _inst(pc, op=OpClass.IALU):
+    return StaticInst(pc, op, dest=1)
+
+
+def _block(index, pcs, successors):
+    return BasicBlock(index, [_inst(pc) for pc in pcs], successors)
+
+
+class TestBasicBlock:
+    def test_requires_instructions(self):
+        with pytest.raises(ValueError):
+            BasicBlock(0, [], [(0, 1.0)])
+
+    def test_successor_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            _block(0, [0x100], [(0, 0.5), (1, 0.2)])
+
+    def test_len(self):
+        assert len(_block(0, [0x100, 0x104], [(0, 1.0)])) == 2
+
+
+class TestProgram:
+    def test_duplicate_pc_rejected(self):
+        b0 = _block(0, [0x100], [(1, 1.0)])
+        b1 = _block(1, [0x100], [(0, 1.0)])
+        with pytest.raises(ValueError, match="duplicate"):
+            Program([b0, b1])
+
+    def test_requires_blocks(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_static_insts_sorted_by_pc(self):
+        b0 = _block(0, [0x108, 0x10C], [(1, 1.0)])
+        b1 = _block(1, [0x100, 0x104], [(0, 1.0)])
+        program = Program([b0, b1])
+        pcs = [si.pc for si in program.static_insts]
+        assert pcs == sorted(pcs)
+        assert program.n_static == 4
+
+    def test_lookup(self):
+        program = Program([_block(0, [0x100], [(0, 1.0)])])
+        assert program.lookup(0x100).pc == 0x100
+        with pytest.raises(KeyError):
+            program.lookup(0xDEAD)
+
+    def test_walk_bounded(self):
+        program = Program([_block(0, [0x100], [(0, 1.0)])])
+        blocks = list(program.walk(random.Random(0), max_blocks=5))
+        assert len(blocks) == 5
+
+    def test_walk_terminates_without_successors(self):
+        program = Program([_block(0, [0x100], [])])
+        blocks = list(program.walk(random.Random(0), max_blocks=10))
+        assert len(blocks) == 1
+
+    def test_walk_respects_probabilities(self):
+        # block 0 goes to block 1 with p=0.2, to itself with p=0.8
+        b0 = _block(0, [0x100], [(1, 0.2), (0, 0.8)])
+        b1 = _block(1, [0x200], [(0, 1.0)])
+        program = Program([b0, b1])
+        rng = random.Random(12)
+        visits = {0: 0, 1: 0}
+        for block in program.walk(rng, max_blocks=4000):
+            visits[block.index] += 1
+        # steady state: block 1 visited once per 1/0.2 = 5 visits of block 0
+        ratio = visits[1] / visits[0]
+        assert 0.15 < ratio < 0.25

@@ -1,0 +1,104 @@
+"""Set-associative cache with LRU replacement."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.cache import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=64):
+    return Cache(CacheConfig(assoc * sets * line, assoc, line))
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two_lines(self):
+        with pytest.raises(ValueError):
+            CacheConfig(1024, 2, 48)
+
+    def test_rejects_negative_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(-1, 2, 64)
+
+    def test_rejects_assoc_misfit(self):
+        with pytest.raises(ValueError):
+            CacheConfig(3 * 64, 2, 64)
+
+    def test_set_count(self):
+        config = CacheConfig(32 * 1024, 4, 64)
+        assert config.n_sets == 128
+
+
+class TestCacheBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_offset_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1000 + 63) is True
+
+    def test_lru_eviction_order(self):
+        cache = small_cache(assoc=2, sets=1)
+        a, b, c = 0x0, 0x40, 0x80  # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # a is now MRU
+        cache.access(c)      # evicts b (LRU)
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_working_set_within_assoc_always_hits(self):
+        cache = small_cache(assoc=4, sets=1)
+        lines = [i * 0x40 for i in range(4)]
+        for addr in lines:
+            cache.access(addr)
+        for _ in range(3):
+            for addr in lines:
+                assert cache.access(addr) is True
+
+    def test_probe_has_no_side_effects(self):
+        cache = small_cache()
+        assert cache.probe(0x1000) is False
+        assert cache.misses == 0
+        cache.access(0x1000)
+        assert cache.probe(0x1000) is True
+        assert cache.hits == 0 and cache.misses == 1
+
+    def test_flush(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        cache.flush()
+        assert cache.access(0x1000) is False
+        assert cache.misses == 1  # counters were reset by flush
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_occupancy_never_exceeds_capacity(addresses):
+    cache = small_cache(assoc=2, sets=4)
+    for addr in addresses:
+        cache.access(addr)
+    for ways in cache._sets:
+        assert len(ways) <= cache.config.assoc
+    assert cache.hits + cache.misses == len(addresses)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16), max_size=100),
+       st.integers(min_value=0, max_value=1 << 16))
+@settings(max_examples=40, deadline=None)
+def test_immediate_reaccess_always_hits(addresses, final):
+    cache = small_cache()
+    for addr in addresses:
+        cache.access(addr)
+    cache.access(final)
+    assert cache.access(final) is True

@@ -1,0 +1,70 @@
+"""Two-level hierarchy latencies and accounting."""
+
+import pytest
+
+from repro.mem.hierarchy import HierarchyConfig, MemoryHierarchy
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy()
+
+
+def test_paper_latencies_are_default():
+    config = HierarchyConfig()
+    assert config.l1_latency == 1
+    assert config.l2_latency == 25
+    assert config.mem_latency == 240
+
+
+def test_cold_access_goes_to_memory(hierarchy):
+    result = hierarchy.access_data(0x1234)
+    assert result.level == "MEM"
+    assert result.latency == 1 + 25 + 240
+
+
+def test_second_access_hits_l1(hierarchy):
+    hierarchy.access_data(0x1234)
+    result = hierarchy.access_data(0x1234)
+    assert result.level == "L1"
+    assert result.latency == 1
+
+
+def test_l1_eviction_falls_to_l2(hierarchy):
+    # fill one L1 set (4-way, 128 sets, 64B lines): 5 lines same set
+    set_stride = 128 * 64
+    addrs = [i * set_stride for i in range(5)]
+    for addr in addrs:
+        hierarchy.access_data(addr)
+    result = hierarchy.access_data(addrs[0])  # evicted from L1, still in L2
+    assert result.level == "L2"
+    assert result.latency == 26
+
+
+def test_inst_and_data_sides_are_split(hierarchy):
+    hierarchy.access_data(0x4000)
+    result = hierarchy.access_inst(0x4000)
+    assert result.level != "L1"  # data access did not warm L1I
+
+
+def test_inst_side_hits_shared_l2(hierarchy):
+    hierarchy.access_data(0x4000)
+    assert hierarchy.access_inst(0x4000).level == "L2"
+
+
+def test_stats_accounting(hierarchy):
+    hierarchy.access_data(0)
+    hierarchy.access_data(0)
+    hierarchy.access_inst(1 << 20)
+    stats = hierarchy.stats()
+    assert stats["l1d_hits"] == 1
+    assert stats["l1d_misses"] == 1
+    assert stats["l1i_misses"] == 1
+    assert stats["mem_accesses"] == 2
+
+
+def test_reset_stats_keeps_contents(hierarchy):
+    hierarchy.access_data(0x999)
+    hierarchy.reset_stats()
+    assert hierarchy.stats()["l1d_misses"] == 0
+    assert hierarchy.access_data(0x999).level == "L1"

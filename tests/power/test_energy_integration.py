@@ -1,0 +1,69 @@
+"""End-to-end energy behaviour across schemes and operating points."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+
+_FAST = dict(n_instructions=2000, warmup=1000)
+
+
+def test_razor_replays_burn_energy():
+    base = run_one(RunSpec("sjeng", SchemeKind.FAULT_FREE, 0.97, **_FAST))
+    razor = run_one(RunSpec("sjeng", SchemeKind.RAZOR, 0.97, **_FAST))
+    assert razor.energy.total > base.energy.total
+    # and EDP compounds: energy x delay grows faster than either
+    assert razor.edp / base.edp > razor.energy.total / base.energy.total
+
+
+def test_ep_stalls_cost_mostly_leakage():
+    base = run_one(RunSpec("astar", SchemeKind.FAULT_FREE, 1.04, **_FAST))
+    ep = run_one(RunSpec("astar", SchemeKind.EP, 1.04, **_FAST))
+    extra_leak = ep.energy.leakage - base.energy.leakage
+    extra_dyn = ep.energy.dynamic - base.energy.dynamic
+    assert extra_leak > 0
+    # stalls add cycles (leakage), not computation: leakage dominates the
+    # energy delta
+    assert extra_leak > extra_dyn
+
+
+def test_lower_voltage_saves_energy_at_equal_work():
+    high = run_one(RunSpec("gcc", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    low = run_one(RunSpec("gcc", SchemeKind.FAULT_FREE, 1.04, **_FAST))
+    # identical instruction stream, fewer millivolts: strictly less energy
+    assert low.energy.dynamic < high.energy.dynamic
+    assert low.energy.total < high.energy.total
+
+
+def test_abs_preserves_most_of_the_voltage_saving():
+    nominal = run_one(RunSpec("gcc", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    abs_low = run_one(RunSpec("gcc", SchemeKind.ABS, 1.04, **_FAST))
+    razor_low = run_one(RunSpec("gcc", SchemeKind.RAZOR, 1.04, **_FAST))
+    # the paper's pitch: cheap tolerance keeps undervolting profitable
+    assert abs_low.edp < razor_low.edp
+    assert abs_low.energy.total < nominal.energy.total
+
+
+def test_scheme_energy_ordering_matches_performance():
+    base = run_one(RunSpec("gobmk", SchemeKind.FAULT_FREE, 0.97, **_FAST))
+    results = {
+        kind: run_one(RunSpec("gobmk", kind, 0.97, **_FAST))
+        for kind in (SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS)
+    }
+    ed = {k: r.ed_overhead(base) for k, r in results.items()}
+    assert ed[SchemeKind.ABS] < ed[SchemeKind.EP] < ed[SchemeKind.RAZOR]
+
+
+def test_energy_breakdown_components_positive():
+    result = run_one(RunSpec("mcf", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    assert result.energy.dynamic > 0
+    assert result.energy.leakage > 0
+    assert result.energy.cycles == result.cycles
+
+
+def test_memory_bound_code_spends_more_energy_per_instruction():
+    mcf = run_one(RunSpec("mcf", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    dense = run_one(RunSpec("dense_alu", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    per_inst_mcf = mcf.energy.total / mcf.stats.committed
+    per_inst_dense = dense.energy.total / dense.stats.committed
+    assert per_inst_mcf > per_inst_dense  # DRAM accesses + stall leakage

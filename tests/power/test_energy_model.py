@@ -1,0 +1,103 @@
+"""Energy model: scaling laws, accounting, EDP."""
+
+import pytest
+
+from repro.faults.timing import VDD_HIGH_FAULT, VDD_NOMINAL
+from repro.isa.opcodes import OpClass
+from repro.power.energy_model import EnergyBreakdown, EnergyModel
+from repro.uarch.stats import SimStats
+
+
+def _stats(cycles=100, committed=80):
+    stats = SimStats()
+    stats.cycles = cycles
+    stats.committed = committed
+    stats.fetched = committed
+    stats.dispatched = committed
+    stats.issued = committed
+    stats.regreads = committed
+    stats.regwrites = committed // 2
+    stats.wb_writes = committed
+    stats.broadcasts = committed // 2
+    stats.broadcast_occupancy = committed * 8
+    stats.lsq_searches = committed // 4
+    stats.fu_ops = {OpClass.IALU: committed}
+    return stats
+
+
+def _cache_stats(**overrides):
+    base = {
+        "l1i_hits": 50, "l1i_misses": 2,
+        "l1d_hits": 30, "l1d_misses": 3,
+        "l2_hits": 4, "l2_misses": 1,
+        "mem_accesses": 1,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_total_is_dynamic_plus_leakage():
+    breakdown = EnergyModel().evaluate(_stats(), _cache_stats())
+    assert breakdown.total == pytest.approx(
+        breakdown.dynamic + breakdown.leakage
+    )
+    assert breakdown.dynamic > 0 and breakdown.leakage > 0
+
+
+def test_edp_is_energy_times_cycles():
+    breakdown = EnergyModel().evaluate(_stats(cycles=123), _cache_stats())
+    assert breakdown.edp == pytest.approx(breakdown.total * 123)
+
+
+def test_voltage_scaling_laws():
+    assert EnergyModel.dynamic_scale(VDD_NOMINAL) == pytest.approx(1.0)
+    assert EnergyModel.dynamic_scale(VDD_HIGH_FAULT) == pytest.approx(
+        (VDD_HIGH_FAULT / VDD_NOMINAL) ** 2
+    )
+    assert EnergyModel.leakage_scale(VDD_HIGH_FAULT) == pytest.approx(
+        VDD_HIGH_FAULT / VDD_NOMINAL
+    )
+
+
+def test_lower_voltage_reduces_energy():
+    model = EnergyModel()
+    nominal = model.evaluate(_stats(), _cache_stats(), vdd=VDD_NOMINAL)
+    lowered = model.evaluate(_stats(), _cache_stats(), vdd=VDD_HIGH_FAULT)
+    assert lowered.total < nominal.total
+
+
+def test_extra_cycles_cost_leakage_only():
+    model = EnergyModel()
+    short = model.evaluate(_stats(cycles=100), _cache_stats())
+    long = model.evaluate(_stats(cycles=200), _cache_stats())
+    assert long.leakage == pytest.approx(2 * short.leakage)
+    assert long.dynamic == pytest.approx(short.dynamic)
+
+
+def test_tep_energy_only_when_enabled():
+    model = EnergyModel()
+    without = model.evaluate(_stats(), _cache_stats(), uses_tep=False)
+    with_tep = model.evaluate(_stats(), _cache_stats(), uses_tep=True)
+    assert with_tep.dynamic > without.dynamic
+    # and it is a small predictor (Section S3): well under 1% of dynamic
+    assert (with_tep.dynamic - without.dynamic) / without.dynamic < 0.01
+
+
+def test_memory_accesses_dominate_cache_energy():
+    model = EnergyModel()
+    few = model.evaluate(_stats(), _cache_stats(mem_accesses=0))
+    many = model.evaluate(_stats(), _cache_stats(mem_accesses=50))
+    assert many.dynamic > few.dynamic + 10_000 * 0  # strictly larger
+    delta = many.dynamic - few.dynamic
+    assert delta == pytest.approx(50 * model.event_energy["mem"], rel=1e-6)
+
+
+def test_event_energy_overrides():
+    model = EnergyModel(event_energy={"fetch": 100.0})
+    assert model.event_energy["fetch"] == 100.0
+    assert model.event_energy["decode"] > 0  # defaults retained
+
+
+def test_breakdown_repr():
+    text = repr(EnergyBreakdown(10.0, 5.0, 7, 1.1))
+    assert "15.0" in text and "cycles=7" in text

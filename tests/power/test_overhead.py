@@ -1,0 +1,75 @@
+"""VTE scheduler overhead model (Table 2)."""
+
+import pytest
+
+from repro.power.overhead import (
+    OverheadReport,
+    SchedulerOverheadModel,
+    SCHEDULER_CORE_AREA_FRACTION,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SchedulerOverheadModel()
+
+
+def test_abs_and_ffs_identical(model):
+    assert model.report("ABS").area == model.report("FFS").area
+    assert model.report("ABS").leakage == model.report("FFS").leakage
+
+
+def test_cds_costs_more_than_abs(model):
+    abs_report = model.report("ABS")
+    cds_report = model.report("CDS")
+    assert cds_report.area > abs_report.area
+    assert cds_report.dynamic > abs_report.dynamic
+    assert cds_report.leakage > abs_report.leakage
+
+
+def test_overheads_in_paper_magnitude(model):
+    # Table 2: ABS/FFS under ~3% of the scheduler, CDS a few percent
+    abs_report = model.report("ABS")
+    cds_report = model.report("CDS")
+    assert 0.001 < abs_report.area < 0.04
+    assert 0.01 < cds_report.area < 0.12
+    assert abs_report.dynamic < 0.02
+    assert cds_report.dynamic < 0.05
+
+
+def test_core_level_scaling(model):
+    sched = model.report("CDS")
+    core = sched.core_level()
+    assert core.area == pytest.approx(
+        sched.area * SCHEDULER_CORE_AREA_FRACTION
+    )
+    # core-level overheads are tiny, as in the paper (<= 0.25%)
+    assert core.area < 0.0035
+    assert core.dynamic < 0.0035
+    assert core.leakage < 0.0035
+
+
+def test_unknown_scheme_raises(model):
+    with pytest.raises(ValueError):
+        model.report("RAZOR")
+
+
+def test_table2_rows(model):
+    rows = model.table2()
+    assert [r[0] for r in rows] == ["ABS", "FFS", "CDS"]
+    for _, sched, core in rows:
+        assert isinstance(sched, OverheadReport)
+        assert core.area < sched.area
+
+
+def test_baseline_dominated_by_cam_and_payload(model):
+    structures = {s.name: s for s in model.baseline_structures()}
+    assert "wakeup_cam" in structures and "payload" in structures
+    total = sum(s.area for s in structures.values())
+    big_two = structures["wakeup_cam"].area + structures["payload"].area
+    assert big_two / total > 0.5
+
+
+def test_criticality_threshold_configurable():
+    small = SchedulerOverheadModel(criticality_threshold=2)
+    assert small.report("CDS").area > 0

@@ -1,0 +1,55 @@
+"""The example scripts must at least compile and expose a main().
+
+Full executions are exercised manually / in the benchmark logs (they run
+tens of seconds each); here we guarantee they stay importable and that
+the fastest one runs end to end.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart", "voltage_sweep", "illustrative_example",
+        "sensitization_study", "simpoint_phases", "overclocking",
+        "predictor_comparison",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles_and_has_main(path):
+    module = _load(path)
+    assert callable(getattr(module, "main", None))
+    assert module.__doc__  # every example explains itself
+
+
+def test_illustrative_example_runs(capsys):
+    module = _load(
+        pathlib.Path(__file__).parent.parent
+        / "examples" / "illustrative_example.py"
+    )
+    old_argv = sys.argv
+    sys.argv = ["illustrative_example.py"]
+    try:
+        module.main()
+    finally:
+        sys.argv = old_argv
+    out = capsys.readouterr().out
+    assert "fault-free schedule" in out
+    assert "No replay occurred" in out

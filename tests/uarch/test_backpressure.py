@@ -1,0 +1,69 @@
+"""Structural backpressure paths: tiny queues, register exhaustion."""
+
+import pytest
+
+from repro.uarch.config import CoreConfig
+
+from tests.conftest import make_core, make_linear_program
+
+
+def _mem_heavy_program():
+    from repro.workloads.generator import build_program
+    from repro.workloads.profiles import get_profile
+
+    return build_program(get_profile("mcf"), seed=4)
+
+
+def test_tiny_rob_still_makes_progress():
+    core = make_core(config=CoreConfig(rob_size=8))
+    stats = core.run(600)
+    assert stats.committed >= 600
+
+
+def test_tiny_iq_still_makes_progress():
+    core = make_core(config=CoreConfig(iq_size=4))
+    stats = core.run(600)
+    assert stats.committed >= 600
+
+
+def test_tiny_lsq_still_makes_progress():
+    core = make_core(_mem_heavy_program(), config=CoreConfig(lsq_size=4))
+    stats = core.run(600)
+    assert stats.committed >= 600
+
+
+def test_minimal_physical_registers():
+    # 33 physical registers: exactly one rename in flight at a time
+    core = make_core(config=CoreConfig(n_phys_regs=33))
+    stats = core.run(400)
+    assert stats.committed >= 400
+
+
+def test_smaller_windows_cost_performance():
+    big = make_core(make_linear_program()).run(1200)
+    small = make_core(
+        make_linear_program(), config=CoreConfig(rob_size=8, iq_size=4)
+    ).run(1200)
+    assert small.cycles >= big.cycles
+
+
+def test_single_wide_machine():
+    core = make_core(config=CoreConfig(width=1, n_simple_alu=1))
+    stats = core.run(500)
+    assert stats.committed >= 500
+    assert stats.ipc <= 1.0
+
+
+def test_core2_classmethod():
+    config = CoreConfig.core2()
+    assert config.width == 2
+    assert config.iq_size == 16
+    core = make_core(config=config)
+    assert core.run(400).committed >= 400
+
+
+def test_rejects_nonpositive_dimensions():
+    with pytest.raises(ValueError):
+        CoreConfig(width=0)
+    with pytest.raises(ValueError):
+        CoreConfig(n_phys_regs=16, n_arch_regs=32)

@@ -1,0 +1,79 @@
+"""Branch predictor behaviour."""
+
+import random
+
+import pytest
+
+from repro.uarch.branch_predictor import GShare
+
+
+def test_rejects_bad_geometry():
+    with pytest.raises(ValueError):
+        GShare(table_bits=0)
+    with pytest.raises(ValueError):
+        GShare(table_bits=4, history_bits=2, index_history_bits=4)
+
+
+def test_learns_always_taken_branch():
+    bp = GShare()
+    for _ in range(4):
+        bp.predict_and_update(0x100, True)
+    assert bp.predict(0x100) is True
+    assert bp.mispredictions <= 1  # initial weakly-taken guesses right
+
+
+def test_learns_never_taken_branch():
+    bp = GShare()
+    for _ in range(4):
+        bp.predict_and_update(0x100, False)
+    assert bp.predict(0x100) is False
+
+
+def test_biased_branch_mispredict_rate_near_bias():
+    bp = GShare()
+    rng = random.Random(3)
+    for _ in range(4000):
+        bp.predict_and_update(0x200, rng.random() < 0.9)
+    # a 2-bit counter on Bernoulli(0.9) mispredicts ~10-15%
+    assert bp.misprediction_rate < 0.2
+
+
+def test_distinct_branches_do_not_interfere():
+    bp = GShare(table_bits=12)
+    for _ in range(8):
+        bp.predict_and_update(0x100, True)
+        bp.predict_and_update(0x104, False)
+    assert bp.predict(0x100) is True
+    assert bp.predict(0x104) is False
+
+
+def test_ghr_shifts_outcomes():
+    bp = GShare(history_bits=4)
+    for outcome in (True, False, True, True):
+        bp.update(0x100, outcome)
+    assert bp.ghr == 0b1011
+
+
+def test_ghr_masked_to_width():
+    bp = GShare(history_bits=3)
+    for _ in range(10):
+        bp.update(0x100, True)
+    assert bp.ghr == 0b111
+
+
+def test_bimodal_index_ignores_history():
+    bp = GShare(index_history_bits=0)
+    idx_before = bp._index(0x300)
+    bp.update(0x400, True)
+    assert bp._index(0x300) == idx_before
+
+
+def test_gshare_index_uses_history():
+    bp = GShare(index_history_bits=4)
+    idx_before = bp._index(0x300)
+    bp.update(0x400, True)
+    assert bp._index(0x300) != idx_before
+
+
+def test_rate_zero_without_predictions():
+    assert GShare().misprediction_rate == 0.0

@@ -1,0 +1,84 @@
+"""Functional units and FUSR semantics."""
+
+import pytest
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import FuKind, OpClass
+from repro.uarch.functional_units import FuPool
+
+
+def _inst(op):
+    return DynInst(0, StaticInst(0x100, op, dest=1))
+
+
+@pytest.fixture
+def pool():
+    return FuPool({FuKind.SIMPLE: 2, FuKind.COMPLEX: 1, FuKind.MEM: 1})
+
+
+def test_rejects_zero_units():
+    with pytest.raises(ValueError):
+        FuPool({FuKind.SIMPLE: 0})
+
+
+def test_find_available_prefers_free_unit(pool):
+    u0 = pool.find_available(FuKind.SIMPLE, 0)
+    pool.issue(u0, _inst(OpClass.IALU), 0, 1)
+    u1 = pool.find_available(FuKind.SIMPLE, 0)
+    assert u1 is not None and u1 is not u0
+
+
+def test_pipelined_unit_accepts_next_cycle(pool):
+    unit = pool.find_available(FuKind.COMPLEX, 0)
+    pool.issue(unit, _inst(OpClass.IMUL), 0, 3)
+    assert not unit.available(0)
+    assert unit.available(1)  # pipelined: initiation interval 1
+
+
+def test_unpipelined_divide_blocks_for_full_latency(pool):
+    unit = pool.find_available(FuKind.COMPLEX, 0)
+    pool.issue(unit, _inst(OpClass.IDIV), 0, 12)
+    assert not unit.available(11)
+    assert unit.available(12)
+
+
+def test_freeze_extra_extends_busy_window(pool):
+    unit = pool.find_available(FuKind.SIMPLE, 0)
+    pool.issue(unit, _inst(OpClass.IALU), 0, 1)
+    unit.freeze_extra(1)
+    assert not unit.available(1)
+    assert unit.available(2)
+
+
+def test_all_units_busy_returns_none(pool):
+    for _ in range(2):
+        unit = pool.find_available(FuKind.SIMPLE, 0)
+        pool.issue(unit, _inst(OpClass.IALU), 0, 1)
+    assert pool.find_available(FuKind.SIMPLE, 0) is None
+    assert pool.find_available(FuKind.SIMPLE, 1) is not None
+
+
+def test_shift_pending_delays_busy_units_only(pool):
+    busy = pool.find_available(FuKind.COMPLEX, 0)
+    pool.issue(busy, _inst(OpClass.IDIV), 0, 12)
+    idle = pool.find_available(FuKind.MEM, 0)
+    pool.shift_pending(now=5)
+    assert busy.next_issue == 13
+    assert idle.next_issue == 0
+
+
+def test_issue_counting(pool):
+    unit = pool.find_available(FuKind.MEM, 0)
+    pool.issue(unit, _inst(OpClass.LOAD), 0, 1)
+    assert pool.issued[FuKind.MEM] == 1
+
+
+def test_reset_clears_reservations(pool):
+    unit = pool.find_available(FuKind.COMPLEX, 0)
+    pool.issue(unit, _inst(OpClass.IDIV), 0, 12)
+    pool.reset()
+    assert unit.available(0)
+
+
+def test_describe(pool):
+    assert pool.describe() == {"SIMPLE": 2, "COMPLEX": 1, "MEM": 1}

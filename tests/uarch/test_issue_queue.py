@@ -1,0 +1,128 @@
+"""Issue queue: timestamps, wakeup readiness, dependent counting."""
+
+import pytest
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+from repro.uarch.issue_queue import IssueQueue, TIMESTAMP_MASK
+from repro.uarch.lsq import LoadStoreQueue
+from repro.uarch.regfile import RenameState
+
+
+def _alu(seq, dest=1, srcs=()):
+    return DynInst(seq, StaticInst(0x100 + 4 * seq, OpClass.IALU,
+                                   dest=dest, srcs=srcs))
+
+
+def _load(seq):
+    return DynInst(seq, StaticInst(0x900 + 4 * seq, OpClass.LOAD, dest=2,
+                                   srcs=(1,), mem_base=64, mem_region=0),
+                   mem_addr=64)
+
+
+def _store(seq):
+    return DynInst(seq, StaticInst(0xA00 + 4 * seq, OpClass.STORE,
+                                   srcs=(1,), mem_base=64, mem_region=0),
+                   mem_addr=64)
+
+
+@pytest.fixture
+def rename():
+    return RenameState(8, 32)
+
+
+def test_rejects_bad_size():
+    with pytest.raises(ValueError):
+        IssueQueue(0)
+
+
+def test_timestamps_wrap_modulo_64():
+    iq = IssueQueue(4)
+    for seq in range(70):
+        inst = _alu(seq)
+        iq.insert(inst)
+        assert inst.timestamp == seq & TIMESTAMP_MASK
+        iq.remove(inst)
+
+
+def test_overflow_raises():
+    iq = IssueQueue(1)
+    iq.insert(_alu(0))
+    with pytest.raises(RuntimeError):
+        iq.insert(_alu(1))
+
+
+def test_ready_entries_follow_scoreboard(rename):
+    iq = IssueQueue(8)
+    producer = _alu(0, dest=2)
+    rename.rename(producer)
+    consumer = _alu(1, dest=3, srcs=(2,))
+    rename.rename(consumer)
+    independent = _alu(2, dest=4, srcs=())
+    rename.rename(independent)
+    iq.insert(consumer)
+    iq.insert(independent)
+    assert iq.ready_entries(0, rename) == [independent]
+    rename.set_ready(producer.phys_dest, 5)
+    assert set(iq.ready_entries(5, rename)) == {consumer, independent}
+
+
+def test_loads_wait_for_older_store_addresses(rename):
+    iq = IssueQueue(8)
+    lsq = LoadStoreQueue(8)
+    store = _store(0)
+    load = _load(1)
+    rename.rename(store)
+    rename.rename(load)
+    rename.set_ready(rename.rat[1], 0)
+    lsq.allocate(store)
+    lsq.allocate(load)
+    iq.insert(store)
+    iq.insert(load)
+    ready = iq.ready_entries(0, rename, lsq)
+    assert store in ready and load not in ready
+    lsq.resolve_address(store, 0)
+    assert load in iq.ready_entries(0, rename, lsq)
+
+
+def test_head_timestamp_is_oldest_entry(rename):
+    iq = IssueQueue(8)
+    insts = [_alu(seq) for seq in range(3)]
+    for inst in insts:
+        rename.rename(inst)
+        iq.insert(inst)
+    assert iq.head_timestamp() == insts[0].timestamp
+    iq.remove(insts[0])
+    assert iq.head_timestamp() == insts[1].timestamp
+
+
+def test_head_timestamp_empty_queue():
+    assert IssueQueue(4).head_timestamp() == 0
+
+
+def test_count_dependents(rename):
+    iq = IssueQueue(8)
+    producer = _alu(0, dest=2)
+    rename.rename(producer)
+    tag = producer.phys_dest
+    for seq in range(1, 4):
+        consumer = _alu(seq, dest=3 + seq, srcs=(2,))
+        rename.rename(consumer)
+        iq.insert(consumer)
+    other = _alu(9, dest=7, srcs=())
+    rename.rename(other)
+    iq.insert(other)
+    assert iq.count_dependents(tag) == 3
+    assert iq.count_dependents(-1) == 0
+
+
+def test_squash_from_drops_young_entries(rename):
+    iq = IssueQueue(8)
+    insts = [_alu(seq) for seq in range(5)]
+    for inst in insts:
+        rename.rename(inst)
+        iq.insert(inst)
+    dropped = iq.squash_from(3)
+    assert {i.seq for i in dropped} == {3, 4}
+    assert len(iq) == 3
+    assert all(not i.in_iq for i in dropped)

@@ -1,0 +1,115 @@
+"""Load/store queue: disambiguation, forwarding, CAM accounting."""
+
+import pytest
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+from repro.uarch.lsq import LoadStoreQueue
+
+
+def _load(seq, addr):
+    return DynInst(seq, StaticInst(0x100 + 4 * seq, OpClass.LOAD, dest=1,
+                                   srcs=(2,)), mem_addr=addr)
+
+
+def _store(seq, addr):
+    return DynInst(seq, StaticInst(0x500 + 4 * seq, OpClass.STORE,
+                                   srcs=(1, 2)), mem_addr=addr)
+
+
+@pytest.fixture
+def lsq():
+    return LoadStoreQueue(8)
+
+
+def test_rejects_bad_size():
+    with pytest.raises(ValueError):
+        LoadStoreQueue(0)
+
+
+def test_overflow(lsq):
+    for seq in range(8):
+        lsq.allocate(_load(seq, seq * 8))
+    assert lsq.full
+    with pytest.raises(RuntimeError):
+        lsq.allocate(_load(9, 0))
+
+
+def test_older_stores_resolved(lsq):
+    store = _store(0, 0x100)
+    load = _load(1, 0x100)
+    lsq.allocate(store)
+    lsq.allocate(load)
+    assert not lsq.older_stores_resolved(1, cycle=10)
+    lsq.resolve_address(store, cycle=5)
+    assert lsq.older_stores_resolved(1, cycle=5)
+    assert not lsq.older_stores_resolved(1, cycle=4)
+
+
+def test_younger_stores_do_not_block(lsq):
+    load = _load(0, 0x100)
+    store = _store(1, 0x100)
+    lsq.allocate(load)
+    lsq.allocate(store)
+    assert lsq.older_stores_resolved(0, cycle=0)
+
+
+def test_forwarding_exact_match(lsq):
+    store = _store(0, 0x100)
+    load = _load(1, 0x100)
+    lsq.allocate(store)
+    lsq.allocate(load)
+    lsq.resolve_address(store, 0)
+    assert lsq.search_forward(load, cycle=1) is True
+    assert lsq.forwards == 1
+    assert lsq.cam_searches == 1
+
+
+def test_forwarding_match_granularity_is_8_bytes(lsq):
+    store = _store(0, 0x100)
+    lsq.allocate(store)
+    lsq.resolve_address(store, 0)
+    near = _load(1, 0x104)   # same 8-byte word
+    far = _load(2, 0x108)    # next word
+    lsq.allocate(near)
+    lsq.allocate(far)
+    assert lsq.search_forward(near, cycle=1) is True
+    assert lsq.search_forward(far, cycle=1) is False
+
+
+def test_no_forward_from_younger_store(lsq):
+    load = _load(0, 0x200)
+    store = _store(1, 0x200)
+    lsq.allocate(load)
+    lsq.allocate(store)
+    lsq.resolve_address(store, 0)
+    assert lsq.search_forward(load, cycle=5) is False
+
+
+def test_no_forward_from_unresolved_store(lsq):
+    store = _store(0, 0x300)
+    load = _load(1, 0x300)
+    lsq.allocate(store)
+    lsq.allocate(load)
+    assert lsq.search_forward(load, cycle=0) is False
+
+
+def test_retire_removes_entry(lsq):
+    store = _store(0, 0x100)
+    lsq.allocate(store)
+    lsq.retire(store)
+    assert len(lsq) == 0
+    with pytest.raises(KeyError):
+        lsq.retire(store)
+
+
+def test_resolve_unknown_instruction_raises(lsq):
+    with pytest.raises(KeyError):
+        lsq.resolve_address(_load(9, 0), 0)
+
+
+def test_squash_from(lsq):
+    for seq in range(4):
+        lsq.allocate(_load(seq, seq * 64))
+    lsq.squash_from(2)
+    assert len(lsq) == 2

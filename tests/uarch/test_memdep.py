@@ -1,0 +1,126 @@
+"""Store-set memory dependence prediction."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import BasicBlock, Program
+from repro.uarch.config import CoreConfig
+from repro.uarch.memdep import StoreSetPredictor
+
+from tests.conftest import make_core
+
+
+class TestPredictorTables:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StoreSetPredictor(n_ssit=100)
+        with pytest.raises(ValueError):
+            StoreSetPredictor(n_lfst=0)
+
+    def test_untrained_loads_never_wait(self):
+        ssp = StoreSetPredictor()
+        assert ssp.must_wait_for(0x1000) is None
+
+    def test_violation_creates_shared_set(self):
+        ssp = StoreSetPredictor()
+        ssp.train_violation(0x1000, 0x2000)
+        assert ssp.set_of(0x1000) is not None
+        assert ssp.set_of(0x1000) == ssp.set_of(0x2000)
+
+    def test_load_waits_for_in_flight_store(self):
+        ssp = StoreSetPredictor()
+        ssp.train_violation(0x1000, 0x2000)
+        ssp.store_fetched(0x2000, seq=42)
+        assert ssp.must_wait_for(0x1000) == 42
+        ssp.store_resolved(0x2000, seq=42)
+        assert ssp.must_wait_for(0x1000) is None
+
+    def test_older_store_not_lost_behind_newer_one(self):
+        # the classic LFST pitfall: a newer same-set store must not erase
+        # the load's dependency on a still-unresolved older store
+        ssp = StoreSetPredictor()
+        ssp.train_violation(0x1000, 0x2000)
+        ssp.store_fetched(0x2000, seq=42)
+        ssp.store_fetched(0x2000, seq=50)
+        assert ssp.must_wait_for(0x1000, load_seq=45) == 42
+        ssp.store_resolved(0x2000, seq=42)
+        assert ssp.must_wait_for(0x1000, load_seq=45) is None
+        assert ssp.must_wait_for(0x1000, load_seq=60) == 50
+
+    def test_set_merging(self):
+        ssp = StoreSetPredictor()
+        ssp.train_violation(0x1000, 0x2000)
+        ssp.train_violation(0x3000, 0x4000)
+        ssp.train_violation(0x1000, 0x4000)  # merges the two sets
+        assert ssp.set_of(0x1000) == ssp.set_of(0x4000)
+
+    def test_reset(self):
+        ssp = StoreSetPredictor()
+        ssp.train_violation(0x1000, 0x2000)
+        ssp.reset()
+        assert ssp.set_of(0x1000) is None
+        assert ssp.violations == 0
+
+
+def _aliasing_program():
+    """A loop where a store and a later load hit the same fixed address,
+    with the store's address depending on a slow divide (so speculation
+    past it is tempting and wrong)."""
+    insts = [
+        StaticInst(0x1000, OpClass.IDIV, dest=1, srcs=(1,)),
+        StaticInst(0x1004, OpClass.STORE, srcs=(1,),
+                   mem_base=0x800, mem_stride=0, mem_region=0),
+        StaticInst(0x1008, OpClass.LOAD, dest=2, srcs=(),
+                   mem_base=0x800, mem_stride=0, mem_region=0),
+        StaticInst(0x100C, OpClass.IALU, dest=3, srcs=(2,)),
+        StaticInst(0x1010, OpClass.BRANCH, srcs=(), taken_prob=0.0),
+    ]
+    return Program([BasicBlock(0, insts, [(0, 1.0)])], name="alias")
+
+
+class TestPipelineIntegration:
+    def test_speculation_lifts_ipc_on_memory_codes(self):
+        from repro.workloads.generator import build_program
+        from repro.workloads.profiles import get_profile
+
+        program = build_program(get_profile("xalancbmk"), seed=1)
+        conservative = make_core(program).run(2500)
+        program2 = build_program(get_profile("xalancbmk"), seed=1)
+        speculative = make_core(
+            program2,
+            config=CoreConfig.core1(mem_dependence="store_sets"),
+        ).run(2500)
+        assert speculative.ipc > conservative.ipc
+
+    def test_aliasing_load_violates_then_synchronizes(self):
+        core = make_core(
+            _aliasing_program(),
+            config=CoreConfig.core1(mem_dependence="store_sets"),
+        )
+        stats = core.run(800)
+        # the first speculation past the divide-dependent store misfires...
+        assert stats.memdep_violations >= 1
+        # ...but training synchronizes the pair: violations stay rare
+        assert stats.memdep_violations < 10
+        assert core.memdep.set_of(0x1008) is not None
+        assert core.memdep.set_of(0x1008) == core.memdep.set_of(0x1004)
+
+    def test_conservative_mode_never_violates(self):
+        core = make_core(_aliasing_program())
+        stats = core.run(800)
+        assert stats.memdep_violations == 0
+
+    def test_correctness_repair_is_flush(self):
+        core = make_core(
+            _aliasing_program(),
+            config=CoreConfig.core1(mem_dependence="store_sets"),
+        )
+        stats = core.run(800)
+        if stats.memdep_violations:
+            assert stats.squashed > 0  # ordering repair flushes
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CoreConfig.core1(mem_dependence="oracle")

@@ -1,0 +1,160 @@
+"""Pipeline integration: fault-free behaviour."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import BasicBlock, Program
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import DeadlockError
+
+from tests.conftest import make_core, make_linear_program
+
+
+def _chain_program(length=8):
+    """One looping block forming a dependence chain across iterations.
+
+    Instruction i reads r(i+1) and writes r(i+2 mod length +1); with the
+    default length the last instruction feeds the first of the next
+    iteration, so the whole dynamic stream is one serial chain.
+    """
+    insts = []
+    pc = 0x1000
+    for i in range(length):
+        src = (i % length) + 1
+        dest = ((i + 1) % length) + 1
+        insts.append(StaticInst(pc, OpClass.IALU, dest=dest, srcs=(src,)))
+        pc += 4
+    insts.append(StaticInst(pc, OpClass.BRANCH, srcs=(), taken_prob=0.0))
+    return Program([BasicBlock(0, insts, [(0, 1.0)])], name="chain")
+
+
+def test_runs_to_budget():
+    core = make_core()
+    stats = core.run(500)
+    assert stats.committed >= 500
+    assert stats.cycles > 0
+
+
+def test_rejects_bad_budget():
+    with pytest.raises(ValueError):
+        make_core().run(0)
+
+
+def test_ipc_bounded_by_width():
+    core = make_core()
+    stats = core.run(1000)
+    assert 0 < stats.ipc <= core.config.width
+
+
+def test_independent_alus_exceed_ipc_one():
+    # 4 independent single-cycle ALU ops per block: with 2 simple ALUs the
+    # core should sustain close to 2 IPC
+    core = make_core(make_linear_program(n_blocks=2, block_len=5))
+    stats = core.run(2000)
+    assert stats.ipc > 1.3
+
+
+def test_dependence_chain_limits_ipc_to_one():
+    # 8 chained ALU ops + 1 independent branch per iteration: the chain
+    # sustains one ALU per cycle, so IPC ~ 9/8
+    core = make_core(_chain_program())
+    stats = core.run(2000)
+    assert stats.ipc <= 1.2
+
+
+def test_deterministic_given_seed():
+    a = make_core(seed=3).run(800).as_dict()
+    b = make_core(seed=3).run(800).as_dict()
+    assert a == b
+
+
+def test_fault_free_run_has_no_faults():
+    stats = make_core().run(500)
+    assert stats.faults_total == 0
+    assert stats.replays == 0
+    assert stats.ep_stalls == 0
+
+
+def test_commit_in_program_order():
+    core = make_core()
+    committed = []
+    original = core.rob.commit_ready
+
+    def spy(width):
+        insts = original(width)
+        committed.extend(i.seq for i in insts)
+        return insts
+
+    core.rob.commit_ready = spy
+    core.run(300)
+    assert committed == sorted(committed)
+
+
+def test_finite_trace_drains():
+    program = make_linear_program(n_blocks=3, block_len=4, loop=False)
+    core = make_core(program)
+    stats = core.run(10_000)  # budget far beyond the trace length
+    assert stats.committed < 10_000
+    assert core._drained()
+
+
+def test_deadlock_guard_raises():
+    core = make_core()
+    with pytest.raises(DeadlockError):
+        core.run(100, max_cycles=3)
+
+
+def test_requires_tep_for_predictive_scheme(linear_program):
+    from repro.core.schemes import make_scheme
+    from repro.mem.hierarchy import MemoryHierarchy
+    from repro.uarch.pipeline import OoOCore
+    from repro.workloads.trace import TraceGenerator
+
+    with pytest.raises(ValueError, match="TEP"):
+        OoOCore(
+            CoreConfig.core1(),
+            TraceGenerator(linear_program),
+            MemoryHierarchy(),
+            make_scheme(SchemeKind.ABS),
+        )
+
+
+def test_stats_iq_occupancy_positive():
+    stats = make_core().run(500)
+    assert stats.avg_iq_occupancy > 0
+
+
+def test_narrow_core_is_slower():
+    wide = make_core(config=CoreConfig(width=4)).run(1500)
+    narrow = make_core(config=CoreConfig(width=1, n_simple_alu=1)).run(1500)
+    assert narrow.cycles > wide.cycles
+
+
+def test_branch_mispredicts_cost_cycles():
+    # identical structure, biased vs unbiased conditional branch
+    def program(p_taken):
+        insts = [
+            StaticInst(0x1000 + 4 * i, OpClass.IALU, dest=i + 1, srcs=())
+            for i in range(4)
+        ]
+        insts.append(
+            StaticInst(0x1010, OpClass.BRANCH, srcs=(), taken_prob=p_taken)
+        )
+        blocks = [
+            BasicBlock(0, insts, [(1, 1.0 - p_taken), (0, p_taken)]),
+            # block 1 starts at the branch's fall-through PC, so "not
+            # taken" really is a fall-through for the direction predictor
+            BasicBlock(
+                1,
+                [StaticInst(0x1014, OpClass.BRANCH, srcs=(), taken_prob=0.0)],
+                [(0, 1.0)],
+            ),
+        ]
+        return Program(blocks, name=f"b{p_taken}")
+
+    predictable = make_core(program(0.999), seed=9).run(3000)
+    random_br = make_core(program(0.5), seed=9).run(3000)
+    assert random_br.mispredict_rate > predictable.mispredict_rate
+    assert random_br.cycles > predictable.cycles

@@ -1,0 +1,241 @@
+"""Pipeline fault handling: replay, EP stalls, VTE per-stage behaviour."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.core.tep import TimingErrorPredictor
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.isa.program import BasicBlock, Program
+
+from tests.conftest import make_core, make_linear_program
+
+
+class ForcedInjector:
+    """Injects a fault at a fixed stage for chosen PCs on every instance."""
+
+    def __init__(self, stage, pcs, period=1):
+        self.stage = stage
+        self.pcs = set(pcs)
+        self.period = period
+        self._count = 0
+        self.enabled = True
+
+    def resolve(self, inst, vdd):
+        if inst.replayed or inst.pc not in self.pcs:
+            return inst
+        self._count += 1
+        if self._count % self.period == 0:
+            inst.add_fault(self.stage)
+        return inst
+
+
+def _mem_program():
+    """Loop with a load and a store plus filler ALU ops."""
+    insts = [
+        StaticInst(0x1000, OpClass.IALU, dest=1, srcs=()),
+        StaticInst(0x1004, OpClass.LOAD, dest=2, srcs=(1,),
+                   mem_base=0x100, mem_stride=8, mem_region=512),
+        StaticInst(0x1008, OpClass.IALU, dest=3, srcs=(2,)),
+        StaticInst(0x100C, OpClass.STORE, srcs=(3,),
+                   mem_base=0x800, mem_stride=8, mem_region=512),
+        StaticInst(0x1010, OpClass.BRANCH, srcs=(), taken_prob=0.0),
+    ]
+    return Program([BasicBlock(0, insts, [(0, 1.0)])], name="mem")
+
+
+def _faulty_pc():
+    """A looping ALU program; PC 0x1004 is the designated faulty one."""
+    return make_linear_program(n_blocks=2, block_len=5), 0x1004
+
+
+def _pretrain(tep, pc, stage):
+    key = tep.key_for(pc, 0)
+    for _ in range(3):
+        tep.train(key, stage, True)
+    return key
+
+
+class TestRazorReplay:
+    def test_every_fault_replays(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc], period=10)
+        core = make_core(program, SchemeKind.RAZOR, injector, vdd=1.04)
+        stats = core.run(2000)
+        assert stats.faults_total > 0
+        assert stats.replays == stats.faults_total
+        assert stats.faults_unpredicted == stats.faults_total
+        # default (Razor-I selective) recovery re-executes in place
+        assert stats.squashed == 0
+        assert stats.ep_stalls > 0  # recovery bubbles
+        assert stats.committed >= 2000
+
+    def test_flush_mode_squashes_and_refetches(self):
+        from repro.uarch.config import CoreConfig
+
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc], period=10)
+        core = make_core(
+            program, SchemeKind.RAZOR, injector, vdd=1.04,
+            config=CoreConfig.core1(replay_mode="flush"),
+        )
+        stats = core.run(2000)
+        assert stats.replays > 0
+        assert stats.squashed > 0
+        assert stats.committed >= 2000
+
+    def test_flush_costs_more_than_selective(self):
+        from repro.uarch.config import CoreConfig
+
+        program, pc = _faulty_pc()
+
+        def run(mode):
+            injector = ForcedInjector(PipeStage.EXECUTE, [pc], period=5)
+            core = make_core(
+                program, SchemeKind.RAZOR, injector, vdd=1.04,
+                config=CoreConfig.core1(replay_mode=mode),
+            )
+            return core.run(2000).cycles
+
+        assert run("flush") > run("selective")
+
+    def test_replays_cost_cycles(self):
+        program, pc = _faulty_pc()
+        clean = make_core(program, SchemeKind.RAZOR, None, vdd=1.04)
+        base = clean.run(2000).cycles
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc], period=5)
+        faulty = make_core(program, SchemeKind.RAZOR, injector, vdd=1.04)
+        assert faulty.run(2000).cycles > base
+
+    @pytest.mark.parametrize("stage", [
+        PipeStage.ISSUE, PipeStage.REGREAD, PipeStage.EXECUTE,
+        PipeStage.WRITEBACK,
+    ])
+    def test_replay_from_every_ooo_stage(self, stage):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(stage, [pc], period=20)
+        core = make_core(program, SchemeKind.RAZOR, injector, vdd=1.04)
+        stats = core.run(1500)
+        assert stats.replays > 0
+        assert stats.committed >= 1500
+
+    def test_replay_from_memory_stage(self):
+        injector = ForcedInjector(PipeStage.MEM, [0x1004], period=20)
+        core = make_core(_mem_program(), SchemeKind.RAZOR, injector, vdd=1.04)
+        stats = core.run(1500)
+        assert stats.replays > 0
+        assert stats.stage_faults.get(PipeStage.MEM, 0) > 0
+
+
+class TestErrorPadding:
+    def test_predicted_fault_stalls_instead_of_replaying(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc])
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, PipeStage.EXECUTE)
+        core = make_core(program, SchemeKind.EP, injector, vdd=1.04, tep=tep)
+        stats = core.run(1500)
+        assert stats.ep_stalls > 0
+        assert stats.faults_predicted > 0
+        # trained predictor: the recurring fault never replays
+        assert stats.replays == 0
+
+    def test_stall_freezes_whole_pipeline(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc])
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, PipeStage.EXECUTE)
+        ep = make_core(program, SchemeKind.EP, injector, vdd=1.04, tep=tep)
+        ep_stats = ep.run(1500)
+        base = make_core(program, SchemeKind.FAULT_FREE, None, vdd=1.04)
+        base_stats = base.run(1500)
+        assert ep_stats.cycles >= base_stats.cycles + ep_stats.ep_stalls * 0.9
+
+
+class TestVteScheduling:
+    @pytest.mark.parametrize("stage", [
+        PipeStage.ISSUE, PipeStage.REGREAD, PipeStage.EXECUTE,
+        PipeStage.WRITEBACK,
+    ])
+    def test_predicted_fault_tolerated_without_replay(self, stage):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(stage, [pc])
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, stage)
+        core = make_core(program, SchemeKind.ABS, injector, vdd=1.04, tep=tep)
+        stats = core.run(1500)
+        assert stats.replays == 0
+        assert stats.faults_predicted > 0
+        assert stats.padded_instructions > 0
+
+    def test_mem_stage_tolerated(self):
+        injector = ForcedInjector(PipeStage.MEM, [0x1004])
+        tep = TimingErrorPredictor()
+        _pretrain(tep, 0x1004, PipeStage.MEM)
+        core = make_core(_mem_program(), SchemeKind.ABS, injector, vdd=1.04,
+                         tep=tep)
+        stats = core.run(1500)
+        assert stats.replays == 0
+        assert stats.slot_freezes > 0
+
+    def test_vte_cheaper_than_ep(self):
+        program, pc = _faulty_pc()
+        tep_a = TimingErrorPredictor()
+        tep_b = TimingErrorPredictor()
+        _pretrain(tep_a, pc, PipeStage.EXECUTE)
+        _pretrain(tep_b, pc, PipeStage.EXECUTE)
+        abs_core = make_core(
+            program, SchemeKind.ABS,
+            ForcedInjector(PipeStage.EXECUTE, [pc]), vdd=1.04, tep=tep_a,
+        )
+        ep_core = make_core(
+            program, SchemeKind.EP,
+            ForcedInjector(PipeStage.EXECUTE, [pc]), vdd=1.04, tep=tep_b,
+        )
+        assert abs_core.run(2000).cycles <= ep_core.run(2000).cycles
+
+    def test_wrong_stage_prediction_still_replays(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc], period=10)
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, PipeStage.WRITEBACK)  # predicts the wrong stage
+        core = make_core(program, SchemeKind.ABS, injector, vdd=1.04, tep=tep)
+        stats = core.run(1000)
+        assert stats.replays > 0
+
+    def test_tep_learns_during_run(self):
+        # cold predictor: the first instance replays, later ones are padded
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.EXECUTE, [pc])
+        core = make_core(program, SchemeKind.ABS, injector, vdd=1.04)
+        stats = core.run(2000)
+        assert stats.replays >= 1
+        assert stats.faults_predicted > stats.faults_unpredicted
+
+    def test_sensor_gates_predictions_at_nominal_voltage(self):
+        program, pc = _faulty_pc()
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, PipeStage.EXECUTE)
+        core = make_core(program, SchemeKind.ABS, None, vdd=1.10, tep=tep)
+        stats = core.run(1000)
+        assert stats.padded_instructions == 0
+
+
+class TestInOrderFaults:
+    def test_frontend_fault_replays(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.DECODE, [pc], period=25)
+        core = make_core(program, SchemeKind.RAZOR, injector, vdd=1.04)
+        stats = core.run(1000)
+        assert stats.replays > 0
+        assert stats.stage_faults.get(PipeStage.DECODE, 0) > 0
+
+    def test_inorder_stage_stall_when_predicted(self):
+        program, pc = _faulty_pc()
+        injector = ForcedInjector(PipeStage.RENAME, [pc])
+        tep = TimingErrorPredictor()
+        _pretrain(tep, pc, PipeStage.RENAME)
+        core = make_core(program, SchemeKind.ABS, injector, vdd=1.04, tep=tep)
+        stats = core.run(1000)
+        assert stats.inorder_stalls > 0
+        assert stats.replays == 0

@@ -1,0 +1,131 @@
+"""Property-based pipeline invariants over randomized programs/faults.
+
+Whatever the program shape, fault pattern, or scheme, the pipeline must:
+commit exactly the requested number of instructions, commit them in
+program order, account every violation as tolerated or recovered, and be
+deterministic.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schemes import SchemeKind
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass, PipeStage
+from repro.isa.program import BasicBlock, Program
+from repro.uarch.config import CoreConfig
+
+from tests.conftest import make_core
+
+_OPS = [OpClass.IALU, OpClass.IALU, OpClass.IMUL, OpClass.LOAD,
+        OpClass.STORE, OpClass.IDIV]
+_OOO_STAGES = [PipeStage.ISSUE, PipeStage.REGREAD, PipeStage.EXECUTE,
+               PipeStage.WRITEBACK]
+
+
+def _random_program(seed, n_blocks, block_len):
+    """A random looping program with mixed ops and dependencies."""
+    rng = random.Random(seed)
+    blocks = []
+    pc = 0x1000
+    for b in range(n_blocks):
+        insts = []
+        for _ in range(block_len):
+            op = rng.choice(_OPS)
+            srcs = tuple(
+                rng.randrange(1, 16)
+                for _ in range(rng.randint(0, 2))
+            )
+            kwargs = {}
+            if op in (OpClass.LOAD, OpClass.STORE):
+                kwargs = {
+                    "mem_base": rng.randrange(0, 1 << 16) & ~7,
+                    "mem_stride": rng.choice([0, 8, 64]),
+                    "mem_region": rng.choice([0, 256, 4096]),
+                }
+            dest = None if op is OpClass.STORE else rng.randrange(1, 16)
+            insts.append(StaticInst(pc, op, dest=dest, srcs=srcs, **kwargs))
+            pc += 4
+        insts.append(StaticInst(pc, OpClass.BRANCH, srcs=(),
+                                taken_prob=rng.random()))
+        pc += 4
+        nxt = rng.randrange(n_blocks)
+        p = min(0.95, max(0.05, rng.random()))
+        succ = [((b + 1) % n_blocks, p), (nxt, 1.0 - p)]
+        blocks.append(BasicBlock(b, insts, succ))
+    return Program(blocks, name=f"fuzz{seed}")
+
+
+class FuzzInjector:
+    """Random per-instance faults in random OoO stages."""
+
+    enabled = True
+
+    def __init__(self, seed, rate):
+        self.rng = random.Random(seed)
+        self.rate = rate
+
+    def resolve(self, inst, vdd):
+        if not inst.replayed and self.rng.random() < self.rate:
+            inst.add_fault(self.rng.choice(_OOO_STAGES))
+        return inst
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_blocks=st.integers(min_value=1, max_value=6),
+    block_len=st.integers(min_value=1, max_value=8),
+    scheme=st.sampled_from([SchemeKind.FAULT_FREE, SchemeKind.RAZOR,
+                            SchemeKind.EP, SchemeKind.ABS, SchemeKind.CDS]),
+    fault_rate=st.sampled_from([0.0, 0.02, 0.15]),
+    replay_mode=st.sampled_from(["selective", "flush"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_pipeline_invariants(seed, n_blocks, block_len, scheme, fault_rate,
+                             replay_mode):
+    program = _random_program(seed, n_blocks, block_len)
+    injector = FuzzInjector(seed + 1, fault_rate) if fault_rate else None
+    config = CoreConfig.core1(replay_mode=replay_mode)
+    core = make_core(program, scheme, injector, vdd=1.04, seed=seed,
+                     config=config)
+    budget = 400
+    stats = core.run(budget)
+
+    # progress: exactly the budget commits (looping programs never drain)
+    assert stats.committed >= budget
+    assert stats.cycles > 0
+    assert 0 < stats.ipc <= core.config.width
+    # fault accounting closes
+    assert (
+        stats.faults_predicted + stats.faults_unpredicted
+        == stats.faults_total
+    )
+    if not fault_rate:
+        assert stats.faults_total == 0
+    if fault_rate and scheme in (SchemeKind.RAZOR, SchemeKind.FAULT_FREE):
+        # neither scheme predicts, so every violation is recovered by
+        # replay — up to the handful still in flight when the commit
+        # budget stops the run
+        assert stats.faults_total - stats.replays <= 64
+    # replays never exceed detected violations
+    assert stats.replays <= stats.faults_total
+    # rename bookkeeping: free list + live mappings == all phys regs
+    live = set(core.rename.rat)
+    for inst in core.rob:
+        if inst.phys_dest >= 0:
+            live.add(inst.prev_phys_dest)
+    assert len(core.rename.free_list) + len(live) <= core.config.n_phys_regs + 1
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_pipeline_deterministic_under_fuzz(seed):
+    def run():
+        program = _random_program(seed, 4, 5)
+        injector = FuzzInjector(seed + 1, 0.05)
+        core = make_core(program, SchemeKind.ABS, injector, vdd=1.04,
+                         seed=seed)
+        return core.run(300).as_dict()
+
+    assert run() == run()

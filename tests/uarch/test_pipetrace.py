@@ -1,0 +1,68 @@
+"""Pipeline trace viewer."""
+
+from repro.core.schemes import SchemeKind
+from repro.uarch.pipetrace import PipeTracer, render_records
+
+from tests.conftest import make_core, make_linear_program
+
+
+def _traced_core(n=100):
+    core = make_core(make_linear_program())
+    tracer = PipeTracer(core)
+    core.run(n)
+    return core, tracer
+
+
+def test_records_every_instruction():
+    core, tracer = _traced_core(100)
+    records = tracer.records()
+    assert len(records) >= 100
+    seqs = [r.seq for r in records]
+    assert seqs == sorted(seqs)
+
+
+def test_stage_cycles_monotonic():
+    _, tracer = _traced_core(100)
+    for r in tracer.records():
+        if r.commit < 0:
+            continue  # still in flight at run end
+        assert r.fetch <= r.dispatch <= r.issue < r.complete <= r.commit
+
+
+def test_render_contains_stage_letters():
+    _, tracer = _traced_core(60)
+    text = tracer.render(first_seq=0, count=8)
+    assert "f" in text and "i" in text and "r" in text
+    assert "cycles" in text.splitlines()[0]
+
+
+def test_render_window_is_bounded():
+    _, tracer = _traced_core(60)
+    text = tracer.render(first_seq=0, count=8, width=40)
+    for line in text.splitlines()[1:]:
+        assert len(line.split("|")[1]) <= 40
+
+
+def test_render_empty():
+    assert "no instructions" in render_records([])
+
+
+def test_faulty_marker():
+    from repro.isa.opcodes import PipeStage
+    from tests.uarch.test_pipeline_faults import ForcedInjector
+
+    program = make_linear_program()
+    pc = program.static_insts[1].pc
+    core = make_core(program, SchemeKind.RAZOR,
+                     ForcedInjector(PipeStage.EXECUTE, [pc]), vdd=1.04)
+    tracer = PipeTracer(core)
+    core.run(50)
+    text = tracer.render(count=20)
+    assert "*" in text
+
+
+def test_max_records_cap():
+    core = make_core(make_linear_program())
+    tracer = PipeTracer(core, max_records=10)
+    core.run(100)
+    assert len(tracer.records()) == 10

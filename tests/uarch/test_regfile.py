@@ -1,0 +1,151 @@
+"""Rename state: RAT, free list, ready cycles, squash undo."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+from repro.uarch.regfile import INFINITE, RenameState
+
+
+def _inst(seq, dest=1, srcs=(2, 3)):
+    return DynInst(seq, StaticInst(0x100 + 4 * seq, OpClass.IALU,
+                                   dest=dest, srcs=srcs))
+
+
+def _store_like(seq):
+    return DynInst(seq, StaticInst(0x900 + 4 * seq, OpClass.STORE,
+                                   dest=None, srcs=(1,)))
+
+
+@pytest.fixture
+def rename():
+    return RenameState(8, 16)
+
+
+def test_rejects_too_few_phys_regs():
+    with pytest.raises(ValueError):
+        RenameState(8, 8)
+
+
+def test_initial_mapping_identity_and_ready(rename):
+    assert rename.rat == list(range(8))
+    for p in range(8):
+        assert rename.ready_cycle[p] == 0
+    for p in range(8, 16):
+        assert rename.ready_cycle[p] == INFINITE
+
+
+def test_rename_allocates_and_remaps(rename):
+    inst = _inst(0, dest=1)
+    rename.rename(inst)
+    assert inst.phys_dest >= 8
+    assert inst.prev_phys_dest == 1
+    assert rename.rat[1] == inst.phys_dest
+    assert rename.ready_cycle[inst.phys_dest] == INFINITE
+
+
+def test_rename_without_dest_allocates_nothing(rename):
+    free_before = rename.free_regs
+    inst = _store_like(0)
+    rename.rename(inst)
+    assert inst.phys_dest == -1
+    assert rename.free_regs == free_before
+
+
+def test_sources_renamed_through_rat(rename):
+    producer = _inst(0, dest=2)
+    rename.rename(producer)
+    consumer = _inst(1, dest=4, srcs=(2,))
+    rename.rename(consumer)
+    assert consumer.phys_srcs == (producer.phys_dest,)
+
+
+def test_commit_frees_previous_mapping(rename):
+    inst = _inst(0, dest=1)
+    rename.rename(inst)
+    free_before = rename.free_regs
+    rename.commit(inst)
+    assert rename.free_regs == free_before + 1
+    assert 1 in rename.free_list  # the old phys reg of arch 1
+
+
+def test_squash_restores_rat(rename):
+    a = _inst(0, dest=1)
+    b = _inst(1, dest=1)
+    rename.rename(a)
+    rename.rename(b)
+    rename.squash(b)  # youngest first
+    assert rename.rat[1] == a.phys_dest
+    rename.squash(a)
+    assert rename.rat[1] == 1
+
+
+def test_ready_cycle_semantics(rename):
+    inst = _inst(0, dest=1, srcs=(2,))
+    rename.rename(inst)
+    consumer = _inst(1, dest=3, srcs=(1,))
+    rename.rename(consumer)
+    assert not rename.srcs_ready(consumer, 100)
+    rename.set_ready(inst.phys_dest, 10)
+    assert not rename.srcs_ready(consumer, 9)
+    assert rename.srcs_ready(consumer, 10)
+    assert rename.ready_by(consumer) == 10
+
+
+def test_ready_by_without_sources_is_zero(rename):
+    inst = _inst(0, srcs=())
+    rename.rename(inst)
+    assert rename.ready_by(inst) == 0
+
+
+def test_shift_pending_delays_future_only(rename):
+    rename.set_ready(10, 5)
+    rename.set_ready(11, 20)
+    rename.shift_pending(now=10)
+    assert rename.ready_cycle[10] == 5    # already visible: unchanged
+    assert rename.ready_cycle[11] == 21   # in flight: delayed
+    assert rename.ready_cycle[15] == INFINITE  # unscheduled: unchanged
+
+
+def test_rename_exhaustion_raises(rename):
+    for seq in range(rename.free_regs):
+        assert rename.can_rename(True)
+        rename.rename(_inst(seq))
+    assert not rename.can_rename(True)
+    assert rename.can_rename(False)
+    with pytest.raises(RuntimeError):
+        rename.rename(_inst(99))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=7), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_rename_squash_all_restores_initial_state(dests):
+    rename = RenameState(8, 48)
+    insts = []
+    for seq, dest in enumerate(dests):
+        inst = _inst(seq, dest=dest)
+        rename.rename(inst)
+        insts.append(inst)
+    for inst in reversed(insts):
+        rename.squash(inst)
+    assert rename.rat == list(range(8))
+    assert sorted(rename.free_list) == list(range(8, 48))
+
+
+@given(st.lists(st.integers(min_value=1, max_value=7), min_size=1,
+                max_size=30))
+@settings(max_examples=50, deadline=None)
+def test_rename_commit_all_conserves_registers(dests):
+    rename = RenameState(8, 48)
+    insts = []
+    for seq, dest in enumerate(dests):
+        inst = _inst(seq, dest=dest)
+        rename.rename(inst)
+        insts.append(inst)
+    for inst in insts:
+        rename.commit(inst)
+    # every physical register is either live (mapped) or free
+    assert len(rename.free_list) + 8 == 48
+    assert len(set(rename.rat)) == 8

@@ -1,0 +1,69 @@
+"""Reorder buffer: in-order commit and squash."""
+
+import pytest
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+from repro.uarch.rob import ReorderBuffer
+
+
+def _inst(seq):
+    return DynInst(seq, StaticInst(0x100 + 4 * seq, OpClass.IALU, dest=1))
+
+
+def test_rejects_bad_size():
+    with pytest.raises(ValueError):
+        ReorderBuffer(0)
+
+
+def test_allocate_and_overflow():
+    rob = ReorderBuffer(2)
+    rob.allocate(_inst(0))
+    rob.allocate(_inst(1))
+    assert rob.full
+    with pytest.raises(RuntimeError):
+        rob.allocate(_inst(2))
+
+
+def test_commit_stops_at_incomplete_head():
+    rob = ReorderBuffer(8)
+    insts = [_inst(i) for i in range(4)]
+    for inst in insts:
+        rob.allocate(inst)
+    insts[0].completed = True
+    insts[2].completed = True  # completed out of order
+    committed = rob.commit_ready(width=4)
+    assert [i.seq for i in committed] == [0]
+    assert rob.head is insts[1]
+
+
+def test_commit_respects_width():
+    rob = ReorderBuffer(8)
+    insts = [_inst(i) for i in range(6)]
+    for inst in insts:
+        rob.allocate(inst)
+        inst.completed = True
+    committed = rob.commit_ready(width=4)
+    assert [i.seq for i in committed] == [0, 1, 2, 3]
+    assert len(rob) == 2
+
+
+def test_squash_from_returns_youngest_first():
+    rob = ReorderBuffer(8)
+    insts = [_inst(i) for i in range(5)]
+    for inst in insts:
+        rob.allocate(inst)
+    squashed = rob.squash_from(2)
+    assert [i.seq for i in squashed] == [4, 3, 2]
+    assert [i.seq for i in rob] == [0, 1]
+
+
+def test_squash_from_beyond_tail_is_noop():
+    rob = ReorderBuffer(4)
+    rob.allocate(_inst(0))
+    assert rob.squash_from(5) == []
+    assert len(rob) == 1
+
+
+def test_head_of_empty_is_none():
+    assert ReorderBuffer(4).head is None

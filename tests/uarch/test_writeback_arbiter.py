@@ -1,0 +1,60 @@
+"""Writeback arbiter: lane limits and recirculation reservations."""
+
+from tests.conftest import make_core
+
+
+def _fresh_core():
+    core = make_core()
+    return core
+
+
+def test_grants_up_to_width_per_cycle():
+    core = _fresh_core()
+    width = core.config.width
+    grants = [core._reserve_writeback(10, 0) for _ in range(width)]
+    assert grants == [10] * width
+    # the (width+1)-th request spills to the next cycle
+    assert core._reserve_writeback(10, 0) == 11
+
+
+def test_spill_cascades():
+    core = _fresh_core()
+    width = core.config.width
+    for _ in range(2 * width):
+        core._reserve_writeback(20, 0)
+    assert core._reserve_writeback(20, 0) == 22
+
+
+def test_wb_fault_reserves_recirculation_slot():
+    core = _fresh_core()
+    width = core.config.width
+    core._reserve_writeback(30, 1)  # faulty-in-WB: holds slot 30 and 31
+    assert core._wb_count[30] == 1
+    assert core._wb_count[31] == 1
+    # the recirculated slot reduces cycle-31 capacity
+    for _ in range(width - 1):
+        assert core._reserve_writeback(31, 0) == 31
+    assert core._reserve_writeback(31, 0) == 32
+
+
+def test_requests_for_distinct_cycles_independent():
+    core = _fresh_core()
+    assert core._reserve_writeback(40, 0) == 40
+    assert core._reserve_writeback(50, 0) == 50
+
+
+def test_completion_rate_bounded_by_width_end_to_end():
+    # ROB completions per cycle can never exceed the writeback lanes
+    core = make_core()
+    completions = {}
+    original = core._schedule
+
+    def spy(cycle, kind, inst):
+        if kind == 0:  # _EV_COMPLETE
+            completions[cycle] = completions.get(cycle, 0) + 1
+        original(cycle, kind, inst)
+
+    core._schedule = spy
+    core.run(1500)
+    assert completions
+    assert max(completions.values()) <= core.config.width

@@ -1,0 +1,51 @@
+"""Wrong-path fetch energy accounting."""
+
+from repro.power.energy_model import EnergyModel
+from repro.uarch.config import CoreConfig
+
+from tests.conftest import make_core
+from tests.uarch.test_pipeline import _chain_program
+
+
+def _branchy_core(model_wrong_path):
+    from repro.workloads.generator import build_program
+    from repro.workloads.profiles import get_profile
+
+    program = build_program(get_profile("branchy"), seed=2)
+    return make_core(
+        program,
+        config=CoreConfig.core1(model_wrong_path=model_wrong_path),
+    )
+
+
+def test_mispredicts_accumulate_wrong_path_work():
+    core = _branchy_core(True)
+    stats = core.run(1500)
+    assert stats.branch_mispredicts > 0
+    assert stats.wrong_path_fetched > 0
+    # bounded by the mispredict loop depth per event
+    assert stats.wrong_path_fetched < stats.branch_mispredicts * 20 * 4
+
+
+def test_disabled_by_config():
+    core = _branchy_core(False)
+    stats = core.run(1500)
+    assert stats.wrong_path_fetched == 0
+
+
+def test_wrong_path_costs_energy_not_time():
+    on = _branchy_core(True).run(1500)
+    off = _branchy_core(False).run(1500)
+    assert on.cycles == off.cycles  # timing identical
+    cache = {
+        "l1i_hits": 0, "l1i_misses": 0, "l1d_hits": 0, "l1d_misses": 0,
+        "l2_hits": 0, "l2_misses": 0, "mem_accesses": 0,
+    }
+    model = EnergyModel()
+    assert model.evaluate(on, cache).dynamic > model.evaluate(off, cache).dynamic
+
+
+def test_predictable_code_wastes_nothing():
+    core = make_core(_chain_program())
+    stats = core.run(1000)
+    assert stats.wrong_path_fetched == 0

@@ -1,0 +1,100 @@
+"""Synthetic program generation."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.workloads.generator import (
+    _L1_REGION,
+    _MEM_REGION,
+    build_program,
+    estimate_pc_freq,
+)
+from repro.workloads.profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_program(get_profile("bzip2"), seed=3)
+
+
+def test_block_count_matches_profile(program):
+    assert len(program.blocks) == get_profile("bzip2").n_blocks
+
+
+def test_every_block_ends_with_branch(program):
+    for block in program.blocks:
+        assert block.insts[-1].op is OpClass.BRANCH
+        for inst in block.insts[:-1]:
+            assert inst.op is not OpClass.BRANCH
+
+
+def test_pcs_unique_and_word_aligned(program):
+    pcs = [si.pc for si in program.static_insts]
+    assert len(pcs) == len(set(pcs))
+    assert all(pc % 4 == 0 for pc in pcs)
+
+
+def test_deterministic_given_seed():
+    a = build_program(get_profile("gcc"), seed=5)
+    b = build_program(get_profile("gcc"), seed=5)
+    assert [si.pc for si in a.static_insts] == [si.pc for si in b.static_insts]
+    assert [si.op for si in a.static_insts] == [si.op for si in b.static_insts]
+
+
+def test_different_seeds_differ():
+    a = build_program(get_profile("gcc"), seed=5)
+    b = build_program(get_profile("gcc"), seed=6)
+    assert (
+        [si.op for si in a.static_insts] != [si.op for si in b.static_insts]
+    )
+
+
+def test_mem_instructions_have_regions(program):
+    mem_insts = [si for si in program.static_insts if si.is_mem]
+    assert mem_insts
+    for si in mem_insts:
+        assert si.mem_region in (_L1_REGION, 16 * 1024, _MEM_REGION)
+        assert si.mem_stride > 0
+
+
+def test_mix_roughly_matches_profile(program):
+    profile = get_profile("bzip2")
+    non_branch = [si for si in program.static_insts if not si.is_branch]
+    loads = sum(1 for si in non_branch if si.op is OpClass.LOAD)
+    expected = profile.normalized_mix["load"]
+    assert loads / len(non_branch) == pytest.approx(expected, abs=0.08)
+
+
+def test_loop_structure_creates_back_edges(program):
+    back_edges = sum(
+        1
+        for block in program.blocks
+        for succ, _ in block.successors
+        if succ <= block.index
+    )
+    assert back_edges >= len(program.blocks) // 10
+
+
+def test_stores_have_no_destination(program):
+    for si in program.static_insts:
+        if si.op is OpClass.STORE:
+            assert si.dest is None
+
+
+def test_sources_reference_valid_registers(program):
+    for si in program.static_insts:
+        for src in si.srcs:
+            assert 1 <= src < 32
+
+
+def test_estimate_pc_freq_is_distribution(program):
+    freq = estimate_pc_freq(program, seed=1, n_instructions=5000)
+    assert sum(freq.values()) == pytest.approx(1.0)
+    assert all(v > 0 for v in freq.values())
+    assert set(freq) <= {si.pc for si in program.static_insts}
+
+
+def test_loop_pcs_recur(program):
+    # the hottest PC must account for far more than uniform share (loops)
+    freq = estimate_pc_freq(program, seed=1, n_instructions=10000)
+    assert max(freq.values()) > 3.0 / program.n_static

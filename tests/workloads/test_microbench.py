@@ -1,0 +1,64 @@
+"""Synthetic microbenchmark kernels."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+from repro.workloads.microbench import MICROBENCH_PROFILES, microbench_names
+from repro.workloads.profiles import get_profile
+
+_FAST = dict(n_instructions=1800, warmup=900)
+
+
+def test_registry_names():
+    assert set(microbench_names()) == {
+        "pointer_chase", "streaming", "dense_alu", "branchy",
+        "reduction", "fanout_kernel",
+    }
+
+
+def test_get_profile_resolves_kernels():
+    assert get_profile("dense_alu") is MICROBENCH_PROFILES["dense_alu"]
+
+
+def test_get_profile_error_lists_kernels():
+    with pytest.raises(KeyError, match="pointer_chase"):
+        get_profile("nonesuch")
+
+
+@pytest.mark.parametrize("name", sorted(MICROBENCH_PROFILES))
+def test_every_kernel_runs(name):
+    result = run_one(RunSpec(name, SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    assert result.stats.committed >= _FAST["n_instructions"]
+    assert result.ipc > 0
+
+
+def test_kernel_behavioural_ordering():
+    def ipc(name):
+        return run_one(
+            RunSpec(name, SchemeKind.FAULT_FREE, 1.10, **_FAST)
+        ).ipc
+
+    # memory-bound kernels are far slower than the compute-bound ones
+    assert ipc("dense_alu") > 3 * ipc("pointer_chase")
+    assert ipc("dense_alu") > 3 * ipc("streaming")
+
+
+def test_branchy_kernel_mispredicts_heavily():
+    result = run_one(RunSpec("branchy", SchemeKind.FAULT_FREE, 1.10, **_FAST))
+    assert result.stats.mispredict_rate > 0.15
+
+
+def test_streaming_kernel_misses_to_memory():
+    result = run_one(
+        RunSpec("streaming", SchemeKind.FAULT_FREE, 1.10, **_FAST)
+    )
+    assert result.cache_stats["mem_accesses"] > 100
+
+
+def test_kernels_work_with_fault_tolerance():
+    base = run_one(RunSpec("dense_alu", SchemeKind.FAULT_FREE, 0.97, **_FAST))
+    abs_run = run_one(RunSpec("dense_alu", SchemeKind.ABS, 0.97, **_FAST))
+    razor = run_one(RunSpec("dense_alu", SchemeKind.RAZOR, 0.97, **_FAST))
+    assert abs_run.fault_rate > 0.01
+    assert abs_run.perf_overhead(base) < razor.perf_overhead(base)

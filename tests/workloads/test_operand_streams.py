@@ -1,0 +1,91 @@
+"""Operand streams for the Figure 7 commonality study."""
+
+import pytest
+
+from repro.circuits.builders import build_agen
+from repro.circuits.sensitization import (
+    toggle_sets_per_pc,
+    weighted_commonality,
+)
+from repro.workloads.operand_streams import (
+    FIG7_COMPONENTS,
+    OperandProfile,
+    SPEC2000INT_PROFILES,
+    StreamBuilder,
+    spec2000_names,
+)
+
+
+def test_paper_benchmarks_present():
+    assert spec2000_names() == ["bzip", "gap", "gzip", "mcf", "parser",
+                                "vortex"]
+
+
+def test_vortex_has_highest_locality():
+    vortex = SPEC2000INT_PROFILES["vortex"].locality
+    assert all(
+        vortex >= p.locality for p in SPEC2000INT_PROFILES.values()
+    )
+
+
+def test_locality_validation():
+    with pytest.raises(ValueError):
+        OperandProfile("x", locality=1.5)
+
+
+def test_stream_shapes():
+    builder = StreamBuilder(SPEC2000INT_PROFILES["bzip"], seed=0)
+    widths = {
+        "ALU": 32 + 32 + 3,
+        "AGen": 64,
+        "IssueQSelect": 32,
+        "ForwardCheck": 4 * 7 + 4 + 8 * 7,
+    }
+    for component in FIG7_COMPONENTS:
+        stream = builder.stream_for(component)
+        profile = builder.profile
+        assert len(stream) == profile.n_pcs * profile.instances_per_pc
+        for pc, prev, cur in stream:
+            assert len(prev) == widths[component]
+            assert len(cur) == widths[component]
+            assert all(bit in (0, 1) for bit in prev + cur)
+
+
+def test_unknown_component_rejected():
+    builder = StreamBuilder(SPEC2000INT_PROFILES["bzip"])
+    with pytest.raises(KeyError):
+        builder.stream_for("FPU")
+
+
+def test_opcode_field_is_static_per_pc():
+    builder = StreamBuilder(SPEC2000INT_PROFILES["mcf"], seed=1)
+    by_pc = {}
+    for pc, _, cur in builder.stream_for("ALU"):
+        op_bits = tuple(cur[64:])
+        by_pc.setdefault(pc, set()).add(op_bits)
+    assert all(len(ops) == 1 for ops in by_pc.values())
+
+
+def test_deterministic_given_seed():
+    a = StreamBuilder(SPEC2000INT_PROFILES["gap"], seed=9).alu_stream()
+    b = StreamBuilder(SPEC2000INT_PROFILES["gap"], seed=9).alu_stream()
+    assert a == b
+
+
+def test_higher_locality_gives_higher_commonality():
+    netlist, _ = build_agen()
+    def measure(locality):
+        profile = OperandProfile("x", locality=locality, n_pcs=8,
+                                 instances_per_pc=10)
+        stream = StreamBuilder(profile, seed=3).agen_stream()
+        return weighted_commonality(toggle_sets_per_pc(netlist, stream))
+
+    assert measure(0.95) > measure(0.55)
+
+
+def test_instances_interleaved_across_pcs():
+    builder = StreamBuilder(SPEC2000INT_PROFILES["bzip"], seed=0)
+    stream = builder.select_stream()
+    n_pcs = builder.profile.n_pcs
+    first_round = [pc for pc, _, _ in stream[:n_pcs]]
+    assert len(set(first_round)) == n_pcs  # round-robin, not blocked

@@ -1,0 +1,85 @@
+"""Benchmark profile registry and validation."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    BenchmarkProfile,
+    SPEC2006_PROFILES,
+    get_profile,
+    profile_names,
+)
+
+PAPER_BENCHMARKS = [
+    "astar", "bzip2", "gcc", "gobmk", "libquantum", "mcf",
+    "perlbench", "povray", "sjeng", "sphinx3", "tonto", "xalancbmk",
+]
+
+
+def test_all_twelve_paper_benchmarks_present():
+    assert sorted(SPEC2006_PROFILES) == sorted(PAPER_BENCHMARKS)
+
+
+def test_presentation_order_matches_paper():
+    assert profile_names() == PAPER_BENCHMARKS
+
+
+def test_unknown_suite_rejected():
+    with pytest.raises(KeyError):
+        profile_names("spec2017")
+
+
+def test_get_profile_error_lists_known_names():
+    with pytest.raises(KeyError, match="astar"):
+        get_profile("nope")
+
+
+def test_normalized_mix_sums_to_one():
+    for profile in SPEC2006_PROFILES.values():
+        assert sum(profile.normalized_mix.values()) == pytest.approx(1.0)
+
+
+def test_working_sets_are_distributions():
+    for profile in SPEC2006_PROFILES.values():
+        assert profile.l1_ws + profile.l2_ws + profile.mem_ws == pytest.approx(1.0)
+
+
+def test_fault_rate_targets_follow_table1_ordering():
+    for profile in SPEC2006_PROFILES.values():
+        assert 0 < profile.fr_low < profile.fr_high < 0.2
+
+
+def test_high_ilp_benchmarks_have_more_immediates():
+    # the ILP lever must separate the extremes of Table 1
+    assert (
+        get_profile("sjeng").imm_frac > get_profile("libquantum").imm_frac
+    )
+    assert get_profile("povray").imm_frac > get_profile("mcf").imm_frac
+
+
+def test_memory_bound_benchmarks_have_bigger_working_sets():
+    assert get_profile("mcf").l1_ws < get_profile("gobmk").l1_ws
+    assert get_profile("xalancbmk").l2_ws > get_profile("povray").l2_ws
+
+
+def test_libquantum_has_high_fanout_for_cds():
+    assert get_profile("libquantum").fanout_frac >= 0.4
+
+
+def test_validation_rejects_bad_working_set():
+    with pytest.raises(ValueError, match="working-set"):
+        BenchmarkProfile("x", l1_ws=0.5, l2_ws=0.1, mem_ws=0.1)
+
+
+def test_validation_rejects_bad_fault_targets():
+    with pytest.raises(ValueError, match="fault-rate"):
+        BenchmarkProfile("x", fr_low=0.1, fr_high=0.05)
+
+
+def test_validation_rejects_empty_mix():
+    with pytest.raises(ValueError, match="mix"):
+        BenchmarkProfile("x", mix={"ialu": 0.0})
+
+
+def test_profiles_are_frozen():
+    with pytest.raises(AttributeError):
+        get_profile("astar").imm_frac = 0.9

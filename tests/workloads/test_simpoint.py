@@ -1,0 +1,103 @@
+"""SimPoint phase selection: BBVs, k-means, representative picking."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+from repro.workloads.simpoint import (
+    BBVCollector,
+    choose_simpoints,
+    kmeans,
+    random_projection,
+)
+
+
+@pytest.fixture(scope="module")
+def bbvs():
+    program = build_program(get_profile("gcc"), seed=1)
+    return BBVCollector(program, interval=500, seed=2).collect(20_000)
+
+
+def test_bbv_shape_and_normalization(bbvs):
+    assert bbvs.shape[0] == 40  # 20k instructions / 500 interval
+    assert np.allclose(bbvs.sum(axis=1), 1.0)
+    assert (bbvs >= 0).all()
+
+
+def test_bbv_requires_full_interval():
+    program = build_program(get_profile("gcc"), seed=1)
+    with pytest.raises(ValueError):
+        BBVCollector(program, interval=1000).collect(10)
+
+
+def test_random_projection_reduces_dimensions(bbvs):
+    projected = random_projection(bbvs, n_dims=15, seed=0)
+    assert projected.shape == (len(bbvs), 15)
+
+
+def test_random_projection_keeps_small_inputs():
+    small = np.ones((4, 8))
+    assert random_projection(small, n_dims=15).shape == (4, 8)
+
+
+class TestKMeans:
+    def test_separates_known_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.05, size=(30, 3))
+        b = rng.normal(5.0, 0.05, size=(30, 3))
+        points = np.vstack([a, b])
+        labels, centroids, inertia = kmeans(points, 2, seed=1)
+        assert len(set(labels[:30])) == 1
+        assert len(set(labels[30:])) == 1
+        assert labels[0] != labels[30]
+        assert inertia < 10.0
+
+    def test_k_one_single_cluster(self):
+        points = np.random.default_rng(1).normal(size=(10, 2))
+        labels, centroids, _ = kmeans(points, 1, seed=0)
+        assert set(labels) == {0}
+        assert np.allclose(centroids[0], points.mean(axis=0))
+
+    def test_rejects_bad_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            kmeans(points, 0)
+        with pytest.raises(ValueError):
+            kmeans(points, 4)
+
+
+class TestChooseSimpoints:
+    def test_weights_sum_to_one(self, bbvs):
+        simpoints = choose_simpoints(bbvs, max_k=4, seed=0)
+        assert sum(w for _, w in simpoints) == pytest.approx(1.0)
+
+    def test_representatives_are_valid_intervals(self, bbvs):
+        simpoints = choose_simpoints(bbvs, max_k=4, seed=0)
+        for index, weight in simpoints:
+            assert 0 <= index < len(bbvs)
+            assert 0 < weight <= 1.0
+
+    def test_homogeneous_intervals_collapse_to_one_phase(self):
+        # identical BBVs with tiny noise: the complexity penalty must stop
+        # SimPoint from fragmenting a single phase into many clusters
+        rng = np.random.default_rng(5)
+        base = rng.random(20)
+        base /= base.sum()
+        bbvs = base + rng.normal(0, 1e-4, size=(30, 20))
+        simpoints = choose_simpoints(bbvs, max_k=6, seed=0)
+        assert len(simpoints) == 1
+
+    def test_two_phase_program_yields_two_clusters(self):
+        rng = np.random.default_rng(6)
+        phase_a = np.zeros(10)
+        phase_a[:5] = 0.2
+        phase_b = np.zeros(10)
+        phase_b[5:] = 0.2
+        bbvs = np.vstack(
+            [phase_a + rng.normal(0, 1e-3, (15, 10)),
+             phase_b + rng.normal(0, 1e-3, (15, 10))]
+        )
+        simpoints = choose_simpoints(bbvs, max_k=5, seed=0)
+        assert len(simpoints) == 2
+        assert sorted(w for _, w in simpoints) == pytest.approx([0.5, 0.5])

@@ -1,0 +1,76 @@
+"""Dynamic trace generation."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import TraceGenerator
+
+from tests.conftest import make_linear_program
+
+
+@pytest.fixture
+def program():
+    return build_program(get_profile("astar"), seed=2)
+
+
+def test_sequence_numbers_monotonic(program):
+    trace = TraceGenerator(program, seed=0)
+    seqs = [next(trace).seq for _ in range(200)]
+    assert seqs == list(range(200))
+
+
+def test_deterministic_given_seed(program):
+    a = TraceGenerator(program, seed=4)
+    b = TraceGenerator(program, seed=4)
+    for _ in range(300):
+        x, y = next(a), next(b)
+        assert (x.pc, x.taken, x.mem_addr) == (y.pc, y.taken, y.mem_addr)
+
+
+def test_pcs_follow_block_structure(program):
+    trace = TraceGenerator(program, seed=0)
+    insts = [next(trace) for _ in range(500)]
+    by_pc = {si.pc: si for si in program.static_insts}
+    for prev, cur in zip(insts, insts[1:]):
+        if not prev.is_branch:
+            # straight-line: the next PC is sequential
+            assert cur.pc == prev.pc + 4
+        assert cur.pc in by_pc
+
+
+def test_taken_flag_consistent_with_fallthrough(program):
+    trace = TraceGenerator(program, seed=0)
+    insts = [next(trace) for _ in range(500)]
+    for prev, cur in zip(insts, insts[1:]):
+        if prev.is_branch:
+            assert prev.taken == (cur.pc != prev.pc + 4)
+
+
+def test_mem_addresses_advance(program):
+    trace = TraceGenerator(program, seed=0)
+    addrs = {}
+    for inst in itertools.islice(trace, 2000):
+        if inst.is_mem:
+            addrs.setdefault(inst.pc, []).append(inst.mem_addr)
+    repeated = [a for a in addrs.values() if len(a) >= 3]
+    assert repeated
+    assert any(len(set(a)) > 1 for a in repeated)  # strided streams move
+
+
+def test_finite_program_raises_stop_iteration():
+    program = make_linear_program(n_blocks=2, block_len=3, loop=False)
+    trace = TraceGenerator(program, seed=0)
+    emitted = list(trace)
+    assert len(emitted) == 6
+    with pytest.raises(StopIteration):
+        next(trace)
+
+
+def test_emitted_counter(program):
+    trace = TraceGenerator(program, seed=0)
+    for _ in range(42):
+        next(trace)
+    assert trace.emitted == 42

@@ -1,0 +1,109 @@
+"""External trace file import/export."""
+
+import itertools
+
+import pytest
+
+from repro.core.schemes import SchemeKind, make_scheme
+from repro.isa.opcodes import OpClass
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.uarch.config import CoreConfig
+from repro.uarch.pipeline import OoOCore
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+from repro.workloads.trace import TraceGenerator
+from repro.workloads.tracefile import (
+    FileTrace,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
+
+_SAMPLE = [
+    '{"pc": 4096, "op": "IALU", "dest": 1, "srcs": []}',
+    '{"pc": 4100, "op": "LOAD", "dest": 2, "srcs": [1], "addr": 256}',
+    '{"pc": 4104, "op": "IALU", "dest": 3, "srcs": [2]}',
+    '{"pc": 4108, "op": "BRANCH", "srcs": [3], "taken": true}',
+    '{"pc": 4096, "op": "IALU", "dest": 1, "srcs": []}',
+    '{"pc": 4100, "op": "LOAD", "dest": 2, "srcs": [1], "addr": 264}',
+]
+
+
+def test_parse_records():
+    trace = FileTrace(_SAMPLE)
+    assert len(trace) == 6
+    insts = list(trace)
+    assert insts[0].op is OpClass.IALU
+    assert insts[1].mem_addr == 256
+    assert insts[5].mem_addr == 264  # per-record addresses
+    assert insts[3].taken is True
+    assert [i.seq for i in insts] == list(range(6))
+
+
+def test_statics_deduplicated():
+    trace = FileTrace(_SAMPLE)
+    assert len(trace.statics) == 4
+    assert [s.pc for s in trace.statics] == [4096, 4100, 4104, 4108]
+
+
+def test_comments_and_blank_lines_skipped():
+    trace = FileTrace(["# header", "", _SAMPLE[0]])
+    assert len(trace) == 1
+
+
+def test_malformed_json_rejected():
+    with pytest.raises(TraceFormatError, match="line 1"):
+        FileTrace(["{nope"])
+
+
+def test_missing_fields_rejected():
+    with pytest.raises(TraceFormatError, match="'pc' and 'op'"):
+        FileTrace(['{"op": "IALU"}'])
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(TraceFormatError, match="unknown op"):
+        FileTrace(['{"pc": 0, "op": "VLIW"}'])
+
+
+def test_inconsistent_static_rejected():
+    with pytest.raises(TraceFormatError, match="disagrees"):
+        FileTrace([
+            '{"pc": 64, "op": "IALU", "dest": 1, "srcs": []}',
+            '{"pc": 64, "op": "IALU", "dest": 2, "srcs": []}',
+        ])
+
+
+def test_rewind():
+    trace = FileTrace(_SAMPLE)
+    first = [i.pc for i in trace]
+    trace.rewind()
+    assert [i.pc for i in trace] == first
+
+
+def test_roundtrip_through_file(tmp_path):
+    program = build_program(get_profile("astar"), seed=3)
+    insts = list(itertools.islice(TraceGenerator(program, seed=1), 300))
+    path = save_trace(insts, tmp_path / "trace.jsonl")
+    loaded = load_trace(path)
+    assert len(loaded) == 300
+    for original, parsed in zip(insts, loaded):
+        assert parsed.pc == original.pc
+        assert parsed.op is original.op
+        assert parsed.mem_addr == original.mem_addr
+        assert parsed.taken == original.taken
+
+
+def test_pipeline_runs_on_file_trace(tmp_path):
+    program = build_program(get_profile("bzip2"), seed=2)
+    insts = list(itertools.islice(TraceGenerator(program, seed=1), 2000))
+    path = save_trace(insts, tmp_path / "t.jsonl")
+    core = OoOCore(
+        CoreConfig.core1(),
+        load_trace(path),
+        MemoryHierarchy(),
+        make_scheme(SchemeKind.FAULT_FREE),
+    )
+    stats = core.run(10_000)  # drains at trace end
+    assert stats.committed == 2000
+    assert 0 < stats.ipc <= 4
