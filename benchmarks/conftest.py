@@ -24,13 +24,25 @@ from repro.workloads.profiles import profile_names
 N_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "6000"))
 WARMUP = int(os.environ.get("REPRO_BENCH_WARMUP", "3000"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+#: worker processes for the sweep grids (0 = all cores; see run_many)
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+try:
+    import pytest_benchmark  # noqa: F401
+except ImportError:
+    # the timing benchmarks need the pytest-benchmark plugin for their
+    # ``benchmark`` fixture; without it, skip them instead of erroring
+    @pytest.fixture
+    def benchmark():
+        pytest.skip("pytest-benchmark is not installed")
 
 
 @pytest.fixture(scope="session")
 def sweep_low():
     """All (benchmark, scheme) runs at VDD = 1.04V (Figures 4/5)."""
     return SchedulingSweep(
-        VDD_LOW_FAULT, N_INSTRUCTIONS, WARMUP, SEED, profile_names()
+        VDD_LOW_FAULT, N_INSTRUCTIONS, WARMUP, SEED, profile_names(),
+        jobs=JOBS,
     )
 
 
@@ -39,7 +51,7 @@ def sweep_high():
     """All (benchmark, scheme) runs at VDD = 0.97V (Figures 8/9)."""
     return SchedulingSweep(
         VDD_HIGH_FAULT, N_INSTRUCTIONS, WARMUP, SEED,
-        list(HIGH_FR_BENCHMARKS),
+        list(HIGH_FR_BENCHMARKS), jobs=JOBS,
     )
 
 

@@ -1,0 +1,71 @@
+"""Standalone throughput smoke: write BENCH_throughput.json.
+
+Runs the same workload as ``test_throughput.py::test_pipeline_throughput``
+(bzip2 under ABS at 1.04V, 3000 committed instructions) without needing
+pytest-benchmark, and records the best observed rate. CI runs this after
+the test suite so every build leaves a machine-readable throughput record.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/throughput_smoke.py [output.json]
+"""
+
+import json
+import platform
+import sys
+import time
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, build_core, prime_caches
+
+#: measured before the cycle-loop optimization campaign (same box class);
+#: kept as the fixed reference so speedups are comparable across builds
+BASELINE_INST_PER_S = 26994
+
+N_INSTRUCTIONS = 3000
+ROUNDS = 7
+
+
+def run_once():
+    core = build_core(RunSpec("bzip2", SchemeKind.ABS, 1.04, seed=2))
+    prime_caches(core.program, core.hierarchy)
+    return core.run(N_INSTRUCTIONS).committed
+
+
+def measure(rounds=ROUNDS):
+    run_once()  # warm the program/profile caches
+    best = 0.0
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        committed = run_once()
+        dt = time.perf_counter() - t0
+        rate = committed / dt
+        samples.append(round(rate))
+        best = max(best, rate)
+    return best, samples
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    out = argv[0] if argv else "BENCH_throughput.json"
+    best, samples = measure()
+    record = {
+        "benchmark": "pipeline_throughput",
+        "workload": "bzip2/ABS/vdd=1.04, 3000 committed instructions",
+        "inst_per_s": round(best),
+        "samples_inst_per_s": samples,
+        "baseline_inst_per_s": BASELINE_INST_PER_S,
+        "speedup_vs_baseline": round(best / BASELINE_INST_PER_S, 2),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    with open(out, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(record, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

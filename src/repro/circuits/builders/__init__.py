@@ -1,0 +1,51 @@
+"""Structural netlist builders for the paper's datapath components.
+
+Each ``build_*`` function returns ``(netlist, ports)`` where ``ports``
+maps logical bus names to LSB-first net lists. The four big components
+(ALU, AGen, issue select, forward check) are the ones characterized in
+Table III; the small counters back the VTE scheduler overhead model.
+"""
+
+from repro.circuits.builders.adder import (
+    and_tree,
+    carry_lookahead_adder,
+    equality_comparator,
+    full_adder,
+    or_tree,
+    ripple_carry_adder,
+)
+from repro.circuits.builders.agen import build_agen
+from repro.circuits.builders.alu import build_alu
+from repro.circuits.builders.counters import (
+    build_incrementer,
+    build_match_counter,
+    build_threshold_compare,
+)
+from repro.circuits.builders.encoder import (
+    exclusive_prefix_or,
+    lowest_set_onehot,
+    prefix_or,
+)
+from repro.circuits.builders.fwdcheck import build_forward_check
+from repro.circuits.builders.select import build_issue_select
+from repro.circuits.builders.techmap import tech_map
+
+__all__ = [
+    "and_tree",
+    "build_agen",
+    "build_alu",
+    "build_forward_check",
+    "build_incrementer",
+    "build_issue_select",
+    "build_match_counter",
+    "build_threshold_compare",
+    "carry_lookahead_adder",
+    "equality_comparator",
+    "exclusive_prefix_or",
+    "full_adder",
+    "lowest_set_onehot",
+    "or_tree",
+    "prefix_or",
+    "ripple_carry_adder",
+    "tech_map",
+]

@@ -1,0 +1,111 @@
+"""Adder generators: ripple-carry, Kogge-Stone lookahead, comparators.
+
+Both adders share the ``(netlist, a_bits, b_bits) -> (sum_bits, cout)``
+calling convention used throughout the builders: the caller owns the
+netlist and the input buses (LSB-first net lists) and receives the output
+nets to wire or mark as it pleases.
+"""
+
+from repro.circuits.gates import GateType
+
+
+def full_adder(nl, a, b, cin):
+    """One full adder; returns (sum, carry_out)."""
+    axb = nl.add_gate(GateType.XOR2, [a, b])
+    s = nl.add_gate(GateType.XOR2, [axb, cin])
+    t0 = nl.add_gate(GateType.AND2, [a, b])
+    t1 = nl.add_gate(GateType.AND2, [axb, cin])
+    cout = nl.add_gate(GateType.OR2, [t0, t1])
+    return s, cout
+
+
+def ripple_carry_adder(nl, a, b, cin=None):
+    """Linear-depth adder: ``len(a)`` chained full adders.
+
+    Returns (sum_bits, carry_out). ``cin`` defaults to constant zero.
+    """
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    carry = nl.const0 if cin is None else cin
+    sums = []
+    for ai, bi in zip(a, b):
+        s, carry = full_adder(nl, ai, bi, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def carry_lookahead_adder(nl, a, b, cin=None):
+    """Log-depth Kogge-Stone prefix adder.
+
+    Generate/propagate pairs are combined with the usual prefix operator
+    ``(g2, p2) o (g1, p1) = (g2 | p2 & g1, p2 & p1)``; the carry into bit
+    ``i`` is the inclusive prefix generate of bits ``0..i-1`` (with ``cin``
+    folded into bit 0). Returns (sum_bits, carry_out).
+    """
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    n = len(a)
+    g = [nl.add_gate(GateType.AND2, [ai, bi]) for ai, bi in zip(a, b)]
+    p = [nl.add_gate(GateType.XOR2, [ai, bi]) for ai, bi in zip(a, b)]
+    if cin is not None:
+        # fold the carry-in into bit 0: g0' = g0 | p0 & cin
+        t = nl.add_gate(GateType.AND2, [p[0], cin])
+        g[0] = nl.add_gate(GateType.OR2, [g[0], t])
+    prefix_g = list(g)
+    prefix_p = list(p)
+    dist = 1
+    while dist < n:
+        new_g = list(prefix_g)
+        new_p = list(prefix_p)
+        for i in range(dist, n):
+            t = nl.add_gate(GateType.AND2, [prefix_p[i], prefix_g[i - dist]])
+            new_g[i] = nl.add_gate(GateType.OR2, [prefix_g[i], t])
+            new_p[i] = nl.add_gate(GateType.AND2, [prefix_p[i], prefix_p[i - dist]])
+        prefix_g = new_g
+        prefix_p = new_p
+        dist *= 2
+    carry0 = nl.const0 if cin is None else cin
+    sums = [nl.add_gate(GateType.XOR2, [p[0], carry0])]
+    for i in range(1, n):
+        sums.append(nl.add_gate(GateType.XOR2, [p[i], prefix_g[i - 1]]))
+    return sums, prefix_g[n - 1]
+
+
+def and_tree(nl, nets):
+    """Balanced AND reduction of ``nets`` (returns the single result net)."""
+    if not nets:
+        return nl.const1
+    nets = list(nets)
+    while len(nets) > 1:
+        nxt = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(nl.add_gate(GateType.AND2, [nets[i], nets[i + 1]]))
+        if len(nets) & 1:
+            nxt.append(nets[-1])
+        nets = nxt
+    return nets[0]
+
+
+def or_tree(nl, nets):
+    """Balanced OR reduction of ``nets``."""
+    if not nets:
+        return nl.const0
+    nets = list(nets)
+    while len(nets) > 1:
+        nxt = []
+        for i in range(0, len(nets) - 1, 2):
+            nxt.append(nl.add_gate(GateType.OR2, [nets[i], nets[i + 1]]))
+        if len(nets) & 1:
+            nxt.append(nets[-1])
+        nets = nxt
+    return nets[0]
+
+
+def equality_comparator(nl, a, b):
+    """Single net that is 1 iff buses ``a`` and ``b`` carry equal values."""
+    if len(a) != len(b):
+        raise ValueError("operand widths differ")
+    matches = [
+        nl.add_gate(GateType.XNOR2, [ai, bi]) for ai, bi in zip(a, b)
+    ]
+    return and_tree(nl, matches)

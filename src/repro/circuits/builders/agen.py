@@ -1,0 +1,27 @@
+"""Address generation unit: base + offset effective-address adder.
+
+AGen is one of the four paper components (Table III); it is a plain
+carry-lookahead add so its toggle profile tracks operand locality, which
+is what Fig. 7's commonality analysis measures.
+"""
+
+from repro.circuits.netlist import Netlist
+
+from repro.circuits.builders.adder import carry_lookahead_adder
+
+
+def build_agen(width=32):
+    """``width``-bit effective-address adder.
+
+    Inputs: base (``width``), offset (``width``); outputs: sum bits then
+    the carry-out. Returns (netlist, ports).
+    """
+    nl = Netlist("AGen")
+    base = nl.add_inputs(width)
+    offset = nl.add_inputs(width)
+    sums, cout = carry_lookahead_adder(nl, base, offset)
+    for net in sums:
+        nl.mark_output(net)
+    nl.mark_output(cout)
+    ports = {"base": base, "offset": offset, "sum": sums, "cout": [cout]}
+    return nl, ports

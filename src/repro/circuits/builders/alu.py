@@ -1,0 +1,89 @@
+"""32-bit integer ALU: add/sub datapath, logic ops, barrel shifters.
+
+Op encoding (op bus LSB-first):
+
+====  =================
+op    result
+====  =================
+0     a + b
+1     a - b
+2     a & b
+3     a | b
+4     a ^ b
+5     a >> (b & 31)   (logical)
+6     (a << (b & 31)) & mask
+7     a + b
+====  =================
+
+A single carry-lookahead adder serves ops 0/1/7: the subtract control
+(``op == 1``) conditionally inverts ``b`` and feeds the carry-in.
+Two MUX2 barrel shifters (one per direction) and a per-bit MUX2 tree on
+the op bits produce the final result, keeping depth logarithmic.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+from repro.circuits.builders.adder import carry_lookahead_adder
+
+
+def _mux(nl, when0, when1, sel):
+    """MUX2 wrapper: sel ? when1 : when0."""
+    return nl.add_gate(GateType.MUX2, [when0, when1, sel])
+
+
+def _barrel_shift(nl, bits, shamt, left):
+    """Logarithmic shifter: one MUX2 rank per shift-amount bit."""
+    n = len(bits)
+    cur = list(bits)
+    for k, sel in enumerate(shamt):
+        step = 1 << k
+        nxt = []
+        for i in range(n):
+            src = i - step if left else i + step
+            shifted = cur[src] if 0 <= src < n else nl.const0
+            nxt.append(_mux(nl, cur[i], shifted, sel))
+        cur = nxt
+    return cur
+
+
+def build_alu(width=32):
+    """``width``-bit ALU; returns (netlist, ports)."""
+    shamt_bits = max(1, (width - 1).bit_length())
+    nl = Netlist("ALU")
+    a = nl.add_inputs(width)
+    b = nl.add_inputs(width)
+    op = nl.add_inputs(3)
+    op0, op1, op2 = op
+
+    # op == 1 selects subtract: invert b, carry-in 1.
+    not_op1 = nl.add_gate(GateType.INV, [op1])
+    not_op2 = nl.add_gate(GateType.INV, [op2])
+    sub = nl.add_gate(GateType.AND3, [op0, not_op1, not_op2])
+    b_eff = [nl.add_gate(GateType.XOR2, [bi, sub]) for bi in b]
+    addsub, _cout = carry_lookahead_adder(nl, a, b_eff, cin=sub)
+
+    and_bits = [nl.add_gate(GateType.AND2, [ai, bi]) for ai, bi in zip(a, b)]
+    or_bits = [nl.add_gate(GateType.OR2, [ai, bi]) for ai, bi in zip(a, b)]
+    xor_bits = [nl.add_gate(GateType.XOR2, [ai, bi]) for ai, bi in zip(a, b)]
+
+    shamt = b[:shamt_bits]
+    shr_bits = _barrel_shift(nl, a, shamt, left=False)
+    shl_bits = _barrel_shift(nl, a, shamt, left=True)
+
+    result = []
+    for i in range(width):
+        # op0 level: pairs (0,1), (2,3), (4,5), (6,7)
+        m01 = addsub[i]  # ops 0 and 1 share the add/sub datapath
+        m23 = _mux(nl, and_bits[i], or_bits[i], op0)
+        m45 = _mux(nl, xor_bits[i], shr_bits[i], op0)
+        m67 = _mux(nl, shl_bits[i], addsub[i], op0)
+        # op1 level
+        m_lo = _mux(nl, m01, m23, op1)
+        m_hi = _mux(nl, m45, m67, op1)
+        # op2 level
+        result.append(_mux(nl, m_lo, m_hi, op2))
+    for net in result:
+        nl.mark_output(net)
+    ports = {"a": a, "b": b, "op": op, "result": result}
+    return nl, ports

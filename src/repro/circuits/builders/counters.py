@@ -1,0 +1,81 @@
+"""Small arithmetic blocks for VTE scheduler metadata.
+
+The scheduling schemes (Section IV of the paper) need a handful of tiny
+datapath blocks beyond the baseline issue logic: timestamp incrementers
+(ABS), match counters and threshold comparators over issue-queue
+dependence vectors (CDS). Each builder returns ``(netlist, ports)`` like
+the large structural builders.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+from repro.circuits.builders.adder import ripple_carry_adder
+
+
+def build_incrementer(bits=6):
+    """``bits``-wide +1 circuit: out = (value + 1) mod 2**bits."""
+    nl = Netlist(f"Incrementer{bits}")
+    value = nl.add_inputs(bits)
+    carry = None
+    outs = []
+    for i, v in enumerate(value):
+        if i == 0:
+            outs.append(nl.add_gate(GateType.INV, [v]))
+            carry = v
+        else:
+            outs.append(nl.add_gate(GateType.XOR2, [v, carry]))
+            carry = nl.add_gate(GateType.AND2, [v, carry])
+    for net in outs:
+        nl.mark_output(net)
+    ports = {"value": value, "out": outs}
+    return nl, ports
+
+
+def build_match_counter(n_lines=32):
+    """Population count of ``n_lines`` match lines as a binary bus.
+
+    Built as a balanced adder tree over 1-bit partial counts; output is
+    ``ceil(log2(n_lines + 1))`` bits wide.
+    """
+    nl = Netlist(f"MatchCounter{n_lines}")
+    lines = nl.add_inputs(n_lines)
+    counts = [[line] for line in lines]
+    while len(counts) > 1:
+        nxt = []
+        for i in range(0, len(counts) - 1, 2):
+            a, b = counts[i], counts[i + 1]
+            width = max(len(a), len(b))
+            a = a + [nl.const0] * (width - len(a))
+            b = b + [nl.const0] * (width - len(b))
+            sums, cout = ripple_carry_adder(nl, a, b)
+            nxt.append(sums + [cout])
+        if len(counts) & 1:
+            nxt.append(counts[-1])
+        counts = nxt
+    count = counts[0]
+    for net in count:
+        nl.mark_output(net)
+    ports = {"lines": lines, "count": count}
+    return nl, ports
+
+
+def build_threshold_compare(bits=6, threshold=8):
+    """Single-output ``count >= threshold`` comparator.
+
+    Implemented as ``count + (2**bits - threshold)``: the adder's carry-out
+    is exactly the comparison result, reusing the ripple-carry datapath.
+    """
+    if not 0 < threshold < (1 << bits):
+        raise ValueError(f"threshold {threshold} out of range for {bits} bits")
+    nl = Netlist(f"ThresholdCompare{bits}_{threshold}")
+    count = nl.add_inputs(bits)
+    complement = (1 << bits) - threshold
+    const_bits = [
+        nl.const1 if (complement >> i) & 1 else nl.const0
+        for i in range(bits)
+    ]
+    _, cout = ripple_carry_adder(nl, count, const_bits)
+    nl.mark_output(cout)
+    ports = {"count": count, "ge": [cout]}
+    return nl, ports

@@ -1,0 +1,45 @@
+"""Priority-encoding helpers: prefix OR networks and one-hot extraction.
+
+The issue-select builder needs "lowest set bit wins" arbitration. The
+classic gate-efficient form computes an exclusive prefix OR of the request
+vector (``blocked[i] = req[0] | ... | req[i-1]``) so that
+``grant[i] = req[i] & ~blocked[i]`` is one-hot at the lowest requester.
+The prefix network is Kogge-Stone, giving log depth so wide request
+vectors stay shallow after technology mapping.
+"""
+
+from repro.circuits.gates import GateType
+
+
+def prefix_or(nl, nets):
+    """Inclusive Kogge-Stone prefix OR: out[i] = nets[0] | ... | nets[i]."""
+    out = list(nets)
+    n = len(out)
+    dist = 1
+    while dist < n:
+        nxt = list(out)
+        for i in range(dist, n):
+            nxt[i] = nl.add_gate(GateType.OR2, [out[i], out[i - dist]])
+        out = nxt
+        dist *= 2
+    return out
+
+
+def exclusive_prefix_or(nl, nets):
+    """Exclusive prefix OR: out[0] = 0, out[i] = nets[0] | ... | nets[i-1]."""
+    inclusive = prefix_or(nl, nets)
+    return [nl.const0] + inclusive[:-1]
+
+
+def lowest_set_onehot(nl, nets):
+    """One-hot vector marking the lowest-index set bit of ``nets``.
+
+    Returns (onehot_bits, blocked_bits) where ``blocked[i]`` is the
+    exclusive prefix OR (reused by callers that mask off granted bits).
+    """
+    blocked = exclusive_prefix_or(nl, nets)
+    onehot = []
+    for bit, blk in zip(nets, blocked):
+        not_blk = nl.add_gate(GateType.INV, [blk])
+        onehot.append(nl.add_gate(GateType.AND2, [bit, not_blk]))
+    return onehot, blocked

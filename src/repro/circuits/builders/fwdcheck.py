@@ -1,0 +1,48 @@
+"""Bypass-network forward check: producer-tag vs consumer-source CAM match.
+
+Models the wakeup/forwarding comparators of the bypass network: each of
+``width * n_srcs`` consumer source tags is compared against every one of
+the ``width`` producer destination tags currently in flight; a match
+qualified by the producer's valid bit raises that source's forward line.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+from repro.circuits.builders.adder import equality_comparator, or_tree
+
+
+def build_forward_check(width=4, n_srcs=2, tag_bits=7):
+    """Build the forward-check comparators; returns (netlist, ports).
+
+    Inputs (LSB-first buses, in order): ``width`` producer tags of
+    ``tag_bits`` each, ``width`` producer valid bits, then
+    ``width * n_srcs`` source tags of ``tag_bits`` each. Outputs, per
+    source: the ``width`` qualified match bits, then the forward bit
+    (OR of the matches).
+    """
+    nl = Netlist("ForwardCheck")
+    producers = [nl.add_inputs(tag_bits) for _ in range(width)]
+    valids = nl.add_inputs(width)
+    sources = [nl.add_inputs(tag_bits) for _ in range(width * n_srcs)]
+    match_groups = []
+    forwards = []
+    for src in sources:
+        matches = []
+        for prod, valid in zip(producers, valids):
+            raw = equality_comparator(nl, prod, src)
+            matches.append(nl.add_gate(GateType.AND2, [raw, valid]))
+        forward = or_tree(nl, matches)
+        for net in matches:
+            nl.mark_output(net)
+        nl.mark_output(forward)
+        match_groups.append(matches)
+        forwards.append(forward)
+    ports = {
+        "producers": producers,
+        "valids": valids,
+        "sources": sources,
+        "matches": match_groups,
+        "forwards": forwards,
+    }
+    return nl, ports

@@ -1,0 +1,41 @@
+"""Issue-queue select logic: N-wide oldest-first arbitration.
+
+``build_issue_select`` models the select tree of a superscalar issue
+stage: given a request bit per issue-queue entry, it grants up to
+``n_grants`` requests, always to the lowest-indexed (oldest) requesters
+first. Each grant rank is a priority arbiter over the requests left
+unclaimed by earlier ranks; the prefix-OR networks inside each rank are
+log-depth (see :mod:`repro.circuits.builders.encoder`) so the mapped
+depth stays moderate even at 32 entries x 4 grants.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+from repro.circuits.builders.encoder import lowest_set_onehot
+
+
+def build_issue_select(n_requests=32, n_grants=4):
+    """Build the select network; returns (netlist, ports).
+
+    Outputs are grant-rank major: ``n_grants`` consecutive groups of
+    ``n_requests`` bits, group ``k`` one-hot at the (k+1)-th lowest set
+    request (all-zero when fewer requests are pending).
+    """
+    nl = Netlist("IssueQSelect")
+    requests = nl.add_inputs(n_requests)
+    avail = list(requests)
+    grants = []
+    for _rank in range(n_grants):
+        onehot, _blocked = lowest_set_onehot(nl, avail)
+        grants.append(onehot)
+        nxt = []
+        for bit, grant in zip(avail, onehot):
+            not_grant = nl.add_gate(GateType.INV, [grant])
+            nxt.append(nl.add_gate(GateType.AND2, [bit, not_grant]))
+        avail = nxt
+    for onehot in grants:
+        for net in onehot:
+            nl.mark_output(net)
+    ports = {"requests": requests, "grants": grants}
+    return nl, ports

@@ -1,0 +1,74 @@
+"""Structural technology mapping onto a NAND2/NOR2/INV cell subset.
+
+``tech_map`` rewrites a netlist gate-by-gate into the universal
+{NAND2, NOR2, INV} subset, the way a naive library binder would before
+any logic optimization. The mapped netlist is functionally identical and
+preserves the input/output port order and the netlist name, so synthesis
+reports and STA can be run on either form interchangeably.
+"""
+
+from repro.circuits.gates import GateType
+from repro.circuits.netlist import Netlist
+
+
+def tech_map(netlist):
+    """Return a new netlist computing the same function with NAND/NOR/INV."""
+    mapped = Netlist(netlist.name)
+    xlat = {0: 0}
+    for net in netlist.inputs:
+        xlat[net] = mapped.add_input()
+
+    def inv(x):
+        return mapped.add_gate(GateType.INV, [x])
+
+    def nand(x, y):
+        return mapped.add_gate(GateType.NAND2, [x, y])
+
+    def nor(x, y):
+        return mapped.add_gate(GateType.NOR2, [x, y])
+
+    def and2(x, y):
+        return inv(nand(x, y))
+
+    def or2(x, y):
+        return inv(nor(x, y))
+
+    def xor2(x, y):
+        # classic 4-NAND realization
+        t = nand(x, y)
+        return nand(nand(x, t), nand(y, t))
+
+    for gate in netlist.gates:
+        ins = [xlat[n] for n in gate.inputs]
+        gt = gate.gtype
+        if gt is GateType.INV:
+            out = inv(ins[0])
+        elif gt is GateType.BUF:
+            out = inv(inv(ins[0]))
+        elif gt is GateType.AND2:
+            out = and2(ins[0], ins[1])
+        elif gt is GateType.OR2:
+            out = or2(ins[0], ins[1])
+        elif gt is GateType.NAND2:
+            out = nand(ins[0], ins[1])
+        elif gt is GateType.NOR2:
+            out = nor(ins[0], ins[1])
+        elif gt is GateType.XOR2:
+            out = xor2(ins[0], ins[1])
+        elif gt is GateType.XNOR2:
+            out = inv(xor2(ins[0], ins[1]))
+        elif gt is GateType.MUX2:
+            a, b, sel = ins
+            not_sel = inv(sel)
+            out = nand(nand(a, not_sel), nand(b, sel))
+        elif gt is GateType.AND3:
+            out = and2(and2(ins[0], ins[1]), ins[2])
+        elif gt is GateType.OR3:
+            out = or2(or2(ins[0], ins[1]), ins[2])
+        else:  # pragma: no cover - exhaustive over GateType
+            raise ValueError(f"unmappable gate type {gt}")
+        xlat[gate.output] = out
+
+    for net in netlist.outputs:
+        mapped.mark_output(xlat[net])
+    return mapped

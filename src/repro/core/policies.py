@@ -17,6 +17,23 @@ they differ only in selection priority:
 
 from repro.uarch.issue_queue import TIMESTAMP_MASK
 
+_PERIOD = TIMESTAMP_MASK + 1
+
+
+def _no_wraparound(ready, iq):
+    """True when mod-64 relative age equals plain entry order for ``ready``.
+
+    The ready list is a subsequence of ``iq.entries`` (ascending dispatch
+    order); as long as the youngest ready entry is within one timestamp
+    period of the queue head, the modulo ages cannot wrap and the list is
+    already age-sorted.
+    """
+    entries = iq.entries
+    return (
+        not entries
+        or ready[-1].dispatch_order - entries[0].dispatch_order < _PERIOD
+    )
+
 
 class SelectionPolicy:
     """Base class: orders ready entries for the select logic."""
@@ -26,6 +43,17 @@ class SelectionPolicy:
     def order(self, ready, iq):
         """Return ``ready`` sorted by selection priority (highest first)."""
         raise NotImplementedError
+
+    def order_ready(self, ready, iq):
+        """Fast path for a ready list already in age order.
+
+        The pipeline builds its ready list by scanning the issue queue in
+        entry order, which is ascending age (see
+        :meth:`~repro.uarch.issue_queue.IssueQueue.head_timestamp`), so
+        subclasses can replace the full sort with a stable partition.
+        Falls back to :meth:`order` when not overridden.
+        """
+        return self.order(ready, iq)
 
     @staticmethod
     def relative_age(entry, head_ts):
@@ -54,6 +82,13 @@ class AgeBasedSelection(SelectionPolicy):
         head_ts = iq.head_timestamp()
         return sorted(ready, key=lambda e: self.relative_age(e, head_ts))
 
+    def order_ready(self, ready, iq):
+        # exact mode: the ready list is already in fetch order; non-exact:
+        # entry order equals mod-64 age order unless the window wrapped
+        if len(ready) < 2 or self.exact or _no_wraparound(ready, iq):
+            return ready
+        return self.order(ready, iq)
+
 
 class FaultyFirstSelection(SelectionPolicy):
     """FFS: predicted-faulty instructions first, then age."""
@@ -70,6 +105,17 @@ class FaultyFirstSelection(SelectionPolicy):
             ),
         )
 
+    def order_ready(self, ready, iq):
+        # stable partition: equivalent to the sort because the input is
+        # already age-ordered (sorted() is stable)
+        if len(ready) < 2 or not _no_wraparound(ready, iq):
+            return self.order(ready, iq) if len(ready) > 1 else ready
+        faulty = [e for e in ready if e.pred_fault_stage is not None]
+        if not faulty or len(faulty) == len(ready):
+            return ready
+        faulty.extend(e for e in ready if e.pred_fault_stage is None)
+        return faulty
+
 
 class CriticalityDrivenSelection(SelectionPolicy):
     """CDS: predicted-faulty *and* critical instructions first, then age."""
@@ -85,3 +131,20 @@ class CriticalityDrivenSelection(SelectionPolicy):
                 self.relative_age(e, head_ts),
             ),
         )
+
+    def order_ready(self, ready, iq):
+        if len(ready) < 2 or not _no_wraparound(ready, iq):
+            return self.order(ready, iq) if len(ready) > 1 else ready
+        critical = [
+            e
+            for e in ready
+            if e.pred_fault_stage is not None and e.pred_critical
+        ]
+        if not critical or len(critical) == len(ready):
+            return ready
+        critical.extend(
+            e
+            for e in ready
+            if e.pred_fault_stage is None or not e.pred_critical
+        )
+        return critical

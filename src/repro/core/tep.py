@@ -69,15 +69,27 @@ class TimingErrorPredictor:
         self._index_mask = self.config.n_entries - 1
         self._tag_mask = (1 << self.config.tag_bits) - 1
         self._hist_mask = (1 << self.config.history_bits) - 1
+        # (pc, masked history) -> (index, tag): the key is a pure hash of
+        # its inputs and each static PC recurs thousands of times per run,
+        # so memoizing avoids recomputing (and reallocating) the tuple
+        self._key_cache = {}
         self.lookups = 0
         self.hits = 0
         self.trainings = 0
 
     def _key(self, pc, ghr):
-        word = pc >> 2
-        index = (word ^ (ghr & self._hist_mask)) & self._index_mask
-        tag = (word >> 10) & self._tag_mask
-        return index, tag
+        hist = ghr & self._hist_mask
+        if hist:
+            # history-indexed configs vary per lookup; compute directly
+            word = pc >> 2
+            return ((word ^ hist) & self._index_mask,
+                    (word >> 10) & self._tag_mask)
+        key = self._key_cache.get(pc)
+        if key is None:
+            word = pc >> 2
+            key = (word & self._index_mask, (word >> 10) & self._tag_mask)
+            self._key_cache[pc] = key
+        return key
 
     # ------------------------------------------------------------------
     def predict(self, pc, ghr):
@@ -99,6 +111,20 @@ class TimingErrorPredictor:
     def key_for(self, pc, ghr):
         """The (index, tag) key a lookup of ``pc``/``ghr`` would use."""
         return self._key(pc, ghr)
+
+    def predict_or_key(self, pc, ghr):
+        """Single-probe fetch path: returns ``(prediction, key)``.
+
+        Equivalent to :meth:`predict` followed by :meth:`key_for` but with
+        one table probe and one key computation.
+        """
+        self.lookups += 1
+        key = self._key(pc, ghr)
+        entry = self._entries[key[0]]
+        if entry.tag == key[1] and entry.counter > 0:
+            self.hits += 1
+            return TEPPrediction(entry.stage, entry.critical, key), key
+        return None, key
 
     def train(self, key, stage, faulted):
         """Update the entry at ``key`` with an observed outcome.

@@ -101,6 +101,7 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._pc_timing = {}
         self.enabled = True
+        self._bg_cache = (None, None, 0.0)  # (vdd, rate, probability)
 
     # ------------------------------------------------------------------
     # assignment
@@ -221,16 +222,24 @@ class FaultInjector:
         timing = self._pc_timing.get(inst.pc)
         if timing is not None and rng.random() < self.repeatability:
             noise = rng.gauss(0.0, self.dynamic_sigma)
-            if self.thermal is not None:
-                midpoint = (self.thermal.t_ambient + self.thermal.t_max) / 2
+            thermal = self.thermal
+            if thermal is not None:
+                midpoint = (thermal.t_ambient + thermal.t_max) / 2
                 noise += self.thermal_coefficient * (
-                    self.thermal.temperature - midpoint
+                    thermal.temperature - midpoint
                 )
             if self.timing_model.violates(
                 timing.path_fraction, vdd, noise, self.frequency_factor
             ):
                 inst.add_fault(timing.stage)
-        if rng.random() < self._background_prob(vdd):
+        # background probability depends only on vdd and the configured
+        # rate, both constant within a run: cache it (resolve runs once
+        # per fetched instance)
+        cached_vdd, cached_rate, bg = self._bg_cache
+        if cached_vdd != vdd or cached_rate != self.background_rate:
+            bg = self._background_prob(vdd)
+            self._bg_cache = (vdd, self.background_rate, bg)
+        if rng.random() < bg:
             # an unusual input sensitizes an untracked long path somewhere
             stage = self._pick_stage(inst.static)
             inst.add_fault(stage)

@@ -43,6 +43,7 @@ class VoltageScaling:
         self.alpha = alpha
         self.v_nominal = v_nominal
         self._d_nom = self._delay(v_nominal)
+        self._memo = {}
 
     def _delay(self, vdd):
         if vdd <= self.vth:
@@ -50,8 +51,16 @@ class VoltageScaling:
         return vdd / (vdd - self.vth) ** self.alpha
 
     def slowdown(self, vdd):
-        """Multiplicative path slowdown at ``vdd`` relative to nominal."""
-        return self._delay(vdd) / self._d_nom
+        """Multiplicative path slowdown at ``vdd`` relative to nominal.
+
+        Memoized: a run evaluates this at one or two fixed voltages but
+        once per injected dynamic instruction.
+        """
+        cached = self._memo.get(vdd)
+        if cached is None:
+            cached = self._delay(vdd) / self._d_nom
+            self._memo[vdd] = cached
+        return cached
 
 
 class TimingClass(enum.IntEnum):
@@ -91,6 +100,7 @@ class StageTimingModel:
         # A path with nominal fraction f has mu+2sigma = f*(1+2*rel_sigma);
         # the criterion "mu+2sigma > Tclk" becomes f*slowdown > limit.
         self._limit = 1.0 / (1.0 + 2.0 * self.rel_sigma)
+        self._sigma2 = 1.0 + 2.0 * self.rel_sigma
 
     # -- class band construction -----------------------------------------
     def class_band(self, timing_class):
@@ -134,7 +144,7 @@ class StageTimingModel:
             path_fraction * self.scaling.slowdown(vdd)
             * frequency_factor * (1.0 + dynamic_noise)
         )
-        return mu * (1.0 + 2.0 * self.rel_sigma) > 1.0
+        return mu * self._sigma2 > 1.0
 
     def fault_margin(self, path_fraction, vdd, frequency_factor=1.0):
         """Signed margin of mu+2sigma over the cycle time (>0 = violation)."""

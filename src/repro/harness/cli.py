@@ -37,6 +37,20 @@ def _build_parser():
     )
     parser.add_argument("--seed", type=int, default=1, help="master seed")
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for simulation grids (0 = all cores; "
+             "default 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+             "./.sim_cache)",
+    )
+    parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="also write the experiment's data as JSON (one file; with "
              "'all', a {name} placeholder is substituted)",
@@ -115,6 +129,9 @@ def _run(name, args):
             warmup=args.warmup,
             seed=args.seed,
             benchmarks=args.benchmarks,
+            jobs=args.jobs,
+            cache=not args.no_cache,
+            cache_dir=args.cache_dir,
         )
     print(result.render())
     print()

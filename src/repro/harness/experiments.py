@@ -13,7 +13,8 @@ sweep.
 from repro.core.schemes import SchemeKind
 from repro.faults.timing import VDD_HIGH_FAULT, VDD_LOW_FAULT, VDD_NOMINAL
 from repro.harness import paper_data
-from repro.harness.runner import RunSpec, run_one
+from repro.harness.parallel import run_many
+from repro.harness.runner import RunSpec
 from repro.harness.tables import format_bar_series, format_table
 from repro.workloads.profiles import profile_names
 
@@ -37,27 +38,59 @@ class ExperimentResult:
 
 
 class SchedulingSweep:
-    """Caches (benchmark, scheme) simulation results at one voltage."""
+    """Caches (benchmark, scheme) simulation results at one voltage.
+
+    ``jobs``/``cache``/``cache_dir`` configure the batch engine
+    (:func:`repro.harness.parallel.run_many`) used to fill the sweep:
+    points requested in bulk (:meth:`prefetch`, or implicitly by
+    :meth:`relative_overheads`) fan out over ``jobs`` worker processes,
+    and with ``cache`` enabled every point is persisted to — and replayed
+    from — the on-disk result cache.
+    """
 
     def __init__(self, vdd, n_instructions=10000, warmup=4000, seed=1,
-                 benchmarks=None):
+                 benchmarks=None, jobs=1, cache=False, cache_dir=None):
         self.vdd = vdd
         self.n_instructions = n_instructions
         self.warmup = warmup
         self.seed = seed
         self.benchmarks = list(benchmarks or profile_names())
+        self.jobs = jobs
+        self.cache = cache
+        self.cache_dir = cache_dir
         self._cache = {}
+
+    def spec(self, benchmark, scheme):
+        """The :class:`RunSpec` of one sweep point."""
+        return RunSpec(
+            benchmark, scheme, self.vdd,
+            self.n_instructions, self.warmup, self.seed,
+        )
+
+    def _run_many(self, specs):
+        return run_many(
+            specs, jobs=self.jobs, cache=self.cache,
+            cache_dir=self.cache_dir,
+        )
+
+    def prefetch(self, schemes):
+        """Fill the (benchmark x scheme) grid through the batch engine."""
+        pairs = [
+            (benchmark, scheme)
+            for benchmark in self.benchmarks
+            for scheme in schemes
+            if (benchmark, scheme) not in self._cache
+        ]
+        if not pairs:
+            return
+        results = self._run_many([self.spec(b, s) for b, s in pairs])
+        self._cache.update(zip(pairs, results))
 
     def result(self, benchmark, scheme):
         """Run (or fetch) one simulation point."""
         key = (benchmark, scheme)
         if key not in self._cache:
-            self._cache[key] = run_one(
-                RunSpec(
-                    benchmark, scheme, self.vdd,
-                    self.n_instructions, self.warmup, self.seed,
-                )
-            )
+            self._cache[key] = self._run_many([self.spec(*key)])[0]
         return self._cache[key]
 
     def baseline(self, benchmark):
@@ -83,6 +116,7 @@ class SchedulingSweep:
         low fault rates with measurement noise) are skipped — a ratio to a
         <=0 denominator is meaningless.
         """
+        self.prefetch((SchemeKind.FAULT_FREE, SchemeKind.EP) + _PROPOSED)
         fn = self.perf_overhead if metric == "perf" else self.ed_overhead
         series = {s.name: {} for s in _PROPOSED}
         for benchmark in self.benchmarks:
@@ -100,7 +134,7 @@ class SchedulingSweep:
 # Table 1
 # ----------------------------------------------------------------------
 def table1(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-           sweeps=None):
+           sweeps=None, jobs=1, cache=False, cache_dir=None):
     """Reproduce Table 1: IPC, fault rates, Razor and EP overheads.
 
     ``sweeps`` optionally supplies precomputed
@@ -112,14 +146,25 @@ def table1(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
     data = {}
     if sweeps is None:
         sweeps = {
-            vdd: SchedulingSweep(vdd, n_instructions, warmup, seed, benchmarks)
+            vdd: SchedulingSweep(vdd, n_instructions, warmup, seed,
+                                 benchmarks, jobs=jobs, cache=cache,
+                                 cache_dir=cache_dir)
             for vdd in (VDD_HIGH_FAULT, VDD_LOW_FAULT)
         }
-    for benchmark in benchmarks:
-        ipc = run_one(
+    for sweep in sweeps.values():
+        sweep.prefetch(
+            (SchemeKind.FAULT_FREE, SchemeKind.RAZOR, SchemeKind.EP)
+        )
+    nominal = run_many(
+        [
             RunSpec(benchmark, SchemeKind.FAULT_FREE, VDD_NOMINAL,
                     n_instructions, warmup, seed)
-        ).ipc
+            for benchmark in benchmarks
+        ],
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
+    )
+    for benchmark, nominal_result in zip(benchmarks, nominal):
+        ipc = nominal_result.ipc
         entry = {"ipc": ipc}
         row = [benchmark, round(ipc, 2)]
         for vdd in (VDD_HIGH_FAULT, VDD_LOW_FAULT):
@@ -157,7 +202,7 @@ def table1(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
 # Figures 4/5 (1.04V) and 8/9 (0.97V)
 # ----------------------------------------------------------------------
 def _figure(metric, vdd, name, title, n_instructions, warmup, seed,
-            benchmarks, sweep=None):
+            benchmarks, sweep=None, jobs=1, cache=False, cache_dir=None):
     if benchmarks is None:
         benchmarks = (
             profile_names()
@@ -165,7 +210,9 @@ def _figure(metric, vdd, name, title, n_instructions, warmup, seed,
             else list(paper_data.HIGH_FR_BENCHMARKS)
         )
     if sweep is None:
-        sweep = SchedulingSweep(vdd, n_instructions, warmup, seed, benchmarks)
+        sweep = SchedulingSweep(vdd, n_instructions, warmup, seed,
+                                benchmarks, jobs=jobs, cache=cache,
+                                cache_dir=cache_dir)
     else:
         benchmarks = sweep.benchmarks
     series = sweep.relative_overheads(metric)
@@ -184,42 +231,46 @@ def _figure(metric, vdd, name, title, n_instructions, warmup, seed,
 
 
 def fig4(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-         sweep=None):
+         sweep=None, jobs=1, cache=False, cache_dir=None):
     """Figure 4: performance overhead vs EP at 1.04V (lower is better)."""
     return _figure(
         "perf", VDD_LOW_FAULT, "fig4",
         "Figure 4: relative performance overhead vs EP (VDD=1.04V)",
         n_instructions, warmup, seed, benchmarks, sweep,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
     )
 
 
 def fig5(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-         sweep=None):
+         sweep=None, jobs=1, cache=False, cache_dir=None):
     """Figure 5: ED overhead vs EP at 1.04V."""
     return _figure(
         "ed", VDD_LOW_FAULT, "fig5",
         "Figure 5: relative ED overhead vs EP (VDD=1.04V)",
         n_instructions, warmup, seed, benchmarks, sweep,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
     )
 
 
 def fig8(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-         sweep=None):
+         sweep=None, jobs=1, cache=False, cache_dir=None):
     """Figure 8: performance overhead vs EP at 0.97V."""
     return _figure(
         "perf", VDD_HIGH_FAULT, "fig8",
         "Figure 8: relative performance overhead vs EP (VDD=0.97V)",
         n_instructions, warmup, seed, benchmarks, sweep,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
     )
 
 
 def fig9(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-         sweep=None):
+         sweep=None, jobs=1, cache=False, cache_dir=None):
     """Figure 9: ED overhead vs EP at 0.97V."""
     return _figure(
         "ed", VDD_HIGH_FAULT, "fig9",
         "Figure 9: relative ED overhead vs EP (VDD=0.97V)",
         n_instructions, warmup, seed, benchmarks, sweep,
+        jobs=jobs, cache=cache, cache_dir=cache_dir,
     )
 
 
@@ -338,7 +389,7 @@ def fig7(seed=7):
 # headline claims (abstract / Section 5.2 / Section S2)
 # ----------------------------------------------------------------------
 def headline(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
-             sweeps=None):
+             sweeps=None, jobs=1, cache=False, cache_dir=None):
     """Average overhead reductions vs EP, compared to the paper's claims.
 
     ``sweeps`` optionally maps vdd -> precomputed :class:`SchedulingSweep`.
@@ -351,7 +402,8 @@ def headline(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
         ("ED@0.97V", fig9, "ed_reduction_high_fr", VDD_HIGH_FAULT),
     ):
         sweep = sweeps.get(vdd) if sweeps else None
-        fig = fig_fn(n_instructions, warmup, seed, benchmarks, sweep=sweep)
+        fig = fig_fn(n_instructions, warmup, seed, benchmarks, sweep=sweep,
+                     jobs=jobs, cache=cache, cache_dir=cache_dir)
         best = min(fig.data["averages"].values())
         reduction = 1.0 - best
         results[name] = {
@@ -376,25 +428,27 @@ def headline(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
 # ----------------------------------------------------------------------
 # calibration report (not a paper artifact; quality gate for the repro)
 # ----------------------------------------------------------------------
-def calibration(n_instructions=10000, warmup=4000, seed=1, benchmarks=None):
+def calibration(n_instructions=10000, warmup=4000, seed=1, benchmarks=None,
+                jobs=1, cache=False, cache_dir=None):
     """Measured vs paper fault-free IPC and fault rates per benchmark."""
     benchmarks = list(benchmarks or profile_names())
     rows = []
     data = {}
-    for benchmark in benchmarks:
+    grid = [
+        RunSpec(benchmark, scheme, vdd, n_instructions, warmup, seed)
+        for benchmark in benchmarks
+        for scheme, vdd in (
+            (SchemeKind.FAULT_FREE, VDD_NOMINAL),
+            (SchemeKind.RAZOR, VDD_LOW_FAULT),
+            (SchemeKind.RAZOR, VDD_HIGH_FAULT),
+        )
+    ]
+    points = run_many(grid, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    for i, benchmark in enumerate(benchmarks):
         paper = paper_data.PAPER_TABLE1[benchmark]
-        ipc = run_one(
-            RunSpec(benchmark, SchemeKind.FAULT_FREE, VDD_NOMINAL,
-                    n_instructions, warmup, seed)
-        ).ipc
-        fr_low = run_one(
-            RunSpec(benchmark, SchemeKind.RAZOR, VDD_LOW_FAULT,
-                    n_instructions, warmup, seed)
-        ).fault_rate * 100
-        fr_high = run_one(
-            RunSpec(benchmark, SchemeKind.RAZOR, VDD_HIGH_FAULT,
-                    n_instructions, warmup, seed)
-        ).fault_rate * 100
+        ipc = points[3 * i].ipc
+        fr_low = points[3 * i + 1].fault_rate * 100
+        fr_high = points[3 * i + 2].fault_rate * 100
         ipc_err = abs(ipc - paper.ipc) / paper.ipc
         rows.append([
             benchmark,
@@ -426,7 +480,8 @@ def calibration(n_instructions=10000, warmup=4000, seed=1, benchmarks=None):
 # ----------------------------------------------------------------------
 def shmoo(n_instructions=4000, warmup=2000, seed=1, benchmarks=None,
           scheme=SchemeKind.ABS, vdds=(1.10, 1.04, 0.97),
-          overclocks=(1.00, 1.04, 1.08)):
+          overclocks=(1.00, 1.04, 1.08), jobs=1, cache=False,
+          cache_dir=None):
     """Voltage/frequency grid: fault rate and net throughput per cell.
 
     Net throughput is IPC x frequency factor, normalized to the fault-free
@@ -434,28 +489,30 @@ def shmoo(n_instructions=4000, warmup=2000, seed=1, benchmarks=None,
     corners are profitable under this fault-tolerance scheme?".
     """
     benchmark = (benchmarks or ["bzip2"])[0]
-    nominal = run_one(
+    cells = [(vdd, factor) for vdd in vdds for factor in overclocks]
+    specs = [
         RunSpec(benchmark, SchemeKind.FAULT_FREE, VDD_NOMINAL,
                 n_instructions, warmup, seed)
-    )
+    ] + [
+        RunSpec(benchmark, scheme, vdd, n_instructions, warmup, seed,
+                overclock=factor)
+        for vdd, factor in cells
+    ]
+    points = run_many(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    nominal = points[0]
     rows = []
     data = {}
-    for vdd in vdds:
-        for factor in overclocks:
-            result = run_one(
-                RunSpec(benchmark, scheme, vdd, n_instructions, warmup,
-                        seed, overclock=factor)
-            )
-            throughput = result.ipc * factor / nominal.ipc
-            rows.append([
-                vdd, factor, f"{result.fault_rate:.2%}",
-                round(throughput, 3),
-                "+" if throughput > 1.0 else ("=" if throughput == 1 else "-"),
-            ])
-            data[(vdd, factor)] = {
-                "fault_rate": result.fault_rate,
-                "throughput": throughput,
-            }
+    for (vdd, factor), result in zip(cells, points[1:]):
+        throughput = result.ipc * factor / nominal.ipc
+        rows.append([
+            vdd, factor, f"{result.fault_rate:.2%}",
+            round(throughput, 3),
+            "+" if throughput > 1.0 else ("=" if throughput == 1 else "-"),
+        ])
+        data[(vdd, factor)] = {
+            "fault_rate": result.fault_rate,
+            "throughput": throughput,
+        }
     scheme_name = getattr(scheme, "name", str(scheme))
     text = format_table(
         ["VDD", "f", "fault rate", "net throughput", ""],

@@ -11,7 +11,8 @@ statistical profile — and report mean, standard deviation, and a normal
 import math
 
 from repro.core.schemes import SchemeKind
-from repro.harness.runner import RunSpec, run_one
+from repro.harness.parallel import run_many
+from repro.harness.runner import RunSpec
 
 
 class SeedStatistic:
@@ -65,23 +66,31 @@ class MultiSeedResult:
 
 
 def run_seeds(benchmark, scheme, vdd, seeds=(1, 2, 3), n_instructions=6000,
-              warmup=3000, **spec_kwargs):
+              warmup=3000, jobs=1, cache=False, cache_dir=None,
+              **spec_kwargs):
     """Measure a point over several seeds with paired baselines.
 
     Each seed's overheads are computed against the fault-free baseline of
     the *same* seed (the same program and trace), so seed-to-seed program
-    variation cancels out of the overhead metrics.
+    variation cancels out of the overhead metrics. The whole
+    (seed x {scheme, baseline}) grid goes through the batch engine, so
+    ``jobs`` fans the runs out and ``cache`` reuses earlier points.
     """
-    perf, ed, ipcs, frs = [], [], [], []
+    specs = []
     for seed in seeds:
-        baseline = run_one(
+        specs.append(
             RunSpec(benchmark, SchemeKind.FAULT_FREE, vdd,
                     n_instructions, warmup, seed, **spec_kwargs)
         )
-        result = run_one(
+        specs.append(
             RunSpec(benchmark, scheme, vdd,
                     n_instructions, warmup, seed, **spec_kwargs)
         )
+    points = run_many(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
+    perf, ed, ipcs, frs = [], [], [], []
+    for i in range(len(seeds)):
+        baseline = points[2 * i]
+        result = points[2 * i + 1]
         perf.append(result.perf_overhead(baseline))
         ed.append(result.ed_overhead(baseline))
         ipcs.append(baseline.ipc)

@@ -1,0 +1,196 @@
+"""Batch experiment engine: parallel fan-out plus an on-disk result cache.
+
+The experiment drivers (tables, figures, calibration, shmoo) all reduce to
+"run this grid of :class:`~repro.harness.runner.RunSpec` points".
+:func:`run_many` is the single entry point for that pattern:
+
+* **Caching** — every completed :class:`~repro.harness.runner.SimResult`
+  is pickled under a content address derived from ``RunSpec.key()``, so
+  re-running an experiment (or a different experiment sharing points, e.g.
+  Figure 4 after Table 1) is free. The cache is invalidated wholesale
+  whenever the simulator's source changes: results live in a subdirectory
+  named after :func:`model_version`, a digest of every ``repro`` source
+  file. Stale model versions are pruned opportunistically.
+
+* **Parallelism** — cache misses are farmed to a ``multiprocessing`` pool.
+  Runs are pure functions of their spec (the simulator threads explicit
+  seeds everywhere), so fan-out cannot change results; a determinism test
+  pins ``run_many(jobs=N) == serial``.
+
+Both are safe because runs are deterministic and self-contained: a spec
+fully determines its result (see ``RunSpec.canonical``).
+"""
+
+import hashlib
+import os
+import pickle
+
+from repro.harness.runner import run_one
+
+#: cache-format version; bump to orphan every existing cache entry.
+_CACHE_FORMAT = 1
+
+_version_cache = None
+
+
+def model_version():
+    """Digest of the simulator sources: the cache-invalidation stamp.
+
+    Hashes every ``.py`` file under the installed ``repro`` package (path
+    and contents, in sorted path order) so any change to the model —
+    pipeline, fault injector, energy model, workload generator — retires
+    all previously cached results.
+    """
+    global _version_cache
+    if _version_cache is not None:
+        return _version_cache
+    import repro
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    digest = hashlib.sha256(b"repro-cache-format:%d" % _CACHE_FORMAT)
+    for dirpath, dirnames, filenames in sorted(os.walk(root)):
+        dirnames.sort()
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            digest.update(rel.encode())
+            with open(path, "rb") as fh:
+                digest.update(fh.read())
+    _version_cache = digest.hexdigest()[:16]
+    return _version_cache
+
+
+class ResultCache:
+    """Content-addressed store of pickled :class:`SimResult` objects.
+
+    Layout: ``<root>/<model_version>/<spec_key>.pkl``. Loads and stores
+    are best-effort — a corrupt or unreadable entry is treated as a miss
+    and overwritten, never raised to the caller.
+    """
+
+    def __init__(self, root=None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+                os.getcwd(), ".sim_cache"
+            )
+        self.root = str(root)
+        self.version = model_version()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec):
+        return os.path.join(self.root, self.version, spec.key() + ".pkl")
+
+    def load(self, spec):
+        """The cached result for ``spec``, or ``None`` on a miss."""
+        try:
+            with open(self._path(spec), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, spec, result):
+        """Persist ``result`` under ``spec``'s content address."""
+        path = self._path(spec)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic: concurrent writers both win
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def prune_stale(self):
+        """Delete result directories from older model versions."""
+        try:
+            versions = os.listdir(self.root)
+        except OSError:
+            return
+        import shutil
+
+        for version in versions:
+            if version == self.version:
+                continue
+            path = os.path.join(self.root, version)
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+
+
+def _worker(spec):
+    # module-level so it pickles under every multiprocessing start method
+    return run_one(spec)
+
+
+def _resolve_jobs(jobs, n_pending):
+    if jobs in (None, 0):
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, n_pending))
+
+
+def run_many(specs, jobs=1, cache=False, cache_dir=None):
+    """Run a batch of specs; results in the same order as ``specs``.
+
+    ``jobs``: worker processes for the cache misses. ``1`` (the default)
+    runs serially in-process; ``None``/``0`` uses every core. ``cache``:
+    when true, consult and populate the on-disk :class:`ResultCache`
+    (rooted at ``cache_dir``, the ``REPRO_CACHE_DIR`` environment
+    variable, or ``./.sim_cache``). An existing :class:`ResultCache` may
+    be passed directly as ``cache``.
+
+    Identical specs in one batch are simulated once and share the result.
+    """
+    specs = list(specs)
+    if isinstance(cache, ResultCache):
+        store = cache
+    elif cache:
+        store = ResultCache(cache_dir)
+    else:
+        store = None
+
+    keys = [spec.key() for spec in specs]
+    results = [None] * len(specs)
+    pending = {}  # spec key -> first index (dedup within the batch)
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        if key in pending or results[i] is not None:
+            continue
+        cached = store.load(spec) if store is not None else None
+        if cached is not None:
+            for j in range(i, len(specs)):
+                if keys[j] == key:
+                    results[j] = cached
+        else:
+            pending[key] = i
+
+    if pending:
+        todo = [specs[i] for i in pending.values()]
+        n_jobs = _resolve_jobs(jobs, len(todo))
+        if n_jobs > 1:
+            import multiprocessing
+
+            # fork (when available) shares the warm program caches with
+            # the workers; spawn still works because _worker is importable
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                ctx = multiprocessing.get_context()
+            with ctx.Pool(n_jobs) as pool:
+                fresh = pool.map(_worker, todo)
+        else:
+            fresh = [run_one(spec) for spec in todo]
+        for (key, i), result in zip(pending.items(), fresh):
+            if store is not None:
+                store.store(specs[i], result)
+            for j in range(len(specs)):
+                if keys[j] == key:
+                    results[j] = result
+    return results

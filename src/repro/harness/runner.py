@@ -52,6 +52,60 @@ class RunSpec:
         #: frequency; violations appear once the guardband is consumed)
         self.overclock = overclock
 
+    def canonical(self):
+        """A nested tuple of primitives that fully determines this run.
+
+        Two specs with equal canonical forms produce bit-identical
+        simulations; the form feeds :meth:`key` and is stable across
+        processes (no ``id()``, no hash randomization, no float repr
+        ambiguity — floats are carried as ``repr`` strings).
+        """
+        config = self.config
+        if config is not None:
+            fu_counts = tuple(
+                (kind.name, n) for kind, n in sorted(
+                    config.fu_counts.items(), key=lambda kv: kv[0].name
+                )
+            )
+            config = (
+                config.width, config.iq_size, config.rob_size,
+                config.lsq_size, config.n_arch_regs, config.n_phys_regs,
+                fu_counts, config.frontend_depth, config.redirect_penalty,
+                config.replay_recovery, config.recovery_bubbles,
+                config.replay_mode, config.bp_history_bits,
+                config.bp_table_bits, config.criticality_threshold,
+                config.mem_dependence, config.model_wrong_path,
+                config.model_inorder_faults,
+            )
+        tep_config = self.tep_config
+        if tep_config is not None:
+            tep_config = (
+                tep_config.n_entries, tep_config.tag_bits,
+                tep_config.counter_bits, tep_config.history_bits,
+            )
+        return (
+            self.benchmark,
+            getattr(self.scheme, "value", self.scheme),
+            repr(self.vdd),
+            self.n_instructions,
+            self.warmup,
+            self.seed,
+            config,
+            tep_config,
+            self.predictor,
+            repr(self.overclock),
+        )
+
+    def key(self):
+        """Deterministic content hash of the spec (hex digest).
+
+        Used by :mod:`repro.harness.parallel` to address the on-disk
+        result cache; identical across processes and interpreter runs.
+        """
+        import hashlib
+
+        return hashlib.sha256(repr(self.canonical()).encode()).hexdigest()
+
     def __repr__(self):
         scheme = getattr(self.scheme, "name", self.scheme)
         return (
@@ -105,17 +159,47 @@ class SimResult:
         )
 
 
+#: Memoized pure build products. Programs are deterministic in
+#: (profile, seed) and carry no per-run state (fault assignments live on
+#: the injector, not the statics), so rebuilding one for every point of a
+#: sweep is pure waste. Bounded by wholesale clearing: sweeps revisit a
+#: handful of keys, so eviction order is irrelevant.
+_BUILD_CACHE_LIMIT = 128
+_PROGRAM_CACHE = {}
+_PC_FREQ_CACHE = {}
+
+
+def _cached_program(profile, seed):
+    key = (profile.name, seed)
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        if len(_PROGRAM_CACHE) >= _BUILD_CACHE_LIMIT:
+            _PROGRAM_CACHE.clear()
+        program = build_program(profile, seed=seed)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
 def _build_injector(profile, program, spec, timing_model):
     injector = FaultInjector(timing_model, seed=spec.seed + 301)
     # estimate frequencies over the same CFG walk (same seed) and exactly
     # the measured window, so the dynamic fault-rate targets refer to PCs
     # that are actually exercised during measurement
-    pc_freq = estimate_pc_freq(
-        program,
-        seed=spec.seed + 101,
-        n_instructions=max(spec.n_instructions, 3000),
-        skip=spec.warmup,
+    key = (
+        profile.name, spec.seed,
+        max(spec.n_instructions, 3000), spec.warmup,
     )
+    pc_freq = _PC_FREQ_CACHE.get(key)
+    if pc_freq is None:
+        if len(_PC_FREQ_CACHE) >= _BUILD_CACHE_LIMIT:
+            _PC_FREQ_CACHE.clear()
+        pc_freq = estimate_pc_freq(
+            program,
+            seed=spec.seed + 101,
+            n_instructions=max(spec.n_instructions, 3000),
+            skip=spec.warmup,
+        )
+        _PC_FREQ_CACHE[key] = pc_freq
     injector.assign(
         program.static_insts, pc_freq, profile.fr_low, profile.fr_high
     )
@@ -125,7 +209,7 @@ def _build_injector(profile, program, spec, timing_model):
 def build_core(spec):
     """Assemble (but do not run) the full simulation stack for ``spec``."""
     profile = get_profile(spec.benchmark)
-    program = build_program(profile, seed=spec.seed)
+    program = _cached_program(profile, spec.seed)
     trace = TraceGenerator(program, seed=spec.seed + 101)
     hierarchy = MemoryHierarchy()
     scheme = make_scheme(spec.scheme)
@@ -166,13 +250,27 @@ def prime_caches(program, hierarchy, line_bytes=64):
     regions (beyond the limit) are intentionally left cold — they miss in
     steady state too.
     """
-    for static in program.static_insts:
-        if not static.is_mem or not static.mem_region:
-            continue
-        if static.mem_region > _PRIME_LIMIT:
-            continue
-        for offset in range(0, static.mem_region, line_bytes):
-            hierarchy.access_data(static.mem_base + offset)
+    # the address walk depends only on the program; memoize it on the
+    # program object (same line-fill sequence as access_data, minus the
+    # latency bookkeeping — all counters are reset below anyway)
+    addrs = getattr(program, "_prime_addrs", None)
+    if addrs is None or getattr(program, "_prime_line_bytes", 0) != line_bytes:
+        addrs = []
+        for static in program.static_insts:
+            if not static.is_mem or not static.mem_region:
+                continue
+            if static.mem_region > _PRIME_LIMIT:
+                continue
+            base = static.mem_base
+            for offset in range(0, static.mem_region, line_bytes):
+                addrs.append(base + offset)
+        program._prime_addrs = addrs
+        program._prime_line_bytes = line_bytes
+    l1d_access = hierarchy.l1d.access
+    l2_access = hierarchy.l2.access
+    for addr in addrs:
+        if not l1d_access(addr):
+            l2_access(addr)
     hierarchy.reset_stats()
 
 

@@ -41,6 +41,8 @@ class StaticInst:
         "srcs",
         "fu_kind",
         "latency",
+        "is_mem",
+        "is_branch",
         "mem_base",
         "mem_stride",
         "mem_region",
@@ -65,21 +67,15 @@ class StaticInst:
         self.srcs = tuple(srcs)
         self.fu_kind = OP_FU_KIND[op]
         self.latency = OP_LATENCY[op]
+        # precomputed classification flags: these are read once per dynamic
+        # instance on the simulator's hot path, so they are plain attributes
+        self.is_mem = op is OpClass.LOAD or op is OpClass.STORE
+        self.is_branch = op is OpClass.BRANCH
         self.mem_base = mem_base
         self.mem_stride = mem_stride
         self.mem_region = mem_region
         self.taken_prob = taken_prob
         self.exec_count = 0
-
-    @property
-    def is_mem(self):
-        """True for loads and stores."""
-        return self.op is OpClass.LOAD or self.op is OpClass.STORE
-
-    @property
-    def is_branch(self):
-        """True for branches."""
-        return self.op is OpClass.BRANCH
 
     def address_at(self, k):
         """Memory address of the k-th dynamic instance (pure function).
@@ -127,6 +123,17 @@ class DynInst:
     __slots__ = (
         "seq",
         "static",
+        # static pass-throughs, copied at construction: the scheduler reads
+        # these hundreds of thousands of times per run, so they are plain
+        # attributes rather than properties delegating to ``static``
+        "pc",
+        "op",
+        "fu_kind",
+        "latency",
+        "is_load",
+        "is_store",
+        "is_mem",
+        "is_branch",
         "mem_addr",
         "taken",
         "mispredicted",
@@ -152,12 +159,22 @@ class DynInst:
         "squashed",
         "in_iq",
         "timestamp",
+        "dispatch_order",
         "version",
     )
 
     def __init__(self, seq, static, mem_addr=0, taken=False, mispredicted=False):
         self.seq = seq
         self.static = static
+        op = static.op
+        self.pc = static.pc
+        self.op = op
+        self.fu_kind = static.fu_kind
+        self.latency = static.latency
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_mem = static.is_mem
+        self.is_branch = static.is_branch
         self.mem_addr = mem_addr
         self.taken = taken
         self.mispredicted = mispredicted
@@ -179,48 +196,8 @@ class DynInst:
         self.squashed = False
         self.in_iq = False
         self.timestamp = 0
+        self.dispatch_order = 0
         self.version = 0
-
-    # -- convenience pass-throughs --------------------------------------
-    @property
-    def pc(self):
-        """Program counter of the underlying static instruction."""
-        return self.static.pc
-
-    @property
-    def op(self):
-        """Operation class."""
-        return self.static.op
-
-    @property
-    def fu_kind(self):
-        """Functional-unit kind this instruction issues to."""
-        return self.static.fu_kind
-
-    @property
-    def latency(self):
-        """Base execute latency (without cache or fault extension)."""
-        return self.static.latency
-
-    @property
-    def is_load(self):
-        """True for loads."""
-        return self.static.op is OpClass.LOAD
-
-    @property
-    def is_store(self):
-        """True for stores."""
-        return self.static.op is OpClass.STORE
-
-    @property
-    def is_mem(self):
-        """True for loads and stores."""
-        return self.static.is_mem
-
-    @property
-    def is_branch(self):
-        """True for branches."""
-        return self.static.is_branch
 
     def faults_in(self, stage):
         """Return True when this instance violates timing in ``stage``."""

@@ -53,6 +53,8 @@ class Cache:
         self._line_shift = config.line_bytes.bit_length() - 1
         self._set_mask = config.n_sets - 1
         self._pow2_sets = (config.n_sets & (config.n_sets - 1)) == 0
+        self._assoc = config.assoc
+        self._n_sets = config.n_sets
         # per-set list of tags, most-recently-used last
         self._sets = [[] for _ in range(config.n_sets)]
         self.hits = 0
@@ -68,21 +70,26 @@ class Cache:
         """Access ``addr``; return True on hit.
 
         A miss allocates the line (evicting LRU if the set is full); a hit
-        promotes the line to most-recently-used.
+        promotes the line to most-recently-used. The set lookup is inlined
+        (vs :meth:`_index`): this is the hottest method of the memory
+        model, called for every load, store and fetched cache line.
         """
-        set_idx, tag = self._index(addr)
-        ways = self._sets[set_idx]
-        try:
-            ways.remove(tag)
-        except ValueError:
-            self.misses += 1
-            if len(ways) >= self.config.assoc:
-                ways.pop(0)
-            ways.append(tag)
-            return False
-        self.hits += 1
+        tag = addr >> self._line_shift
+        if self._pow2_sets:
+            ways = self._sets[tag & self._set_mask]
+        else:
+            ways = self._sets[tag % self._n_sets]
+        if tag in ways:
+            self.hits += 1
+            if ways[-1] != tag:
+                ways.remove(tag)
+                ways.append(tag)
+            return True
+        self.misses += 1
+        if len(ways) >= self._assoc:
+            del ways[0]
         ways.append(tag)
-        return True
+        return False
 
     def probe(self, addr):
         """Return True when ``addr`` is resident, without side effects."""

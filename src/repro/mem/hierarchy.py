@@ -55,15 +55,17 @@ class MemoryHierarchy:
         self.l1d = Cache(CacheConfig(c.l1_size, c.l1_assoc, c.line_bytes, "L1D"))
         self.l2 = Cache(CacheConfig(c.l2_size, c.l2_assoc, c.line_bytes, "L2"))
         self.mem_accesses = 0
+        self._lat_l1 = c.l1_latency
+        self._lat_l2 = c.l1_latency + c.l2_latency
+        self._lat_mem = c.l1_latency + c.l2_latency + c.mem_latency
 
     def _access(self, l1, addr):
-        c = self.config
         if l1.access(addr):
-            return AccessResult(c.l1_latency, "L1")
+            return AccessResult(self._lat_l1, "L1")
         if self.l2.access(addr):
-            return AccessResult(c.l1_latency + c.l2_latency, "L2")
+            return AccessResult(self._lat_l2, "L2")
         self.mem_accesses += 1
-        return AccessResult(c.l1_latency + c.l2_latency + c.mem_latency, "MEM")
+        return AccessResult(self._lat_mem, "MEM")
 
     def access_data(self, addr):
         """Access the data side; returns an :class:`AccessResult`."""
@@ -72,6 +74,25 @@ class MemoryHierarchy:
     def access_inst(self, addr):
         """Access the instruction side; returns an :class:`AccessResult`."""
         return self._access(self.l1i, addr)
+
+    def access_data_latency(self, addr):
+        """Data-side access returning only the total latency (no result
+        object): the pipeline's per-load/per-store fast path."""
+        if self.l1d.access(addr):
+            return self._lat_l1
+        if self.l2.access(addr):
+            return self._lat_l2
+        self.mem_accesses += 1
+        return self._lat_mem
+
+    def access_inst_latency(self, addr):
+        """Instruction-side access returning only the total latency."""
+        if self.l1i.access(addr):
+            return self._lat_l1
+        if self.l2.access(addr):
+            return self._lat_l2
+        self.mem_accesses += 1
+        return self._lat_mem
 
     def stats(self):
         """Return a dict of hit/miss counters for all levels."""

@@ -54,7 +54,7 @@ class FuPool:
     def find_available(self, kind, cycle):
         """Return an available unit of ``kind`` or None."""
         for unit in self.units[kind]:
-            if unit.available(cycle):
+            if unit.next_issue <= cycle:
                 return unit
         return None
 

@@ -37,8 +37,13 @@ class IssueQueue:
         """Insert a dispatched instruction and stamp its 6-bit timestamp."""
         if self.full:
             raise RuntimeError("issue queue overflow")
-        inst.timestamp = self._dispatch_counter & TIMESTAMP_MASK
-        self._dispatch_counter += 1
+        counter = self._dispatch_counter
+        inst.timestamp = counter & TIMESTAMP_MASK
+        # unmasked dispatch order: lets the selection policies prove the
+        # live window is narrower than the timestamp period (no wraparound)
+        # and skip the modulo-age sort entirely
+        inst.dispatch_order = counter
+        self._dispatch_counter = counter + 1
         inst.in_iq = True
         self.entries.append(inst)
 
@@ -61,11 +66,16 @@ class IssueQueue:
         return dropped
 
     def head_timestamp(self):
-        """Timestamp of the oldest entry (reference point for mod-64 age)."""
+        """Timestamp of the oldest entry (reference point for mod-64 age).
+
+        ``entries`` is maintained in ascending sequence order (inserts
+        happen in dispatch order, squash and remove preserve relative
+        order, and replayed instructions re-dispatch before anything
+        younger), so the oldest entry is always the first one.
+        """
         if not self.entries:
             return 0
-        oldest = min(self.entries, key=lambda e: e.seq)
-        return oldest.timestamp
+        return self.entries[0].timestamp
 
     def ready_entries(self, cycle, rename, lsq=None, load_gate=None):
         """Entries whose operands are ready in ``cycle``.
@@ -74,11 +84,33 @@ class IssueQueue:
         they wait until every older store in the LSQ has resolved its
         address (conservative); a ``load_gate(inst)`` callable (e.g. a
         store-set predictor check) replaces that rule when provided.
+
+        The operand check is the scoreboard lookup of
+        :meth:`~repro.uarch.regfile.RenameState.srcs_ready`, inlined here
+        with the ready-cycle list hoisted: this scan runs once per cycle
+        over the whole window and dominates the scheduler's cost.
         """
         ready = []
+        append = ready.append
+        ready_cycle = rename.ready_cycle
         for inst in self.entries:
-            if not rename.srcs_ready(inst, cycle):
-                continue
+            # source check unrolled for the dominant 2/1/0-operand shapes
+            srcs = inst.phys_srcs
+            n = len(srcs)
+            if n == 2:
+                if ready_cycle[srcs[0]] > cycle or ready_cycle[srcs[1]] > cycle:
+                    continue
+            elif n == 1:
+                if ready_cycle[srcs[0]] > cycle:
+                    continue
+            elif n:
+                waiting = False
+                for p in srcs:
+                    if ready_cycle[p] > cycle:
+                        waiting = True
+                        break
+                if waiting:
+                    continue
             if inst.is_load:
                 if load_gate is not None:
                     if not load_gate(inst):
@@ -87,7 +119,7 @@ class IssueQueue:
                     inst.seq, cycle
                 ):
                     continue
-            ready.append(inst)
+            append(inst)
         return ready
 
     def count_dependents(self, phys_reg):

@@ -26,6 +26,7 @@ class LoadStoreQueue:
             raise ValueError("LSQ size must be positive")
         self.size = size
         self._entries = []  # program order (ascending seq)
+        self._n_stores = 0  # resident stores (fast-path short circuit)
         self.cam_searches = 0
         self.forwards = 0
 
@@ -42,6 +43,8 @@ class LoadStoreQueue:
         if self.full:
             raise RuntimeError("LSQ overflow")
         self._entries.append(_LsqEntry(inst))
+        if inst.is_store:
+            self._n_stores += 1
 
     def resolve_address(self, inst, cycle):
         """Record that ``inst``'s address generation completes at ``cycle``."""
@@ -53,13 +56,16 @@ class LoadStoreQueue:
 
     def older_stores_resolved(self, seq, cycle):
         """True when all stores older than ``seq`` have known addresses."""
+        if not self._n_stores:
+            return True
         for entry in self._entries:
-            if entry.inst.seq >= seq:
+            inst = entry.inst
+            if inst.seq >= seq:
                 break
-            if entry.inst.is_store and (
-                entry.resolve_cycle is None or entry.resolve_cycle > cycle
-            ):
-                return False
+            if inst.is_store:
+                rc = entry.resolve_cycle
+                if rc is None or rc > cycle:
+                    return False
         return True
 
     def search_forward(self, load_inst, cycle):
@@ -69,6 +75,8 @@ class LoadStoreQueue:
         (counts as a forward); the search itself is always counted.
         """
         self.cam_searches += 1
+        if not self._n_stores:
+            return False
         target = load_inst.mem_addr >> _MATCH_SHIFT
         match = False
         for entry in self._entries:
@@ -116,9 +124,12 @@ class LoadStoreQueue:
         for i, entry in enumerate(self._entries):
             if entry.inst is inst:
                 del self._entries[i]
+                if inst.is_store:
+                    self._n_stores -= 1
                 return
         raise KeyError(f"instruction seq={inst.seq} not in LSQ")
 
     def squash_from(self, seq):
         """Drop all entries with sequence number >= ``seq``."""
-        self._entries = [e for e in self._entries if e.inst.seq < seq]
+        self._entries = kept = [e for e in self._entries if e.inst.seq < seq]
+        self._n_stores = sum(1 for e in kept if e.inst.is_store)

@@ -30,14 +30,15 @@ access after, dependents wake when data returns (non-speculative wakeup).
 """
 
 from collections import deque
+from operator import itemgetter
 
-from repro.isa.opcodes import OpClass, PipeStage
+from repro.isa.opcodes import OpClass, PipeStage, UNPIPELINED_OPS
 from repro.core.criticality import CriticalityDetector
 from repro.core.vte import FreezeKind, vte_effects
 from repro.uarch.branch_predictor import GShare
 from repro.uarch.config import CoreConfig
 from repro.uarch.functional_units import FuPool
-from repro.uarch.issue_queue import IssueQueue
+from repro.uarch.issue_queue import IssueQueue, TIMESTAMP_MASK
 from repro.uarch.lsq import LoadStoreQueue
 from repro.uarch.memdep import StoreSetPredictor
 from repro.uarch.regfile import RenameState
@@ -49,8 +50,21 @@ _EV_COMPLETE = 0
 _EV_RESOLVE = 1
 _EV_REPLAY = 2
 
+_EV_KIND = itemgetter(0)
+
 _INORDER_STALL_STAGES = (PipeStage.RENAME, PipeStage.DISPATCH, PipeStage.RETIRE)
 _REPLAY_ONLY_STAGES = (PipeStage.FETCH, PipeStage.DECODE)
+
+# (stage, mask bit) pairs checked at issue, in pipeline order
+_ISSUE_FAULT_STAGES = tuple(
+    (stage, 1 << int(stage))
+    for stage in (PipeStage.ISSUE, PipeStage.REGREAD, PipeStage.EXECUTE,
+                  PipeStage.MEM, PipeStage.WRITEBACK)
+)
+_INORDER_FAULT_STAGES = tuple(
+    (stage, 1 << int(stage))
+    for stage in _REPLAY_ONLY_STAGES + _INORDER_STALL_STAGES
+)
 
 
 class DeadlockError(RuntimeError):
@@ -114,6 +128,28 @@ class OoOCore:
         )
 
         self.cycle = 0
+        # per-run constants hoisted off the per-cycle/per-instruction paths
+        self._width = config.width
+        self._uses_tep = scheme.uses_tep
+        self._uses_vte = scheme.uses_vte
+        self._uses_ep_stall = scheme.uses_ep_stall
+        self._tolerates_pred = scheme.tolerates_predicted_faults
+        self._selective_mode = config.replay_mode == "selective"
+        self._replay_recovery = config.replay_recovery
+        self._order_ready = scheme.policy.order_ready
+        self._load_gate_fn = self._load_gate if self.memdep is not None else None
+        # fused predict+key probe when the predictor implementation has one
+        self._tep_lookup = getattr(tep, "predict_or_key", None)
+        if not scheme.uses_tep:
+            self._tep_gate = 1      # never armed
+        elif sensor is None:
+            self._tep_gate = 0      # unconditionally armed
+        elif sensor.overclocked or sensor.vdd <= sensor.v_threshold:
+            self._tep_gate = 0      # statically armed for the whole run
+        elif sensor.thermal is None:
+            self._tep_gate = 1      # statically unfavorable
+        else:
+            self._tep_gate = 2      # thermal-dependent: ask per fetch
         self._events = {}           # cycle -> [(kind, inst), ...]
         self._wb_count = {}         # cycle -> reserved writeback lanes
         self._ep_stalls = {}        # cycle -> pending whole-pipeline stalls
@@ -141,28 +177,66 @@ class OoOCore:
             max_cycles = 400 * max_committed + 20000
         stats = self.stats
         thermal = getattr(self.sensor, "thermal", None)
+        # bind bound methods and stable sub-objects once: the loop below
+        # runs once per simulated cycle. Dict-valued state
+        # (``_events``/``_ep_stalls``/``_wb_count``) is rebound wholesale
+        # by ``_shift_in_flight`` and must be read through ``self``.
+        consume_ep_stall = self._consume_ep_stall
+        process_events = self._process_events
+        commit = self._commit
+        select = self._select
+        dispatch = self._dispatch
+        fetch = self._fetch
+        iq = self.iq
+        rob_entries = self.rob._entries  # deque, mutated in place only
+        refetch = self._refetch
+        conveyor = self._conveyor
+        depth = len(conveyor)
         while stats.committed < max_committed:
-            if thermal is not None and self.cycle % 128 == 0:
+            cycle = self.cycle
+            if thermal is not None and not cycle & 127:
                 thermal.advance(128)
-            if self.cycle > max_cycles:
+            if cycle > max_cycles:
                 raise DeadlockError(
-                    f"no forward progress: cycle={self.cycle}, "
+                    f"no forward progress: cycle={cycle}, "
                     f"committed={stats.committed}/{max_committed}, "
                     f"rob={len(self.rob)}, iq={len(self.iq)}"
                 )
-            if self._consume_ep_stall():
+            if self._ep_stalls and consume_ep_stall():
                 stats.cycles += 1
-                self.cycle += 1
+                self.cycle = cycle + 1
                 continue
-            self._process_events()
-            self._commit()
-            self._select()
-            self._frontend()
-            stats.iq_occupancy_accum += len(self.iq)
-            self._wb_count.pop(self.cycle, None)
+            events = self._events.pop(cycle, None)
+            if events:
+                process_events(events)
+            if rob_entries and rob_entries[0].completed:
+                commit()
+            if iq.entries:
+                select()
+            # front end, inlined from _frontend: dispatch from the tail
+            # latch, advance the conveyor, fetch into a free head latch
+            # (conveyor slots are swapped in place, so index every cycle)
+            if conveyor[-1]:
+                dispatch()
+            for i in range(depth - 1, 0, -1):
+                if not conveyor[i]:
+                    conveyor[i], conveyor[i - 1] = conveyor[i - 1], conveyor[i]
+            if (
+                not conveyor[0]
+                and self._blocking_branch is None
+                and cycle >= self._fetch_resume_at
+            ):
+                fetch(conveyor[0])
+            stats.iq_occupancy_accum += len(iq.entries)
+            self._wb_count.pop(cycle, None)
             stats.cycles += 1
-            self.cycle += 1
-            if self._drained():
+            self.cycle = cycle + 1
+            if (
+                self._done_fetching
+                and not refetch
+                and not rob_entries
+                and not any(conveyor)
+            ):
                 break
         stats.lsq_searches = self.lsq.cam_searches
         stats.store_forwards = self.lsq.forwards
@@ -206,20 +280,29 @@ class OoOCore:
     # events
     # ==================================================================
     def _schedule(self, cycle, kind, inst):
-        self._events.setdefault(cycle, []).append((kind, inst, inst.version))
+        events = self._events
+        lst = events.get(cycle)
+        if lst is None:
+            events[cycle] = [(kind, inst, inst.version)]
+        else:
+            lst.append((kind, inst, inst.version))
 
-    def _process_events(self):
-        events = self._events.pop(self.cycle, None)
-        if not events:
-            return
-        events.sort(key=lambda ev: ev[0])
+    def _process_events(self, events=None):
+        if events is None:
+            events = self._events.pop(self.cycle, None)
+            if not events:
+                return
+        if len(events) > 1:
+            events.sort(key=_EV_KIND)
+        stats = self.stats
+        cycle = self.cycle
         for kind, inst, version in events:
             if inst.squashed or inst.version != version:
                 continue  # stale: the instruction was squashed/re-injected
             if kind == _EV_COMPLETE:
                 inst.completed = True
-                inst.complete_cycle = self.cycle
-                self.stats.wb_writes += 1
+                inst.complete_cycle = cycle
+                stats.wb_writes += 1
             elif kind == _EV_RESOLVE:
                 if self._blocking_branch == inst.seq:
                     self._blocking_branch = None
@@ -245,21 +328,26 @@ class OoOCore:
     # ==================================================================
     def _commit(self):
         stats = self.stats
-        for inst in self.rob.commit_ready(self.config.width):
-            self.rename.commit(inst)
+        cycle = self.cycle
+        rename_commit = self.rename.commit
+        lsq_retire = self.lsq.retire
+        store_access = self.hierarchy.access_data_latency
+        train_tep = self._train_tep
+        for inst in self.rob.commit_ready(self._width):
+            rename_commit(inst)
             if inst.is_mem:
-                self.lsq.retire(inst)
+                lsq_retire(inst)
                 if inst.is_store:
-                    self.hierarchy.access_data(inst.mem_addr)
+                    store_access(inst.mem_addr)
             if inst.phys_dest >= 0:
                 stats.regwrites += 1
-            inst.commit_cycle = self.cycle
+            inst.commit_cycle = cycle
             stats.committed += 1
-            self._train_tep(inst)
+            train_tep(inst)
 
     def _train_tep(self, inst):
         """Train the predictor on the instruction's observed outcome."""
-        if not self.scheme.uses_tep or inst.replayed:
+        if not self._uses_tep or inst.replayed:
             # replayed instances trained at detection time (Section 2.1.2)
             return
         key = inst.tep_key
@@ -270,7 +358,7 @@ class OoOCore:
         faulted_stage = self._earliest_fault_stage(inst)
         if faulted_stage is not None:
             self.tep.train(key, faulted_stage, True)
-        elif inst.predicted_faulty:
+        elif inst.pred_fault_stage is not None:
             self.stats.false_predictions += 1
             self.tep.train(key, None, False)
 
@@ -295,22 +383,28 @@ class OoOCore:
         return not self.lsq.unresolved(wait_seq, self.cycle)
 
     def _select(self):
-        gate = self._load_gate if self.memdep is not None else None
-        ready = self.iq.ready_entries(
-            self.cycle, self.rename, self.lsq, load_gate=gate
-        )
+        iq = self.iq
+        if not iq.entries:
+            return
+        cycle = self.cycle
+        ready = iq.ready_entries(cycle, self.rename, self.lsq, self._load_gate_fn)
         if not ready:
             return
-        ordered = self.scheme.policy.order(ready, self.iq)
+        # order_ready exploits that the ready list is already age-ordered
+        # (see SelectionPolicy.order_ready) and avoids the full sort
+        ordered = self._order_ready(ready, iq)
+        width = self._width
+        units = self.fus.units
+        issue = self._issue
         issued = 0
         for inst in ordered:
-            if issued >= self.config.width:
+            for unit in units[inst.fu_kind]:
+                if unit.next_issue <= cycle:
+                    issue(inst, unit)
+                    issued += 1
+                    break
+            if issued >= width:
                 break
-            unit = self.fus.find_available(inst.fu_kind, self.cycle)
-            if unit is None:
-                continue
-            self._issue(inst, unit)
-            issued += 1
 
     def _issue(self, inst, unit):
         """Issue one instruction: timing chain, VTE effects, fault events."""
@@ -320,73 +414,81 @@ class OoOCore:
         self.iq.remove(inst)
         stats.issued += 1
         stats.regreads += len(inst.phys_srcs)
-        stats.count_fu_op(inst.op)
+        op = inst.op
+        fu_ops = stats.fu_ops  # count_fu_op, inlined
+        fu_ops[op] = fu_ops.get(op, 0) + 1
 
         # -- prediction handling ---------------------------------------
         pred_stage = inst.pred_fault_stage
         effects = None
-        if pred_stage is not None and self.scheme.uses_vte:
-            effects = vte_effects(pred_stage, inst.op)
+        if pred_stage is not None and self._uses_vte:
+            effects = vte_effects(pred_stage, op)
             if effects.stage is not None:
                 stats.padded_instructions += 1
-        rr_extra = effects.rr_extra if effects else 0
-        ex_extra = effects.ex_extra if effects else 0
-        mem_extra = effects.mem_extra if effects else 0
-        wb_extra = effects.wb_extra if effects else 0
+            rr_extra = effects.rr_extra
+            ex_extra = effects.ex_extra
+            mem_extra = effects.mem_extra
+            wb_extra = effects.wb_extra
+        else:
+            rr_extra = ex_extra = mem_extra = wb_extra = 0
 
         # -- actual violations: classify tolerated vs recovery ----------
-        selective_stages = []
+        selective_stages = ()
         flush_stage = None
-        if inst.fault_stages:
-            for stage in (PipeStage.ISSUE, PipeStage.REGREAD,
-                          PipeStage.EXECUTE, PipeStage.MEM,
-                          PipeStage.WRITEBACK):
-                if not inst.faults_in(stage):
+        mask = inst.fault_stages
+        if mask:
+            is_mem = inst.is_mem
+            tolerates = self._tolerates_pred
+            selective_mode = self._selective_mode
+            count_fault = stats.count_fault
+            selective_stages = []
+            for stage, bit in _ISSUE_FAULT_STAGES:
+                if not mask & bit:
                     continue
-                if stage is PipeStage.MEM and not inst.is_mem:
+                if stage is PipeStage.MEM and not is_mem:
                     continue
-                tolerated = (
-                    stage == pred_stage
-                    and self.scheme.tolerates_predicted_faults
-                )
-                stats.count_fault(stage, tolerated)
+                tolerated = stage == pred_stage and tolerates
+                count_fault(stage, tolerated)
                 if tolerated:
                     continue
-                if self.config.replay_mode == "selective":
+                if selective_mode:
                     selective_stages.append(stage)
                 elif flush_stage is None:
                     flush_stage = stage
-        # selective (Razor-I) recovery: the faulty instruction re-executes
-        # in place with the recovery penalty; its dependents simply wait
-        penalty = self.config.replay_recovery
-        for stage in selective_stages:
-            stats.replays += 1
-            if stage in (PipeStage.ISSUE, PipeStage.REGREAD):
-                rr_extra += penalty
-            elif stage is PipeStage.EXECUTE:
-                ex_extra += penalty
-            elif stage is PipeStage.MEM:
-                mem_extra += penalty
-            else:
-                wb_extra += penalty
+            # selective (Razor-I) recovery: the faulty instruction
+            # re-executes in place with the recovery penalty; its
+            # dependents simply wait
+            penalty = self._replay_recovery
+            for stage in selective_stages:
+                stats.replays += 1
+                if stage in (PipeStage.ISSUE, PipeStage.REGREAD):
+                    rr_extra += penalty
+                elif stage is PipeStage.EXECUTE:
+                    ex_extra += penalty
+                elif stage is PipeStage.MEM:
+                    mem_extra += penalty
+                else:
+                    wb_extra += penalty
 
         exec_lat = inst.latency + ex_extra
         agen_end = cycle + 2 + rr_extra  # address generation for mem ops
 
         # -- per-class timing ------------------------------------------
         if inst.is_load:
-            self.lsq.resolve_address(inst, agen_end)
+            lsq = self.lsq
+            lsq.resolve_address(inst, agen_end)
             cam_cycle = agen_end
-            if self.lsq.search_forward(inst, cam_cycle):
+            if lsq.search_forward(inst, cam_cycle):
                 data_lat = 1
             else:
-                data_lat = self.hierarchy.access_data(inst.mem_addr).latency
+                data_lat = self.hierarchy.access_data_latency(inst.mem_addr)
             wakeup = agen_end + mem_extra + data_lat
             wb_request = wakeup + 1
         elif inst.is_store:
-            self.lsq.resolve_address(inst, agen_end)
+            lsq = self.lsq
+            lsq.resolve_address(inst, agen_end)
             cam_cycle = agen_end
-            self.lsq.cam_searches += 1
+            lsq.cam_searches += 1
             wakeup = None
             wb_request = agen_end + mem_extra + 1
             if self.memdep is not None:
@@ -398,20 +500,30 @@ class OoOCore:
             wb_request = cycle + 2 + rr_extra + exec_lat
         exec_end = cycle + 1 + rr_extra + exec_lat
 
-        # -- writeback arbitration ---------------------------------------
-        wb_cycle = self._reserve_writeback(wb_request, wb_extra)
+        # -- writeback arbitration (_reserve_writeback, inlined) ---------
+        width = self._width
+        wb = self._wb_count
+        get = wb.get
+        wb_cycle = wb_request
+        while get(wb_cycle, 0) >= width:
+            wb_cycle += 1
+        wb[wb_cycle] = get(wb_cycle, 0) + 1
+        if wb_extra:
+            wb[wb_cycle + 1] = get(wb_cycle + 1, 0) + 1
         complete_cycle = wb_cycle + wb_extra
-        if wakeup is not None and inst.phys_dest >= 0:
-            self.rename.set_ready(inst.phys_dest, wakeup)
+        phys_dest = inst.phys_dest
+        if wakeup is not None and phys_dest >= 0:
+            self.rename.ready_cycle[phys_dest] = wakeup  # set_ready, inlined
             stats.broadcasts += 1
-            stats.broadcast_occupancy += len(self.iq)
+            stats.broadcast_occupancy += len(self.iq.entries)
             if self.cdl is not None:
-                n_dep = self.iq.count_dependents(inst.phys_dest)
+                n_dep = self.iq.count_dependents(phys_dest)
                 self.cdl.observe_broadcast(inst, n_dep)
         self._schedule(complete_cycle, _EV_COMPLETE, inst)
 
         # -- functional unit reservation + VTE freezing -------------------
-        self.fus.issue(unit, inst, cycle, exec_lat)
+        unit.next_issue = cycle + (exec_lat if op in UNPIPELINED_OPS else 1)
+        self.fus.issued[unit.kind] += 1
         if effects is not None and effects.freeze is not FreezeKind.NONE:
             stats.slot_freezes += 1
             if effects.freeze is FreezeKind.SLOT_ONE_CYCLE:
@@ -501,13 +613,15 @@ class OoOCore:
         A predicted-faulty-in-writeback instruction also reserves its lane
         in the following cycle (input recirculation, Section 3.3.5).
         """
-        width = self.config.width
+        width = self._width
+        wb = self._wb_count
+        get = wb.get
         t = request_cycle
-        while self._wb_count.get(t, 0) >= width:
+        while get(t, 0) >= width:
             t += 1
-        self._wb_count[t] = self._wb_count.get(t, 0) + 1
+        wb[t] = get(t, 0) + 1
         if wb_extra:
-            self._wb_count[t + 1] = self._wb_count.get(t + 1, 0) + 1
+            wb[t + 1] = get(t + 1, 0) + 1
         return t
 
     # ==================================================================
@@ -556,44 +670,73 @@ class OoOCore:
             self._fetch(conveyor[0])
 
     def _dispatch(self):
-        if self.cycle < self._dispatch_hold_until:
+        cycle = self.cycle
+        if cycle < self._dispatch_hold_until:
             return
         latch = self._conveyor[-1]
-        dispatched = 0
-        while latch and dispatched < self.config.width:
-            inst = latch[0]
-            if self.rob.full or self.iq.full:
+        if not latch:
+            return
+        rob = self.rob
+        iq = self.iq
+        lsq = self.lsq
+        rename = self.rename
+        memdep = self.memdep
+        inorder_checks = self._inorder_fault_checks
+        rob_entries = rob._entries
+        rob_size = rob.size
+        iq_entries = iq.entries
+        iq_size = iq.size
+        free_list = rename.free_list
+        n = min(len(latch), self._width)
+        k = 0
+        while k < n:
+            inst = latch[k]
+            if len(rob_entries) >= rob_size or len(iq_entries) >= iq_size:
                 break
-            if inst.is_mem and self.lsq.full:
+            is_mem = inst.is_mem
+            if is_mem and lsq.full:
                 break
-            if not self.rename.can_rename(inst.static.dest is not None):
+            # can_rename, inlined: a dest needs a free physical register
+            if inst.static.dest is not None and not free_list:
                 break
-            latch.pop(0)
-            self.rename.rename(inst)
-            self.rob.allocate(inst)
-            self.iq.insert(inst)
-            if inst.is_mem:
-                self.lsq.allocate(inst)
-                if self.memdep is not None and inst.is_store:
-                    self.memdep.store_fetched(inst.pc, inst.seq)
-            inst.dispatch_cycle = self.cycle
-            self.stats.dispatched += 1
-            dispatched += 1
-            self._inorder_fault_checks(inst)
+            rename.rename(inst)
+            rob_entries.append(inst)  # rob.allocate (capacity checked above)
+            # iq.insert, inlined: stamp mod-64 timestamp + dispatch order
+            counter = iq._dispatch_counter
+            inst.timestamp = counter & TIMESTAMP_MASK
+            inst.dispatch_order = counter
+            iq._dispatch_counter = counter + 1
+            inst.in_iq = True
+            iq_entries.append(inst)
+            if is_mem:
+                lsq.allocate(inst)
+                if memdep is not None and inst.is_store:
+                    memdep.store_fetched(inst.pc, inst.seq)
+            inst.dispatch_cycle = cycle
+            k += 1
+            if inst.pred_fault_stage is not None or inst.fault_stages:
+                inorder_checks(inst)
+        if k:
+            del latch[:k]
+            self.stats.dispatched += k
 
     def _inorder_fault_checks(self, inst):
         """Stall/replay handling for faults outside the OoO engine (§2.2)."""
         pred = inst.pred_fault_stage
-        if pred in _INORDER_STALL_STAGES and self.scheme.uses_tep:
+        uses_tep = self._uses_tep
+        if pred is not None and uses_tep and pred in _INORDER_STALL_STAGES:
             # the faulty in-order stage takes two cycles behind a stall signal
             self._dispatch_hold_until = self.cycle + 2
             self.stats.inorder_stalls += 1
-        for stage in _REPLAY_ONLY_STAGES + _INORDER_STALL_STAGES:
-            if inst.faults_in(stage):
+        mask = inst.fault_stages
+        if not mask:
+            return
+        for stage, bit in _INORDER_FAULT_STAGES:
+            if mask & bit:
                 tolerated = (
                     stage == pred
+                    and uses_tep
                     and stage in _INORDER_STALL_STAGES
-                    and self.scheme.uses_tep
                 )
                 self.stats.count_fault(stage, tolerated)
                 if not tolerated:
@@ -614,32 +757,51 @@ class OoOCore:
             return
         if self._blocking_branch is not None:
             return
-        if self.cycle < self._fetch_resume_at:
+        cycle = self.cycle
+        if cycle < self._fetch_resume_at:
             return
+        stats = self.stats
+        injector = self.injector
+        vdd = self.vdd
+        refetch = self._refetch
+        trace_next = self.trace.__next__
+        predict_branch = self._predict_branch
+        predict_fault = self._predict_fault
+        access_inst_latency = self.hierarchy.access_inst_latency
+        append = latch.append
+        tep_gate = self._tep_gate
         icache_stall = 0
-        for _ in range(self.config.width):
-            inst = self._next_inst()
-            if inst is None:
-                break
-            inst.fetch_cycle = self.cycle
-            self.stats.fetched += 1
+        for _ in range(self._width):
+            # _next_inst, inlined
+            if refetch:
+                inst = refetch.popleft()
+            else:
+                try:
+                    inst = trace_next()
+                except StopIteration:
+                    self._done_fetching = True
+                    break
+            inst.fetch_cycle = cycle
+            stats.fetched += 1
             line = inst.pc >> 6
             if line != self._last_fetch_line:
                 self._last_fetch_line = line
-                result = self.hierarchy.access_inst(inst.pc)
-                if result.latency > 1:
-                    icache_stall = max(icache_stall, result.latency - 1)
-            if self.injector is not None and not inst.refetched:
-                self.injector.resolve(inst, self.vdd)
-            self._predict_branch(inst)
-            self._predict_fault(inst)
-            latch.append(inst)
-            if inst.is_branch and inst.mispredicted:
+                latency = access_inst_latency(inst.pc)
+                if latency > 1:
+                    icache_stall = max(icache_stall, latency - 1)
+            if injector is not None and not inst.refetched:
+                injector.resolve(inst, vdd)
+            if inst.is_branch:
+                predict_branch(inst)
+            if tep_gate != 1:
+                predict_fault(inst)
+            append(inst)
+            if inst.mispredicted:
                 self._blocking_branch = inst.seq
                 break
         if icache_stall:
             self._fetch_resume_at = max(
-                self._fetch_resume_at, self.cycle + 1 + icache_stall
+                self._fetch_resume_at, cycle + 1 + icache_stall
             )
 
     def _predict_branch(self, inst):
@@ -657,17 +819,26 @@ class OoOCore:
 
     def _predict_fault(self, inst):
         """TEP lookup at decode (Section 2.1.1), gated by the sensors."""
-        if not self.scheme.uses_tep:
+        gate = self._tep_gate
+        if gate and (gate == 1 or not self.sensor.favorable()):
             return
-        if self.sensor is not None and not self.sensor.favorable():
+        lookup = self._tep_lookup
+        if lookup is not None:
+            prediction, key = lookup(inst.pc, self.bp.ghr)
+            inst.tep_key = key
+            if prediction is not None:
+                inst.pred_fault_stage = prediction.stage
+                inst.pred_critical = prediction.critical
             return
-        prediction = self.tep.predict(inst.pc, self.bp.ghr)
+        tep = self.tep
+        ghr = self.bp.ghr
+        prediction = tep.predict(inst.pc, ghr)
         if prediction is not None:
             inst.pred_fault_stage = prediction.stage
             inst.pred_critical = prediction.critical
             inst.tep_key = prediction.key
         else:
-            inst.tep_key = self.tep.key_for(inst.pc, self.bp.ghr)
+            inst.tep_key = tep.key_for(inst.pc, ghr)
 
     # ==================================================================
     def _drained(self):

@@ -37,7 +37,17 @@ class RenameState:
 
     def rename(self, inst):
         """Rename one instruction's sources and destination in place."""
-        inst.phys_srcs = tuple(self.rat[a] for a in inst.static.srcs)
+        srcs = inst.static.srcs
+        rat = self.rat
+        n = len(srcs)
+        if n == 2:
+            inst.phys_srcs = (rat[srcs[0]], rat[srcs[1]])
+        elif n == 1:
+            inst.phys_srcs = (rat[srcs[0]],)
+        elif n == 0:
+            inst.phys_srcs = ()
+        else:
+            inst.phys_srcs = tuple(rat[a] for a in srcs)
         dest = inst.static.dest
         if dest is None:
             inst.phys_dest = -1

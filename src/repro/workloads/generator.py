@@ -225,15 +225,29 @@ def estimate_pc_freq(program, seed=1, n_instructions=20000, skip=0):
     programs can have long loop phases, so window alignment matters).
     """
     rng = random.Random(seed)
-    counts = {}
+    # count whole-block visits and expand to per-PC counts at the end:
+    # one dict update per visited block instead of one per instruction
+    block_visits = {}
+    partial = {}  # per-PC counts of the (at most one) block straddling skip
     emitted = 0
+    limit = skip + n_instructions
     for block in program.walk(rng):
-        for inst in block.insts:
-            if emitted >= skip:
-                counts[inst.pc] = counts.get(inst.pc, 0) + 1
-            emitted += 1
-        if emitted >= skip + n_instructions:
+        n = len(block.insts)
+        if emitted >= skip:
+            idx = block.index
+            block_visits[idx] = block_visits.get(idx, 0) + 1
+        elif emitted + n > skip:
+            for inst in block.insts[skip - emitted:]:
+                partial[inst.pc] = partial.get(inst.pc, 0) + 1
+        emitted += n
+        if emitted >= limit:
             break
+    counts = partial
+    blocks = program.blocks
+    for idx, visits in block_visits.items():
+        for inst in blocks[idx].insts:
+            pc = inst.pc
+            counts[pc] = counts.get(pc, 0) + visits
     total = float(sum(counts.values()))
     if not total:
         raise ValueError("empty estimation window")

@@ -43,9 +43,13 @@ class TraceGenerator:
         block = self._block
         if block is None:
             raise StopIteration
-        static = block.insts[self._pos]
+        insts = block.insts
+        pos = self._pos
+        static = insts[pos]
         taken = False
-        if self._pos == len(block.insts) - 1:
+        if pos + 1 != len(insts):
+            self._pos = pos + 1
+        else:
             # block terminator: pick the successor now so the branch
             # outcome is part of the dynamic instance
             succ = self._choose_successor(block)
@@ -57,11 +61,18 @@ class TraceGenerator:
                 taken = target.insts[0].pc != static.pc + 4
                 self._block = target
             self._pos = 0
+        # per-instance address computation (inlined address_at): only
+        # memory ops need the instance counter, so only they maintain one
+        if static.is_mem:
+            pc = static.pc
+            counts = self._exec_counts
+            k = counts.get(pc, 0)
+            counts[pc] = k + 1
+            region = static.mem_region
+            offset = (k * static.mem_stride) % region if region else 0
+            mem_addr = static.mem_base + offset
         else:
-            self._pos += 1
-        k = self._exec_counts.get(static.pc, 0)
-        self._exec_counts[static.pc] = k + 1
-        mem_addr = static.address_at(k)
+            mem_addr = 0
         static.exec_count += 1  # aggregate profile statistic only
         inst = DynInst(self._seq, static, mem_addr=mem_addr, taken=taken)
         self._seq += 1

@@ -1,0 +1,212 @@
+"""Batch engine: determinism, parallel/serial equivalence, result cache."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.timing import VDD_LOW_FAULT, VDD_NOMINAL
+from repro.harness.parallel import (
+    ResultCache,
+    model_version,
+    run_many,
+)
+from repro.harness.runner import RunSpec, run_one
+from repro.uarch.config import CoreConfig
+
+_FAST = dict(n_instructions=600, warmup=300)
+
+
+def _specs():
+    return [
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2, **_FAST),
+        RunSpec("astar", SchemeKind.RAZOR, VDD_LOW_FAULT, seed=1, **_FAST),
+        RunSpec("bzip2", SchemeKind.FAULT_FREE, VDD_NOMINAL, seed=2, **_FAST),
+    ]
+
+
+def _fingerprint(result):
+    return (
+        result.stats.as_dict(),
+        result.energy.total,
+        result.energy.edp,
+        dict(result.cache_stats),
+    )
+
+
+# ----------------------------------------------------------------------
+# spec keys
+# ----------------------------------------------------------------------
+def test_key_is_deterministic():
+    a, b = _specs()[0], _specs()[0]
+    assert a is not b
+    assert a.key() == b.key()
+    assert len(a.key()) == 64  # sha256 hex
+
+
+def test_key_distinguishes_every_field():
+    base = RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2, **_FAST)
+    variants = [
+        RunSpec("astar", SchemeKind.ABS, VDD_LOW_FAULT, seed=2, **_FAST),
+        RunSpec("bzip2", SchemeKind.CDS, VDD_LOW_FAULT, seed=2, **_FAST),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_NOMINAL, seed=2, **_FAST),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=3, **_FAST),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2,
+                n_instructions=700, warmup=300),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2,
+                predictor="mre", **_FAST),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2,
+                overclock=1.04, **_FAST),
+        RunSpec("bzip2", SchemeKind.ABS, VDD_LOW_FAULT, seed=2,
+                config=CoreConfig.core2(), **_FAST),
+    ]
+    keys = {spec.key() for spec in variants}
+    assert base.key() not in keys
+    assert len(keys) == len(variants)
+
+
+def test_key_config_sensitivity():
+    a = RunSpec("bzip2", config=CoreConfig.core1(), **_FAST)
+    b = RunSpec("bzip2", config=CoreConfig.core1(), **_FAST)
+    c = RunSpec("bzip2", config=CoreConfig.core1(rob_size=64), **_FAST)
+    assert a.key() == b.key()
+    assert a.key() != c.key()
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_same_spec_twice_is_bit_identical():
+    spec = _specs()[0]
+    a = run_one(spec)
+    b = run_one(spec)
+    assert _fingerprint(a) == _fingerprint(b)
+    assert pickle.dumps(_fingerprint(a)) == pickle.dumps(_fingerprint(b))
+
+
+def test_run_many_matches_serial_run_one():
+    specs = _specs()
+    serial = [run_one(spec) for spec in specs]
+    batched = run_many(_specs(), jobs=1)
+    assert [_fingerprint(r) for r in batched] == [
+        _fingerprint(r) for r in serial
+    ]
+
+
+def test_run_many_parallel_matches_serial():
+    specs = _specs()
+    serial = [run_one(spec) for spec in specs]
+    parallel = run_many(_specs(), jobs=4)
+    assert [_fingerprint(r) for r in parallel] == [
+        _fingerprint(r) for r in serial
+    ]
+
+
+def test_run_many_dedupes_identical_specs():
+    spec = _specs()[0]
+    twice = run_many([spec, _specs()[0]], jobs=1)
+    assert _fingerprint(twice[0]) == _fingerprint(twice[1])
+
+
+# ----------------------------------------------------------------------
+# on-disk cache
+# ----------------------------------------------------------------------
+def test_cache_round_trip(tmp_path):
+    spec = _specs()[0]
+    first = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]
+    entries = list((tmp_path / model_version()).glob("*.pkl"))
+    assert len(entries) == 1
+    assert entries[0].name == spec.key() + ".pkl"
+    second = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]
+    assert _fingerprint(first) == _fingerprint(second)
+
+
+def test_cache_hit_skips_simulation(tmp_path, monkeypatch):
+    spec = _specs()[0]
+    run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)
+
+    def boom(_):
+        raise AssertionError("cache miss: simulation re-ran")
+
+    monkeypatch.setattr("repro.harness.parallel.run_one", boom)
+    cache = ResultCache(tmp_path)
+    result = run_many([spec], jobs=1, cache=cache)[0]
+    assert cache.hits == 1
+    assert result.stats.committed >= spec.n_instructions
+
+
+def test_cache_is_versioned_by_model(tmp_path):
+    spec = _specs()[0]
+    run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)
+    stale = tmp_path / "0123456789abcdef"
+    stale.mkdir()
+    (stale / "junk.pkl").write_bytes(b"junk")
+    cache = ResultCache(tmp_path)
+    assert cache.version == model_version()
+    cache.prune_stale()
+    assert not stale.exists()
+    assert (tmp_path / model_version() / (spec.key() + ".pkl")).exists()
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    spec = _specs()[0]
+    path = tmp_path / model_version() / (spec.key() + ".pkl")
+    os.makedirs(path.parent, exist_ok=True)
+    path.write_bytes(b"not a pickle")
+    result = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]
+    assert result.stats.committed >= spec.n_instructions
+    with open(path, "rb") as fh:  # overwritten with the good result
+        assert _fingerprint(pickle.load(fh)) == _fingerprint(result)
+
+
+def test_cached_result_survives_pickle_round_trip(tmp_path):
+    spec = _specs()[1]
+    result = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]
+    clone = pickle.loads(pickle.dumps(result))
+    assert _fingerprint(clone) == _fingerprint(result)
+    assert clone.spec.key() == spec.key()
+
+
+def test_model_version_is_stable():
+    assert model_version() == model_version()
+    assert len(model_version()) == 16
+
+
+# ----------------------------------------------------------------------
+# sweeps ride the engine
+# ----------------------------------------------------------------------
+def test_sweep_prefetch_matches_lazy_results(tmp_path):
+    from repro.harness.experiments import SchedulingSweep
+
+    lazy = SchedulingSweep(VDD_LOW_FAULT, benchmarks=["astar"], **_FAST)
+    eager = SchedulingSweep(
+        VDD_LOW_FAULT, benchmarks=["astar"], cache=True,
+        cache_dir=tmp_path, **_FAST,
+    )
+    eager.prefetch((SchemeKind.FAULT_FREE, SchemeKind.ABS))
+    for scheme in (SchemeKind.FAULT_FREE, SchemeKind.ABS):
+        assert _fingerprint(eager.result("astar", scheme)) == _fingerprint(
+            lazy.result("astar", scheme)
+        )
+
+
+@pytest.mark.parametrize("jobs", [0, None])
+def test_jobs_zero_or_none_uses_all_cores(jobs):
+    results = run_many(_specs()[:1], jobs=jobs)
+    assert results[0].stats.committed >= _FAST["n_instructions"]
+
+
+def test_experiment_driver_results_equal_across_jobs():
+    from repro.harness.experiments import calibration, shmoo
+
+    serial = calibration(benchmarks=["astar"], **_FAST)
+    fanned = calibration(benchmarks=["astar"], jobs=2, **_FAST)
+    assert fanned.data == serial.data
+    assert fanned.render() == serial.render()
+
+    serial = shmoo(benchmarks=["astar"], vdds=(1.04,),
+                   overclocks=(1.0, 1.04), **_FAST)
+    fanned = shmoo(benchmarks=["astar"], vdds=(1.04,),
+                   overclocks=(1.0, 1.04), jobs=2, **_FAST)
+    assert fanned.data == serial.data
