@@ -16,6 +16,7 @@ Quickstart::
     print(result.ipc, result.fault_rate)
 """
 
+from repro.campaign import CampaignSpec, run_campaign
 from repro.core.predictors import make_predictor
 from repro.core.schemes import Scheme, SchemeKind, make_scheme
 from repro.core.tep import TimingErrorPredictor
@@ -31,6 +32,8 @@ from repro.workloads.tracefile import load_trace, save_trace
 __version__ = "1.0.0"
 
 __all__ = [
+    "CampaignSpec",
+    "run_campaign",
     "Scheme",
     "make_predictor",
     "write_json",

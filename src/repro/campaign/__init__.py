@@ -1,0 +1,49 @@
+"""Statistical fault-injection campaign engine.
+
+A *campaign* turns the batch engine (:func:`repro.harness.parallel.
+run_many`) into a statistical study: a declarative :class:`CampaignSpec`
+expands a (benchmark x scheme x vdd) grid, each grid point is measured
+over a derived stream of seeds until its confidence intervals are tight
+enough (sequential Monte Carlo), every completed run is journaled to an
+append-only log so a killed campaign resumes exactly where it stopped,
+and the report builder aggregates (mean, CI, n) tuples the way the
+paper's Table 1 / Figure 4 present point estimates.
+
+Layers
+------
+:mod:`repro.campaign.plan`
+    Grid planning, seed-stream derivation, metric extraction.
+:mod:`repro.campaign.stats`
+    Normal and Wilson interval math plus the per-point accumulator.
+:mod:`repro.campaign.journal`
+    Crash-safe campaign directory: manifest + append-only JSONL journal.
+:mod:`repro.campaign.executor`
+    The sequential executor with confidence-driven stopping, per-run
+    timeout, and bounded retry.
+:mod:`repro.campaign.report`
+    JSON + Markdown report builder.
+
+See ``docs/campaigns.md`` for the on-disk layout and a worked resume
+example.
+"""
+
+from repro.campaign.executor import CampaignError, measure_point, run_campaign
+from repro.campaign.journal import Journal, read_manifest, write_manifest
+from repro.campaign.plan import CampaignSpec, GridPoint, derive_seed
+from repro.campaign.report import build_report, write_reports
+from repro.campaign.stats import PointAccumulator
+
+__all__ = [
+    "CampaignError",
+    "CampaignSpec",
+    "GridPoint",
+    "Journal",
+    "PointAccumulator",
+    "build_report",
+    "derive_seed",
+    "measure_point",
+    "read_manifest",
+    "run_campaign",
+    "write_manifest",
+    "write_reports",
+]

@@ -1,0 +1,208 @@
+"""Sequential Monte Carlo executor with confidence-driven stopping.
+
+For each grid point the executor runs *batches* of seed draws (each draw
+is a paired scheme + fault-free simulation of the same seed) through the
+batch engine, updates the point's :class:`~repro.campaign.stats.
+PointAccumulator`, and stops as soon as every target metric's confidence
+interval is tighter than its target half-width — or at ``max_seeds``.
+Points with low seed-to-seed variance therefore cost a fraction of a
+fixed-N design at the same statistical quality (pinned by
+``tests/campaign/test_executor.py``).
+
+Progress is journaled draw-by-draw (:mod:`repro.campaign.journal`), so
+an interrupted campaign resumes exactly: completed points are skipped
+outright, partial points replay their recorded draws into the
+accumulator and continue from the next index, and the shared result
+cache makes any re-executed in-flight run nearly free.
+
+Worker failures are bounded: a batch that raises (worker crash) or
+exceeds the per-run timeout is retried up to ``retries`` times before
+the campaign aborts with :class:`CampaignError`; the journal keeps every
+draw that finished, so an abort is always resumable.
+"""
+
+import math
+import os
+import time
+
+from repro.campaign.journal import Journal, read_manifest, write_manifest
+from repro.campaign.plan import CampaignSpec, extract_metrics
+from repro.campaign.stats import PointAccumulator
+from repro.harness.parallel import ResultCache, run_many
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not proceed (exhausted retries, bad state...)."""
+
+
+class CampaignTimeout(CampaignError):
+    """A batch exceeded its per-run timeout budget."""
+
+
+def _pool_run(specs, jobs, store, timeout):
+    """Run ``specs`` on a pool, enforcing a wall-clock budget.
+
+    The budget is ``timeout`` per run over the pool's effective depth
+    (``ceil(n / jobs)`` waves), i.e. a per-run timeout enforced at batch
+    granularity: one hung worker trips it within a bounded multiple of
+    ``timeout``. On breach the pool is terminated (killing hung workers)
+    and :class:`CampaignTimeout` is raised; finished results are already
+    in the cache, so a retry only re-runs the stragglers.
+    """
+    import multiprocessing
+
+    results = [store.load(spec) if store else None for spec in specs]
+    todo = [i for i, r in enumerate(results) if r is None]
+    if not todo:
+        return results
+    n_jobs = max(1, min(jobs or os.cpu_count() or 1, len(todo)))
+    budget = timeout * math.ceil(len(todo) / n_jobs)
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:
+        ctx = multiprocessing.get_context()
+    pool = ctx.Pool(n_jobs)
+    try:
+        handles = [
+            (i, pool.apply_async(run_many, ([specs[i]],))) for i in todo
+        ]
+        deadline = time.monotonic() + budget
+        for i, handle in handles:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise multiprocessing.TimeoutError
+            results[i] = handle.get(remaining)[0]
+            if store:
+                store.store(specs[i], results[i])
+    except multiprocessing.TimeoutError:
+        pool.terminate()
+        raise CampaignTimeout(
+            f"batch of {len(todo)} runs missed its "
+            f"{budget:.0f}s budget ({timeout}s/run)"
+        ) from None
+    finally:
+        pool.close()
+        pool.join()
+    return results
+
+
+def make_run_fn(jobs=1, cache=True, cache_dir=None, timeout=None, retries=2):
+    """Build the batch-execution callable used by :func:`run_campaign`.
+
+    The returned function maps ``specs -> results`` with bounded retry:
+    exceptions from workers (and timeout breaches) are retried up to
+    ``retries`` times; completed runs persist in the result cache across
+    attempts, so retries only re-execute the failures.
+    """
+    if isinstance(cache, ResultCache):
+        store = cache
+    elif cache:
+        store = ResultCache(cache_dir)
+    else:
+        store = None
+
+    def run_fn(specs):
+        last_error = None
+        for _attempt in range(retries + 1):
+            try:
+                if timeout is None:
+                    return run_many(specs, jobs=jobs, cache=store or False)
+                return _pool_run(specs, jobs, store, timeout)
+            except Exception as exc:  # noqa: BLE001 — worker crash/timeout
+                last_error = exc
+        raise CampaignError(
+            f"batch failed after {retries + 1} attempts: {last_error!r}"
+        )
+
+    return run_fn
+
+
+def measure_point(spec, point, run_fn, acc=None, on_run=None):
+    """Measure one grid point until its stopping rule fires.
+
+    ``acc`` may carry replayed draws (resume); sampling continues from
+    index ``acc.n``. ``on_run(point, index, seed, values, counts)`` is
+    called once per completed draw, in index order — the journal hook.
+
+    Returns ``(acc, reason)`` with ``reason`` one of ``"ci"`` (targets
+    met) or ``"max_seeds"``.
+    """
+    if acc is None:
+        acc = PointAccumulator(z=spec.z)
+    while True:
+        if acc.n >= spec.min_seeds and acc.converged(spec.targets):
+            return acc, "ci"
+        if acc.n >= spec.max_seeds:
+            return acc, "max_seeds"
+        indices = range(
+            acc.n,
+            min(acc.n + spec.batch_size, spec.max_seeds),
+        )
+        pairs = [spec.pair_specs(point, i) for i in indices]
+        flat = [run_spec for pair in pairs for run_spec in pair]
+        results = run_fn(flat)
+        for offset, index in enumerate(indices):
+            result, baseline = results[2 * offset], results[2 * offset + 1]
+            values, counts = extract_metrics(result, baseline)
+            acc.push(values, counts)
+            if on_run is not None:
+                on_run(point, index, spec.seed_for(point, index),
+                       values, counts)
+
+
+def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
+                 resume=False, timeout=None, retries=2, run_fn=None):
+    """Execute (or resume) the campaign rooted at ``directory``.
+
+    With ``spec`` given and no manifest present, the campaign is planned
+    implicitly (manifest written). A directory whose journal already has
+    events requires ``resume=True`` — refusing by default keeps a verb
+    typo from silently double-counting a finished study.
+
+    ``run_fn`` overrides batch execution entirely (tests inject
+    counters/fakes); by default :func:`make_run_fn` wires the batch
+    engine with ``jobs``/``cache``/``timeout``/``retries``.
+
+    Returns the final report dict (also written to ``report.json`` /
+    ``report.md``).
+    """
+    from repro.campaign.report import write_reports
+
+    directory = str(directory)
+    if spec is not None:
+        spec.validate()
+        write_manifest(directory, spec)
+    manifest = read_manifest(directory)
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    journal = Journal(directory)
+    state = journal.replay()
+    if state.done:
+        return write_reports(directory)
+    if state.n_events and not resume:
+        raise CampaignError(
+            f"{directory} already has journaled progress; "
+            "pass resume=True (CLI: `campaign resume`) to continue it"
+        )
+    if run_fn is None:
+        run_fn = make_run_fn(jobs, cache, cache_dir, timeout, retries)
+
+    def on_run(point, index, seed, values, counts):
+        journal.append({
+            "event": "run", "point": point.id, "index": index,
+            "seed": seed, "metrics": values, "counts": counts,
+        })
+
+    with journal:
+        for point in spec.points():
+            if point.id in state.completed:
+                continue
+            acc = PointAccumulator(z=spec.z)
+            for record in state.runs.get(point.id, []):
+                acc.push(record["metrics"], record["counts"])
+            acc, reason = measure_point(spec, point, run_fn, acc, on_run)
+            journal.append({
+                "event": "point", "point": point.id, "n": acc.n,
+                "stopped": reason, "summary": acc.summary(),
+            })
+        journal.append({"event": "done"})
+    return write_reports(directory)

@@ -1,0 +1,146 @@
+"""Crash-safe campaign state: manifest plus append-only JSONL journal.
+
+A campaign directory holds::
+
+    <dir>/manifest.json    # the CampaignSpec + model version (written once)
+    <dir>/journal.jsonl    # append-only event log, one JSON object per line
+    <dir>/report.json      # aggregate report (rewritten on completion)
+    <dir>/report.md        # human-readable rendering of the same
+
+The journal is the single source of truth for progress. Every completed
+seed draw appends a ``run`` event carrying its extracted metrics, every
+finished grid point appends a ``point`` event with the stopping summary,
+and campaign completion appends ``done``. Appends are flushed and
+fsynced line-by-line, so a kill can lose at most the line being written;
+:meth:`Journal.replay` tolerates a torn trailing line by ignoring any
+undecodable tail. Resume = replay the journal, skip completed points,
+and continue partial points from their recorded draw count.
+"""
+
+import json
+import os
+
+MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.jsonl"
+
+#: manifest/journal format version; bump on incompatible layout changes.
+FORMAT = 1
+
+
+def write_manifest(directory, spec, extra=None):
+    """Create ``<directory>/manifest.json`` for ``spec`` (atomically).
+
+    Refuses to overwrite a manifest describing a *different* spec —
+    a campaign directory is single-use by design.
+    """
+    from repro.harness.parallel import model_version
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, MANIFEST_NAME)
+    manifest = {
+        "format": FORMAT,
+        "model_version": model_version(),
+        "spec": spec.to_dict(),
+    }
+    if extra:
+        manifest.update(extra)
+    if os.path.exists(path):
+        existing = read_manifest(directory)
+        if existing.get("spec") != manifest["spec"]:
+            raise ValueError(
+                f"{path} already describes a different campaign; "
+                "use a fresh directory"
+            )
+        return existing
+    tmp = path + ".tmp.%d" % os.getpid()
+    with open(tmp, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return manifest
+
+
+def read_manifest(directory):
+    """Load ``<directory>/manifest.json`` (FileNotFoundError if absent)."""
+    with open(os.path.join(directory, MANIFEST_NAME)) as fh:
+        return json.load(fh)
+
+
+class JournalState:
+    """Replayed view of a journal: what already happened."""
+
+    def __init__(self):
+        #: point id -> list of run records (in append order)
+        self.runs = {}
+        #: point id -> its ``point`` completion event
+        self.completed = {}
+        self.done = False
+        self.n_events = 0
+        self.n_torn = 0
+
+    @property
+    def total_runs(self):
+        """Seed draws recorded across all points."""
+        return sum(len(records) for records in self.runs.values())
+
+
+class Journal:
+    """Append-only JSONL event log of one campaign directory."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        self._fh = None
+
+    def append(self, event):
+        """Append one event (a JSON-safe dict) durably."""
+        if self._fh is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def replay(self):
+        """Fold the journal into a :class:`JournalState`.
+
+        Undecodable lines (a torn tail from a kill mid-append) are
+        counted in ``n_torn`` and otherwise ignored — the corresponding
+        run simply re-executes, served from the result cache if one is
+        shared with the killed process.
+        """
+        state = JournalState()
+        try:
+            fh = open(self.path)
+        except FileNotFoundError:
+            return state
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    state.n_torn += 1
+                    continue
+                state.n_events += 1
+                kind = event.get("event")
+                if kind == "run":
+                    state.runs.setdefault(event["point"], []).append(event)
+                elif kind == "point":
+                    state.completed[event["point"]] = event
+                elif kind == "done":
+                    state.done = True
+        return state

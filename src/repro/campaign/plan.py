@@ -1,0 +1,242 @@
+"""Faultload and grid planning for fault-injection campaigns.
+
+A :class:`CampaignSpec` declares *what* to study — the benchmark x scheme
+x vdd grid, the simulated window, and the statistical stopping rule — and
+expands it into :class:`GridPoint` objects whose per-seed
+:class:`~repro.harness.runner.RunSpec` pairs (scheme run + fault-free
+baseline of the same seed) feed the batch engine.
+
+Seeds are not enumerated by hand: each (point, index) draws from a
+deterministic seed stream derived by hashing the campaign's master seed
+with the point identity (:func:`derive_seed`), so a campaign is fully
+reproducible from its manifest and two campaigns with different master
+seeds are statistically independent.
+"""
+
+import hashlib
+
+from repro.core.schemes import SchemeKind, make_scheme
+from repro.harness.runner import RunSpec
+from repro.workloads.profiles import get_profile
+
+
+def derive_seed(master_seed, *parts):
+    """Deterministic positive 31-bit seed for a (master, *parts) identity.
+
+    Hash-based so streams for different grid points (or different
+    indices within one point) are independent, and stable across
+    processes and interpreter versions.
+    """
+    text = ":".join([str(master_seed)] + [str(p) for p in parts])
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (2**31 - 1) + 1
+
+
+class GridPoint:
+    """One (benchmark, scheme, vdd) cell of the campaign grid."""
+
+    def __init__(self, benchmark, scheme, vdd):
+        self.benchmark = benchmark
+        self.scheme = scheme if isinstance(scheme, SchemeKind) else (
+            make_scheme(scheme).kind
+        )
+        self.vdd = float(vdd)
+
+    @property
+    def id(self):
+        """Stable string identity used by the journal and the report."""
+        return f"{self.benchmark}/{self.scheme.name}/{self.vdd!r}"
+
+    def __repr__(self):
+        return f"GridPoint({self.id})"
+
+    def __eq__(self, other):
+        return isinstance(other, GridPoint) and self.id == other.id
+
+    def __hash__(self):
+        return hash(self.id)
+
+
+#: Continuous headline metrics: value per seed, normal CI over seeds.
+MEAN_METRICS = ("perf_overhead", "ed_overhead", "ipc")
+#: Proportion metrics: pooled event counts over committed instructions,
+#: Wilson CI on the pooled proportion. Maps metric -> counts key.
+RATE_METRICS = {"fault_rate": "faults", "replay_rate": "replays"}
+#: All headline metrics, in report order.
+METRICS = MEAN_METRICS + tuple(RATE_METRICS)
+
+
+def extract_metrics(result, baseline):
+    """Per-run headline metrics and event counts from a paired run.
+
+    ``result`` is the scheme run, ``baseline`` the fault-free run of the
+    *same seed* (same program realization), so overheads are paired and
+    seed-to-seed program variation cancels.
+
+    Returns ``(values, counts)``: ``values`` holds one float per metric
+    in :data:`METRICS`; ``counts`` holds the raw event totals that the
+    Wilson intervals pool across seeds.
+    """
+    stats = result.stats
+    values = {
+        "perf_overhead": result.cycles / baseline.cycles - 1.0,
+        "ed_overhead": result.edp / baseline.edp - 1.0,
+        "ipc": result.ipc,
+        "fault_rate": result.fault_rate,
+        "replay_rate": (
+            stats.replays / stats.committed if stats.committed else 0.0
+        ),
+    }
+    counts = {
+        "faults": stats.faults_total,
+        "replays": stats.replays,
+        "committed": stats.committed,
+    }
+    return values, counts
+
+
+#: Default stopping targets: CI half-widths on the paper's headline
+#: numbers (2% cycles overhead, half a percentage point of fault rate).
+DEFAULT_TARGETS = {"perf_overhead": 0.02, "fault_rate": 0.005}
+
+
+class CampaignSpec:
+    """Declarative description of one fault-injection campaign.
+
+    Parameters
+    ----------
+    name:
+        Campaign name (report header; no filesystem meaning).
+    benchmarks / schemes / vdds:
+        Axes of the grid. Schemes may be :class:`SchemeKind` members or
+        their names; ``FAULT_FREE`` is implicit (every seed's baseline).
+    n_instructions / warmup:
+        Simulated window per run, as in :class:`RunSpec`.
+    master_seed:
+        Root of the per-point seed streams (:func:`derive_seed`).
+    seeds:
+        Optional explicit seed list. When given it overrides stream
+        derivation *and* the stopping rule: every point runs exactly
+        these seeds (``min_seeds = max_seeds = len(seeds)``).
+    min_seeds / max_seeds / batch_size:
+        Sequential sampling bounds: at least ``min_seeds`` per point,
+        then batches of ``batch_size`` until the targets are met or
+        ``max_seeds`` is reached.
+    targets:
+        ``{metric: half_width}`` stopping rule — a point stops once
+        every listed metric's CI half-width is <= its target.
+    z:
+        Critical value of the intervals (1.96 = 95%).
+    predictor / overclock:
+        Forwarded to every :class:`RunSpec`.
+    """
+
+    def __init__(self, name, benchmarks, schemes, vdds=(0.97,),
+                 n_instructions=6000, warmup=3000, master_seed=1,
+                 seeds=None, min_seeds=3, max_seeds=12, batch_size=3,
+                 targets=None, z=1.96, predictor="tep", overclock=1.0):
+        self.name = name
+        self.benchmarks = list(benchmarks)
+        self.schemes = [
+            s if isinstance(s, SchemeKind) else make_scheme(s).kind
+            for s in schemes
+        ]
+        self.vdds = [float(v) for v in vdds]
+        self.n_instructions = int(n_instructions)
+        self.warmup = int(warmup)
+        self.master_seed = int(master_seed)
+        self.seeds = list(seeds) if seeds is not None else None
+        if self.seeds is not None:
+            min_seeds = max_seeds = batch_size = len(self.seeds)
+        self.min_seeds = max(1, int(min_seeds))
+        self.max_seeds = max(self.min_seeds, int(max_seeds))
+        self.batch_size = max(1, int(batch_size))
+        self.targets = dict(DEFAULT_TARGETS if targets is None else targets)
+        self.z = float(z)
+        self.predictor = predictor
+        self.overclock = float(overclock)
+
+    # ------------------------------------------------------------------
+    def validate(self):
+        """Raise ``ValueError`` naming any unknown benchmark or metric.
+
+        (Schemes are validated on construction by :func:`make_scheme`.)
+        """
+        for benchmark in self.benchmarks:
+            try:
+                get_profile(benchmark)
+            except KeyError as exc:
+                raise ValueError(str(exc)) from None
+        for metric in self.targets:
+            if metric not in METRICS:
+                raise ValueError(
+                    f"unknown target metric {metric!r}; "
+                    f"known: {sorted(METRICS)}"
+                )
+        return self
+
+    def points(self):
+        """The grid in deterministic (benchmark, scheme, vdd) order."""
+        return [
+            GridPoint(benchmark, scheme, vdd)
+            for benchmark in self.benchmarks
+            for scheme in self.schemes
+            for vdd in self.vdds
+        ]
+
+    def seed_for(self, point, index):
+        """Seed of draw ``index`` of ``point``'s stream."""
+        if self.seeds is not None:
+            return self.seeds[index]
+        return derive_seed(self.master_seed, point.id, index)
+
+    def pair_specs(self, point, index):
+        """(scheme RunSpec, fault-free baseline RunSpec) for one draw."""
+        seed = self.seed_for(point, index)
+        common = dict(
+            vdd=point.vdd, n_instructions=self.n_instructions,
+            warmup=self.warmup, seed=seed, predictor=self.predictor,
+            overclock=self.overclock,
+        )
+        return (
+            RunSpec(point.benchmark, point.scheme, **common),
+            RunSpec(point.benchmark, SchemeKind.FAULT_FREE, **common),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-safe manifest form; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "benchmarks": list(self.benchmarks),
+            "schemes": [s.name for s in self.schemes],
+            "vdds": list(self.vdds),
+            "n_instructions": self.n_instructions,
+            "warmup": self.warmup,
+            "master_seed": self.master_seed,
+            "seeds": self.seeds,
+            "min_seeds": self.min_seeds,
+            "max_seeds": self.max_seeds,
+            "batch_size": self.batch_size,
+            "targets": dict(self.targets),
+            "z": self.z,
+            "predictor": self.predictor,
+            "overclock": self.overclock,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from its manifest form."""
+        data = dict(data)
+        explicit = data.pop("seeds", None)
+        spec = cls(**data)
+        if explicit is not None:
+            spec.seeds = list(explicit)
+            spec.min_seeds = spec.max_seeds = spec.batch_size = len(explicit)
+        return spec
+
+    def __repr__(self):
+        return (
+            f"CampaignSpec({self.name!r}, {len(self.points())} points, "
+            f"seeds {self.min_seeds}..{self.max_seeds})"
+        )

@@ -1,0 +1,136 @@
+"""Interval math and the per-point accumulator of the campaign engine.
+
+Two interval families cover the two metric shapes:
+
+* **normal** — continuous per-seed metrics (cycle overhead, ED overhead,
+  IPC): sample mean with a normal-approximation CI over the seed draws.
+* **Wilson** — proportion metrics (fault rate, replay rate): event
+  counts pooled over all seeds' committed instructions, interval by
+  Wilson's score method, which stays honest at the small proportions the
+  paper's Table 1 reports (a normal interval on p=0.02 with few events
+  is wildly optimistic).
+"""
+
+import math
+
+from repro.campaign.plan import MEAN_METRICS, RATE_METRICS
+
+
+def mean_std(values):
+    """(sample mean, sample standard deviation) of a value list."""
+    n = len(values)
+    if n == 0:
+        raise ValueError("need at least one value")
+    mean = sum(values) / n
+    if n < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, math.sqrt(var)
+
+
+def normal_halfwidth(std, n, z=1.96):
+    """Half-width of the normal-approximation CI of a sample mean."""
+    if n < 2:
+        return math.inf
+    return z * std / math.sqrt(n)
+
+
+def wilson_interval(successes, trials, z=1.96):
+    """(center, half-width) of the Wilson score interval for a proportion."""
+    if trials <= 0:
+        return 0.0, math.inf
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (
+        z * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return center, half
+
+
+class PointAccumulator:
+    """Running statistics of one grid point across its seed draws.
+
+    Feed it each paired run's ``(values, counts)`` from
+    :func:`repro.campaign.plan.extract_metrics`; it answers the stopping
+    question (:meth:`converged`) and renders the report row
+    (:meth:`summary`).
+    """
+
+    def __init__(self, z=1.96):
+        self.z = z
+        #: per-seed values of every metric (rate metrics keep them too,
+        #: for callers that want the raw draws; intervals on rates use
+        #: the pooled counts below)
+        self.values = {
+            metric: [] for metric in MEAN_METRICS + tuple(RATE_METRICS)
+        }
+        self.counts = {key: 0 for key in RATE_METRICS.values()}
+        self.committed = 0
+        self.n = 0
+
+    def push(self, values, counts):
+        """Absorb one seed draw (live or replayed from the journal)."""
+        for metric, series in self.values.items():
+            series.append(values[metric])
+        for key in self.counts:
+            self.counts[key] += counts[key]
+        self.committed += counts["committed"]
+        self.n += 1
+
+    # ------------------------------------------------------------------
+    def halfwidth(self, metric):
+        """Current CI half-width of ``metric`` (inf before 2 draws)."""
+        if metric in MEAN_METRICS:
+            _, std = mean_std(self.values[metric])
+            return normal_halfwidth(std, self.n, self.z)
+        _, half = wilson_interval(
+            self.counts[RATE_METRICS[metric]], self.committed, self.z
+        )
+        return half
+
+    def mean(self, metric):
+        """Current point estimate of ``metric``.
+
+        Rate metrics pool event counts over all draws' committed
+        instructions (not a mean of per-seed ratios), matching the
+        Wilson interval's center of mass.
+        """
+        if metric in MEAN_METRICS:
+            return mean_std(self.values[metric])[0]
+        if self.committed <= 0:
+            return 0.0
+        return self.counts[RATE_METRICS[metric]] / self.committed
+
+    def converged(self, targets):
+        """True once every target metric's half-width meets its target."""
+        if self.n == 0:
+            return False
+        return all(
+            self.halfwidth(metric) <= target
+            for metric, target in targets.items()
+        )
+
+    def summary(self):
+        """{metric: {mean, halfwidth, n, kind}} for the journal/report."""
+        out = {}
+        for metric in MEAN_METRICS:
+            mean, std = mean_std(self.values[metric])
+            half = normal_halfwidth(std, self.n, self.z)
+            out[metric] = {
+                "mean": mean,
+                "halfwidth": half if math.isfinite(half) else None,
+                "n": self.n,
+                "kind": "normal",
+            }
+        for metric, key in RATE_METRICS.items():
+            _, half = wilson_interval(self.counts[key], self.committed, self.z)
+            out[metric] = {
+                "mean": self.mean(metric),
+                "halfwidth": half if math.isfinite(half) else None,
+                "n": self.n,
+                "kind": "wilson",
+            }
+        return out

@@ -5,12 +5,68 @@ Examples::
     repro-timing table1 --instructions 20000
     repro-timing fig4 --benchmarks astar sjeng
     repro-timing all --instructions 5000 --warmup 2000
+    repro-timing campaign run --dir out/c1 --benchmarks astar --schemes ABS
+    repro-timing campaign resume --dir out/c1 --jobs 4
 """
 
 import argparse
 import sys
 
 from repro.harness import experiments
+
+
+def _known_benchmarks():
+    """All resolvable benchmark names (SPEC profiles + microbenchmarks)."""
+    from repro.workloads.microbench import MICROBENCH_PROFILES
+    from repro.workloads.profiles import SPEC2006_PROFILES
+
+    return sorted(SPEC2006_PROFILES) + sorted(MICROBENCH_PROFILES)
+
+
+def _known_schemes():
+    from repro.core.schemes import SchemeKind
+
+    return [kind.name for kind in SchemeKind]
+
+
+def _validate_benchmarks(names):
+    """Exit code (or None) after eagerly checking benchmark names.
+
+    A bad name used to surface as a ``KeyError`` from deep inside
+    ``get_profile`` mid-run; fail fast with the known list instead.
+    """
+    if not names:
+        return None
+    known = _known_benchmarks()
+    bad = sorted(set(names) - set(known))
+    if bad:
+        print(
+            f"unknown benchmark(s): {', '.join(bad)}\n"
+            f"known benchmarks: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
+def _validate_schemes(names):
+    """Exit code (or None) after eagerly checking scheme names."""
+    from repro.core.schemes import make_scheme
+
+    bad = []
+    for name in names:
+        try:
+            make_scheme(name)
+        except (ValueError, KeyError):
+            bad.append(name)
+    if bad:
+        print(
+            f"unknown scheme(s): {', '.join(bad)}\n"
+            f"known schemes: {', '.join(_known_schemes())}",
+            file=sys.stderr,
+        )
+        return 2
+    return None
 
 
 def _build_parser():
@@ -20,12 +76,21 @@ def _build_parser():
             "Reproduce the evaluation of 'Efficiently Tolerating Timing "
             "Violations in Pipelined Microprocessors' (DAC 2013)."
         ),
+        epilog=(
+            "Statistical campaigns (grids of seeds with confidence-driven "
+            "stopping) live under the 'campaign' subcommand: "
+            "repro-timing campaign {plan,run,resume,report} --dir DIR ..."
+        ),
     )
     parser.add_argument(
         "experiment",
         choices=sorted(experiments.EXPERIMENTS) + ["all", "run"],
         help="which table/figure to regenerate, or 'run' for a single "
              "simulation point",
+    )
+    parser.add_argument(
+        "--list-benchmarks", action="store_true",
+        help="print the known benchmark names and exit",
     )
     parser.add_argument(
         "--instructions", type=int, default=10000,
@@ -144,10 +209,204 @@ def _run(name, args):
     return result
 
 
+# ----------------------------------------------------------------------
+# campaign subcommand
+# ----------------------------------------------------------------------
+def _add_spec_options(parser):
+    parser.add_argument("--name", default="campaign",
+                        help="campaign name (report header)")
+    parser.add_argument("--benchmarks", nargs="+",
+                        default=["astar", "bzip2"],
+                        help="benchmark axis of the grid")
+    parser.add_argument("--schemes", nargs="+",
+                        default=["EP", "ABS", "FFS", "CDS"],
+                        help="scheme axis of the grid")
+    parser.add_argument("--vdds", nargs="+", type=float, default=[0.97],
+                        help="supply-voltage axis of the grid")
+    parser.add_argument("--instructions", type=int, default=6000,
+                        help="measured instructions per run")
+    parser.add_argument("--warmup", type=int, default=3000,
+                        help="warmup instructions per run")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="master seed of the per-point seed streams")
+    parser.add_argument("--seeds-min", type=int, default=3,
+                        help="minimum seed draws per grid point")
+    parser.add_argument("--seeds-max", type=int, default=12,
+                        help="maximum seed draws per grid point")
+    parser.add_argument("--batch", type=int, default=3,
+                        help="seed draws per sequential batch")
+    parser.add_argument(
+        "--half-width", nargs="*", metavar="METRIC=HW", default=None,
+        help="stopping targets, e.g. perf_overhead=0.02 fault_rate=0.005 "
+             "(default: those two)",
+    )
+    parser.add_argument("--predictor", default="tep",
+                        choices=["tep", "mre", "tvp"],
+                        help="violation predictor design")
+
+
+def _add_exec_options(parser):
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-run timeout in seconds (default: none)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="bounded retries for failed/hung batches")
+
+
+def _campaign_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-timing campaign",
+        description=(
+            "Statistical fault-injection campaigns: plan a (benchmark x "
+            "scheme x vdd) grid, measure each point over a derived seed "
+            "stream until its confidence intervals meet the targets, "
+            "journal everything for crash-safe resume, and report "
+            "(mean, CI, n) aggregates. See docs/campaigns.md."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    plan = verbs.add_parser("plan", help="write the campaign manifest")
+    plan.add_argument("--dir", required=True, help="campaign directory")
+    _add_spec_options(plan)
+    run = verbs.add_parser("run", help="plan (if needed) and execute")
+    run.add_argument("--dir", required=True, help="campaign directory")
+    _add_spec_options(run)
+    _add_exec_options(run)
+    resume = verbs.add_parser("resume", help="continue a killed campaign")
+    resume.add_argument("--dir", required=True, help="campaign directory")
+    _add_exec_options(resume)
+    report = verbs.add_parser("report", help="rebuild report.json/.md")
+    report.add_argument("--dir", required=True, help="campaign directory")
+    return parser
+
+
+def _parse_targets(pairs):
+    targets = {}
+    for pair in pairs:
+        metric, _, value = pair.partition("=")
+        if not value:
+            raise ValueError(f"expected METRIC=HALFWIDTH, got {pair!r}")
+        targets[metric] = float(value)
+    return targets
+
+
+def _campaign_spec(args):
+    from repro.campaign import CampaignSpec
+
+    targets = (
+        _parse_targets(args.half_width) if args.half_width is not None
+        else None
+    )
+    return CampaignSpec(
+        name=args.name,
+        benchmarks=args.benchmarks,
+        schemes=args.schemes,
+        vdds=args.vdds,
+        n_instructions=args.instructions,
+        warmup=args.warmup,
+        master_seed=args.seed,
+        min_seeds=args.seeds_min,
+        max_seeds=args.seeds_max,
+        batch_size=args.batch,
+        targets=targets,
+        predictor=args.predictor,
+    )
+
+
+def _print_report_summary(report):
+    print(
+        f"campaign {report['campaign']!r}: "
+        f"{report['points_done']}/{report['points_total']} points, "
+        f"{report['runs_total']} seed draws "
+        f"({report['sims_total']} simulations), "
+        f"complete={report['complete']}"
+    )
+
+
+def _campaign_main(argv):
+    import os
+
+    from repro.campaign import (
+        CampaignError, read_manifest, run_campaign, write_manifest,
+        write_reports,
+    )
+
+    args = _campaign_parser().parse_args(argv)
+    if args.verb in ("plan", "run"):
+        code = _validate_benchmarks(args.benchmarks)
+        if code is None:
+            code = _validate_schemes(args.schemes)
+        if code is not None:
+            return code
+    if args.verb == "plan":
+        try:
+            spec = _campaign_spec(args).validate()
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        write_manifest(args.dir, spec)
+        points = spec.points()
+        print(
+            f"planned {len(points)} grid points x "
+            f"{spec.min_seeds}..{spec.max_seeds} seeds -> "
+            f"{os.path.join(args.dir, 'manifest.json')}"
+        )
+        return 0
+    if args.verb == "report":
+        try:
+            read_manifest(args.dir)
+        except FileNotFoundError:
+            print(f"no campaign manifest in {args.dir}", file=sys.stderr)
+            return 2
+        report = write_reports(args.dir)
+        _print_report_summary(report)
+        print(f"[wrote {os.path.join(args.dir, 'report.json')} and .md]")
+        return 0
+    # run / resume
+    spec = None
+    if args.verb == "run":
+        try:
+            read_manifest(args.dir)
+        except FileNotFoundError:
+            spec = _campaign_spec(args)
+    try:
+        report = run_campaign(
+            args.dir, spec=spec, jobs=args.jobs,
+            cache=not args.no_cache, cache_dir=args.cache_dir,
+            resume=args.verb == "resume", timeout=args.timeout,
+            retries=args.retries,
+        )
+    except (CampaignError, ValueError, FileNotFoundError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_report_summary(report)
+    print(f"[wrote {os.path.join(args.dir, 'report.json')} and .md]")
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if "--list-benchmarks" in argv:
+        print("\n".join(_known_benchmarks()))
+        return 0
+    if argv[:1] == ["campaign"]:
+        return _campaign_main(argv[1:])
     args = _build_parser().parse_args(argv)
+    code = _validate_benchmarks(args.benchmarks)
+    if code is not None:
+        return code
     if args.experiment == "run":
+        code = _validate_schemes([args.scheme])
+        if code is not None:
+            return code
         _run_single(args)
         return 0
     names = (

@@ -1,41 +1,40 @@
 """Multi-seed measurement with confidence intervals.
 
-The default experiments are single-seed (as the paper's single SimPoint
-phases effectively are); this module quantifies the synthetic workloads'
-seed-to-seed variation: run one (benchmark, scheme, vdd) point over a set
-of seeds — each seed generates a different program realization of the same
-statistical profile — and report mean, standard deviation, and a normal
-95% confidence interval for the overhead metrics.
+Since the campaign engine landed (:mod:`repro.campaign`) this module is
+a thin preset over it: ``run_seeds`` measures one (benchmark, scheme,
+vdd) grid point over a fixed set of seeds — explicit, or drawn from the
+campaign's derived seed stream — through
+:func:`repro.campaign.executor.measure_point`, and re-shapes the
+accumulator into the historical :class:`MultiSeedResult` API. The
+interval math lives in :mod:`repro.campaign.stats`; nothing is
+duplicated here. For open-ended sampling with confidence-driven
+stopping (and crash-safe journaling), use a campaign directly.
 """
 
-import math
-
-from repro.core.schemes import SchemeKind
-from repro.harness.parallel import run_many
-from repro.harness.runner import RunSpec
+# NOTE: repro.campaign imports are deferred to call time — this module
+# is pulled in by ``repro.harness.__init__``, which the campaign engine
+# itself imports (plan -> harness.runner), so a module-level import here
+# would be circular.
 
 
 class SeedStatistic:
     """Mean/stddev/CI of one metric over seeds."""
 
     def __init__(self, values):
-        if not values:
-            raise ValueError("need at least one value")
+        from repro.campaign.stats import mean_std
+
         self.values = list(values)
-        self.n = len(values)
-        self.mean = sum(values) / self.n
-        if self.n > 1:
-            var = sum((v - self.mean) ** 2 for v in values) / (self.n - 1)
-            self.std = math.sqrt(var)
-        else:
-            self.std = 0.0
+        self.n = len(self.values)
+        self.mean, self.std = mean_std(self.values)
 
     @property
     def ci95(self):
         """Half-width of the normal-approximation 95% interval."""
+        from repro.campaign.stats import normal_halfwidth
+
         if self.n < 2:
             return 0.0
-        return 1.96 * self.std / math.sqrt(self.n)
+        return normal_halfwidth(self.std, self.n)
 
     def __repr__(self):
         return (
@@ -70,33 +69,41 @@ def run_seeds(benchmark, scheme, vdd, seeds=(1, 2, 3), n_instructions=6000,
               **spec_kwargs):
     """Measure a point over several seeds with paired baselines.
 
-    Each seed's overheads are computed against the fault-free baseline of
-    the *same* seed (the same program and trace), so seed-to-seed program
-    variation cancels out of the overhead metrics. The whole
-    (seed x {scheme, baseline}) grid goes through the batch engine, so
-    ``jobs`` fans the runs out and ``cache`` reuses earlier points.
+    Each seed's overheads are computed against the fault-free baseline
+    of the *same* seed (the same program and trace), so seed-to-seed
+    program variation cancels out of the overhead metrics. ``seeds`` may
+    be an explicit sequence, or an integer N to draw N seeds from the
+    campaign engine's derived seed stream (reproducible from the master
+    seed, ``spec_kwargs['master_seed']``, default 1). All runs go
+    through the batch engine: ``jobs`` fans them out and ``cache``
+    reuses earlier points.
     """
-    specs = []
-    for seed in seeds:
-        specs.append(
-            RunSpec(benchmark, SchemeKind.FAULT_FREE, vdd,
-                    n_instructions, warmup, seed, **spec_kwargs)
-        )
-        specs.append(
-            RunSpec(benchmark, scheme, vdd,
-                    n_instructions, warmup, seed, **spec_kwargs)
-        )
-    points = run_many(specs, jobs=jobs, cache=cache, cache_dir=cache_dir)
-    perf, ed, ipcs, frs = [], [], [], []
-    for i in range(len(seeds)):
-        baseline = points[2 * i]
-        result = points[2 * i + 1]
-        perf.append(result.perf_overhead(baseline))
-        ed.append(result.ed_overhead(baseline))
-        ipcs.append(baseline.ipc)
-        frs.append(result.fault_rate)
+    from repro.campaign.executor import make_run_fn, measure_point
+    from repro.campaign.plan import CampaignSpec
+
+    seed_list = None if isinstance(seeds, int) else list(seeds)
+    n_seeds = seeds if isinstance(seeds, int) else len(seed_list)
+    spec = CampaignSpec(
+        name=f"multiseed-{benchmark}",
+        benchmarks=[benchmark],
+        schemes=[scheme],
+        vdds=[vdd],
+        n_instructions=n_instructions,
+        warmup=warmup,
+        seeds=seed_list,
+        min_seeds=n_seeds,
+        max_seeds=n_seeds,
+        batch_size=n_seeds,
+        targets={},  # fixed-N: exactly n_seeds draws, no early stop
+        **spec_kwargs,
+    )
+    point = spec.points()[0]
+    run_fn = make_run_fn(jobs=jobs, cache=cache, cache_dir=cache_dir)
+    acc, _reason = measure_point(spec, point, run_fn)
     return MultiSeedResult(
-        benchmark, scheme, vdd,
-        SeedStatistic(perf), SeedStatistic(ed),
-        SeedStatistic(ipcs), SeedStatistic(frs),
+        benchmark, point.scheme, vdd,
+        SeedStatistic(acc.values["perf_overhead"]),
+        SeedStatistic(acc.values["ed_overhead"]),
+        SeedStatistic(acc.values["ipc"]),
+        SeedStatistic(acc.values["fault_rate"]),
     )

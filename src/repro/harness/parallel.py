@@ -95,23 +95,53 @@ class ResultCache:
         self.hits += 1
         return result
 
+    _tmp_counter = 0
+
     def store(self, spec, result):
-        """Persist ``result`` under ``spec``'s content address."""
+        """Persist ``result`` under ``spec``'s content address.
+
+        Write-then-atomic-rename, with a per-(process, call) unique temp
+        name, so concurrent processes sharing the cache directory can
+        never observe (or clobber each other with) a half-written
+        entry. If another process prunes the version directory between
+        our ``makedirs`` and ``replace`` (a ``FileNotFoundError``), the
+        write is retried once into a recreated directory.
+        """
         path = self._path(spec)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = path + ".tmp.%d" % os.getpid()
-        try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)  # atomic: concurrent writers both win
-        except OSError:
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        for attempt in (0, 1):
+            ResultCache._tmp_counter += 1
+            tmp = "%s.tmp.%d.%d" % (
+                path, os.getpid(), ResultCache._tmp_counter
+            )
             try:
-                os.unlink(tmp)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(tmp, "wb") as fh:
+                    fh.write(payload)
+                os.replace(tmp, path)  # atomic: concurrent writers both win
+                return
+            except FileNotFoundError:
+                # version dir vanished under us (concurrent prune_stale)
+                if attempt == 0:
+                    continue
+                return
             except OSError:
-                pass
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                return
 
     def prune_stale(self):
-        """Delete result directories from older model versions."""
+        """Delete result directories from older model versions.
+
+        Safe under concurrent processes: each stale version directory is
+        first renamed aside (atomic, so a concurrent writer either lands
+        its entry before the rename — and it is deleted with the rest —
+        or recreates the directory afresh via :meth:`store`'s retry),
+        then removed; directories that vanish mid-prune (another process
+        pruning the same root) are skipped silently.
+        """
         try:
             versions = os.listdir(self.root)
         except OSError:
@@ -119,11 +149,29 @@ class ResultCache:
         import shutil
 
         for version in versions:
-            if version == self.version:
+            if version == self.version or version.startswith(".trash-"):
                 continue
             path = os.path.join(self.root, version)
-            if os.path.isdir(path):
-                shutil.rmtree(path, ignore_errors=True)
+            if not os.path.isdir(path):
+                continue
+            trash = os.path.join(
+                self.root, ".trash-%s-%d" % (version, os.getpid())
+            )
+            try:
+                os.rename(path, trash)
+            except OSError:  # already pruned/renamed by a peer
+                continue
+            shutil.rmtree(trash, ignore_errors=True)
+        # sweep trash left behind by peers killed mid-prune
+        try:
+            leftovers = os.listdir(self.root)
+        except OSError:
+            return
+        for name in leftovers:
+            if name.startswith(".trash-"):
+                shutil.rmtree(
+                    os.path.join(self.root, name), ignore_errors=True
+                )
 
 
 def _worker(spec):

@@ -1,0 +1,102 @@
+"""The `campaign` CLI subcommand: plan/run/resume/report verbs."""
+
+import json
+import os
+
+from repro.harness.cli import main
+
+_FAST = [
+    "--instructions", "500", "--warmup", "250",
+    "--seeds-min", "2", "--seeds-max", "2", "--batch", "2",
+]
+
+
+def _run_args(directory, benchmarks=("astar",), schemes=("EP", "ABS")):
+    return (
+        ["campaign", "run", "--dir", str(directory)]
+        + ["--benchmarks"] + list(benchmarks)
+        + ["--schemes"] + list(schemes)
+        + ["--vdds", "0.97", "--no-cache"] + _FAST
+    )
+
+
+def test_plan_writes_manifest(tmp_path, capsys):
+    code = main(
+        ["campaign", "plan", "--dir", str(tmp_path), "--benchmarks",
+         "astar", "--schemes", "EP"] + _FAST
+    )
+    assert code == 0
+    assert "planned 1 grid points" in capsys.readouterr().out
+    manifest = json.load(open(tmp_path / "manifest.json"))
+    assert manifest["spec"]["benchmarks"] == ["astar"]
+    assert manifest["spec"]["max_seeds"] == 2
+
+
+def test_run_then_report(tmp_path, capsys):
+    assert main(_run_args(tmp_path)) == 0
+    out = capsys.readouterr().out
+    assert "2/2 points" in out
+    report = json.load(open(tmp_path / "report.json"))
+    assert report["complete"]
+    assert report["runs_total"] == 4
+    for point in report["points"]:
+        for entry in point["metrics"].values():
+            assert {"mean", "halfwidth", "n", "kind"} == set(entry)
+    assert os.path.exists(tmp_path / "report.md")
+
+    # report verb rebuilds identically
+    before = (tmp_path / "report.json").read_bytes()
+    assert main(["campaign", "report", "--dir", str(tmp_path)]) == 0
+    assert (tmp_path / "report.json").read_bytes() == before
+
+
+def test_run_of_planned_campaign_uses_manifest(tmp_path):
+    assert main(
+        ["campaign", "plan", "--dir", str(tmp_path), "--benchmarks",
+         "astar", "--schemes", "EP"] + _FAST
+    ) == 0
+    assert main(
+        ["campaign", "run", "--dir", str(tmp_path), "--no-cache"]
+    ) == 0
+    report = json.load(open(tmp_path / "report.json"))
+    assert report["points_total"] == 1 and report["complete"]
+
+
+def test_resume_verb_on_fresh_directory_fails_cleanly(tmp_path, capsys):
+    code = main(["campaign", "resume", "--dir", str(tmp_path / "nope")])
+    assert code == 2
+
+
+def test_report_without_manifest_fails_cleanly(tmp_path, capsys):
+    code = main(["campaign", "report", "--dir", str(tmp_path / "nope")])
+    assert code == 2
+    assert "no campaign manifest" in capsys.readouterr().err
+
+
+def test_unknown_benchmark_rejected_eagerly(tmp_path, capsys):
+    code = main(_run_args(tmp_path, benchmarks=("nosuch",)))
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark(s): nosuch" in err
+    assert "astar" in err  # the known list is printed
+    assert not os.path.exists(tmp_path / "manifest.json")
+
+
+def test_unknown_scheme_rejected_eagerly(tmp_path, capsys):
+    code = main(_run_args(tmp_path, schemes=("warp",)))
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown scheme(s): warp" in err
+    assert "ABS" in err
+
+
+def test_half_width_targets_parsed(tmp_path):
+    assert main(
+        ["campaign", "plan", "--dir", str(tmp_path), "--benchmarks",
+         "astar", "--schemes", "EP", "--half-width", "perf_overhead=0.3",
+         "fault_rate=0.05"] + _FAST
+    ) == 0
+    manifest = json.load(open(tmp_path / "manifest.json"))
+    assert manifest["spec"]["targets"] == {
+        "perf_overhead": 0.3, "fault_rate": 0.05,
+    }

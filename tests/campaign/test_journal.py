@@ -1,0 +1,105 @@
+"""Journal append/replay, torn-tail tolerance, manifest guards."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign.journal import (
+    Journal,
+    read_manifest,
+    write_manifest,
+)
+from repro.campaign.plan import CampaignSpec
+
+
+def _spec(name="t"):
+    return CampaignSpec(
+        name=name, benchmarks=["astar"], schemes=["EP"],
+        n_instructions=500, warmup=250,
+    )
+
+
+def _run_event(point, index):
+    return {
+        "event": "run", "point": point, "index": index, "seed": 7 + index,
+        "metrics": {"perf_overhead": 0.1, "ed_overhead": 0.2, "ipc": 1.0,
+                    "fault_rate": 0.01, "replay_rate": 0.005},
+        "counts": {"faults": 5, "replays": 2, "committed": 500},
+    }
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        write_manifest(tmp_path, _spec())
+        manifest = read_manifest(tmp_path)
+        assert manifest["format"] == 1
+        assert manifest["spec"]["name"] == "t"
+        assert CampaignSpec.from_dict(manifest["spec"]).benchmarks == ["astar"]
+
+    def test_idempotent_for_same_spec(self, tmp_path):
+        write_manifest(tmp_path, _spec())
+        write_manifest(tmp_path, _spec())  # no error
+
+    def test_refuses_different_spec(self, tmp_path):
+        write_manifest(tmp_path, _spec())
+        with pytest.raises(ValueError, match="different campaign"):
+            write_manifest(tmp_path, _spec(name="other"))
+
+    def test_records_model_version(self, tmp_path):
+        from repro.harness.parallel import model_version
+
+        assert write_manifest(tmp_path, _spec())["model_version"] == (
+            model_version()
+        )
+
+
+class TestJournal:
+    def test_replay_empty(self, tmp_path):
+        state = Journal(tmp_path).replay()
+        assert state.runs == {} and not state.done and state.n_events == 0
+
+    def test_append_replay_round_trip(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+            journal.append(_run_event("p1", 1))
+            journal.append({"event": "point", "point": "p1", "n": 2,
+                            "stopped": "ci", "summary": {}})
+            journal.append(_run_event("p2", 0))
+        state = Journal(tmp_path).replay()
+        assert [r["index"] for r in state.runs["p1"]] == [0, 1]
+        assert len(state.runs["p2"]) == 1
+        assert state.completed["p1"]["stopped"] == "ci"
+        assert "p2" not in state.completed
+        assert not state.done
+        assert state.total_runs == 3
+
+    def test_done_marker(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            journal.append({"event": "done"})
+        assert Journal(tmp_path).replay().done
+
+    def test_torn_trailing_line_is_tolerated(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+        # simulate a kill mid-append: half a JSON object, no newline
+        with open(Journal(tmp_path).path, "a") as fh:
+            fh.write('{"event": "run", "point": "p1", "ind')
+        state = Journal(tmp_path).replay()
+        assert len(state.runs["p1"]) == 1
+        assert state.n_torn == 1
+
+    def test_events_are_one_json_object_per_line(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+            journal.append({"event": "done"})
+        lines = open(Journal(tmp_path).path).read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+    def test_append_creates_directory(self, tmp_path):
+        target = os.path.join(tmp_path, "nested", "campaign")
+        with Journal(target) as journal:
+            journal.append({"event": "done"})
+        assert Journal(target).replay().done

@@ -1,0 +1,116 @@
+"""Interval math and the point accumulator."""
+
+import math
+
+import pytest
+
+from repro.campaign.stats import (
+    PointAccumulator,
+    mean_std,
+    normal_halfwidth,
+    wilson_interval,
+)
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert mean_std([5.0]) == (5.0, 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_std([])
+
+
+class TestNormalHalfwidth:
+    def test_shrinks_with_n(self):
+        assert normal_halfwidth(1.0, 100) < normal_halfwidth(1.0, 10)
+
+    def test_n1_is_infinite(self):
+        assert math.isinf(normal_halfwidth(1.0, 1))
+
+    def test_value(self):
+        assert normal_halfwidth(2.0, 4, z=1.96) == pytest.approx(1.96)
+
+
+class TestWilson:
+    def test_matches_known_value(self):
+        # 10 successes in 50 trials, 95%: center (p + z^2/2n)/(1 + z^2/n)
+        center, half = wilson_interval(10, 50, z=1.96)
+        assert center == pytest.approx(0.2214, abs=1e-3)
+        assert half == pytest.approx(0.1090, abs=1e-3)
+
+    def test_zero_successes_still_informative(self):
+        center, half = wilson_interval(0, 1000)
+        assert 0.0 < center < 0.01
+        assert half < 0.01
+
+    def test_no_trials_is_infinite(self):
+        assert math.isinf(wilson_interval(0, 0)[1])
+
+    def test_shrinks_with_trials(self):
+        assert wilson_interval(10, 1000)[1] < wilson_interval(1, 100)[1]
+
+
+def _draw(perf=0.1, faults=5, replays=3, committed=500, ipc=1.0, ed=0.2):
+    values = {
+        "perf_overhead": perf, "ed_overhead": ed, "ipc": ipc,
+        "fault_rate": faults / committed,
+        "replay_rate": replays / committed,
+    }
+    counts = {"faults": faults, "replays": replays, "committed": committed}
+    return values, counts
+
+
+class TestPointAccumulator:
+    def test_counts_pool_and_values_accumulate(self):
+        acc = PointAccumulator()
+        acc.push(*_draw(perf=0.1, faults=4))
+        acc.push(*_draw(perf=0.2, faults=6))
+        assert acc.n == 2
+        assert acc.committed == 1000
+        assert acc.mean("perf_overhead") == pytest.approx(0.15)
+        assert acc.mean("fault_rate") == pytest.approx(10 / 1000)
+        assert acc.values["fault_rate"] == [4 / 500, 6 / 500]
+
+    def test_not_converged_before_any_draw(self):
+        assert not PointAccumulator().converged({"perf_overhead": 1e9})
+
+    def test_converged_ignores_unlisted_metrics(self):
+        acc = PointAccumulator()
+        acc.push(*_draw(perf=0.1, ipc=1.0))
+        acc.push(*_draw(perf=0.1, ipc=1.5))
+        # zero variance on perf; wide-open ipc only matters if targeted
+        assert acc.converged({"perf_overhead": 0.01})
+        assert not acc.converged({"perf_overhead": 0.01, "ipc": 0.01})
+
+    def test_rate_metric_uses_wilson_on_pooled_counts(self):
+        acc = PointAccumulator()
+        for _ in range(4):
+            acc.push(*_draw(faults=5, committed=500))
+        expected = wilson_interval(20, 2000)[1]
+        assert acc.halfwidth("fault_rate") == pytest.approx(expected)
+
+    def test_summary_carries_mean_halfwidth_n_for_every_metric(self):
+        acc = PointAccumulator()
+        acc.push(*_draw())
+        acc.push(*_draw(perf=0.12))
+        summary = acc.summary()
+        for metric, entry in summary.items():
+            assert set(entry) == {"mean", "halfwidth", "n", "kind"}
+            assert entry["n"] == 2
+            assert entry["halfwidth"] is None or entry["halfwidth"] >= 0
+        assert summary["perf_overhead"]["kind"] == "normal"
+        assert summary["fault_rate"]["kind"] == "wilson"
+
+    def test_summary_single_draw_has_null_normal_halfwidth(self):
+        acc = PointAccumulator()
+        acc.push(*_draw())
+        summary = acc.summary()
+        assert summary["perf_overhead"]["halfwidth"] is None
+        # Wilson is defined from one draw's pooled counts already
+        assert summary["fault_rate"]["halfwidth"] is not None

@@ -210,3 +210,94 @@ def test_experiment_driver_results_equal_across_jobs():
     fanned = shmoo(benchmarks=["astar"], vdds=(1.04,),
                    overclocks=(1.0, 1.04), jobs=2, **_FAST)
     assert fanned.data == serial.data
+
+
+# ----------------------------------------------------------------------
+# concurrent-process safety of the shared cache directory
+# ----------------------------------------------------------------------
+def test_store_retries_when_version_dir_pruned_concurrently(
+    tmp_path, monkeypatch
+):
+    import shutil
+
+    spec = _specs()[0]
+    result = run_one(spec)
+    cache = ResultCache(tmp_path)
+    real_replace = os.replace
+    raced = {"n": 0}
+
+    def racing_replace(src, dst):
+        # first attempt: a concurrent prune deletes the version dir
+        # between our makedirs and the rename
+        if raced["n"] == 0 and dst.endswith(".pkl"):
+            raced["n"] += 1
+            shutil.rmtree(os.path.dirname(dst))
+            raise FileNotFoundError(dst)
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "replace", racing_replace)
+    cache.store(spec, result)
+    assert raced["n"] == 1
+    loaded = ResultCache(tmp_path).load(spec)
+    assert loaded is not None
+    assert _fingerprint(loaded) == _fingerprint(result)
+
+
+def test_store_tmp_names_unique_within_process(tmp_path):
+    spec = _specs()[0]
+    result = run_one(spec)
+    cache = ResultCache(tmp_path)
+    before = ResultCache._tmp_counter
+    cache.store(spec, result)
+    cache.store(spec, result)
+    assert ResultCache._tmp_counter >= before + 2
+    # no stray tmp files linger after successful stores
+    leftovers = [
+        name for name in os.listdir(tmp_path / model_version())
+        if ".tmp." in name
+    ]
+    assert leftovers == []
+
+
+def test_concurrent_prunes_tolerate_each_other(tmp_path):
+    spec = _specs()[0]
+    run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)
+    for fake in ("aaaa000011112222", "bbbb000011112222"):
+        stale = tmp_path / fake
+        stale.mkdir()
+        (stale / "junk.pkl").write_bytes(b"junk")
+    a, b = ResultCache(tmp_path), ResultCache(tmp_path)
+    a.prune_stale()
+    b.prune_stale()  # second prune sees nothing stale; must not raise
+    remaining = sorted(os.listdir(tmp_path))
+    assert remaining == [model_version()]
+    assert ResultCache(tmp_path).load(spec) is not None
+
+
+def test_prune_sweeps_orphaned_trash_dirs(tmp_path):
+    cache = ResultCache(tmp_path)
+    orphan = tmp_path / ".trash-deadbeef-12345"
+    orphan.mkdir()
+    (orphan / "junk.pkl").write_bytes(b"junk")
+    cache.prune_stale()
+    assert not orphan.exists()
+
+
+def test_prune_missing_root_is_noop(tmp_path):
+    ResultCache(tmp_path / "never-created").prune_stale()
+
+
+def test_two_campaign_style_writers_share_a_cache_dir(tmp_path):
+    # two ResultCache instances (stand-ins for two campaign processes)
+    # interleave stores, loads, and prunes without corruption
+    specs = _specs()
+    writer_a, writer_b = ResultCache(tmp_path), ResultCache(tmp_path)
+    results = [run_one(spec) for spec in specs]
+    writer_a.store(specs[0], results[0])
+    writer_b.store(specs[1], results[1])
+    writer_a.prune_stale()
+    writer_b.store(specs[2], results[2])
+    writer_b.store(specs[0], results[0])  # overwrite in place
+    for spec, result in zip(specs, results):
+        for reader in (writer_a, writer_b):
+            assert _fingerprint(reader.load(spec)) == _fingerprint(result)

@@ -1,0 +1,77 @@
+"""SimStats fault-accounting invariants across schemes.
+
+The campaign engine's fault-rate and replay-rate aggregates pool raw
+``SimStats`` counters across many runs; these tests pin the counter
+algebra those aggregates sit on, over a small (benchmark x scheme) grid.
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+
+_FAST = dict(n_instructions=800, warmup=400)
+_FAULTY_SCHEMES = (
+    SchemeKind.RAZOR, SchemeKind.EP, SchemeKind.ABS,
+    SchemeKind.FFS, SchemeKind.CDS,
+)
+_GRID = [
+    (benchmark, scheme)
+    for benchmark in ("astar", "bzip2")
+    for scheme in _FAULTY_SCHEMES
+]
+
+
+@pytest.fixture(scope="module")
+def grid_results():
+    return {
+        (benchmark, scheme): run_one(
+            RunSpec(benchmark, scheme, 0.97, seed=3, **_FAST)
+        )
+        for benchmark, scheme in _GRID
+    }
+
+
+@pytest.mark.parametrize("bench,scheme", _GRID)
+def test_fault_partition(grid_results, bench, scheme):
+    stats = grid_results[(bench, scheme)].stats
+    assert stats.faults_total == (
+        stats.faults_predicted + stats.faults_unpredicted
+    )
+
+
+@pytest.mark.parametrize("bench,scheme", _GRID)
+def test_stage_faults_sum_to_total(grid_results, bench, scheme):
+    stats = grid_results[(bench, scheme)].stats
+    assert sum(stats.stage_faults.values()) == stats.faults_total
+    assert all(count > 0 for count in stats.stage_faults.values())
+
+
+@pytest.mark.parametrize("bench,scheme", _GRID)
+def test_counters_are_sane(grid_results, bench, scheme):
+    stats = grid_results[(bench, scheme)].stats
+    assert stats.committed >= _FAST["n_instructions"]
+    assert stats.faults_total > 0  # 0.97 V actually stresses the pipeline
+    assert 0 <= stats.faults_predicted <= stats.faults_total
+    assert 0 <= stats.replays
+    assert 0.0 <= stats.fault_rate < 1.0
+
+
+@pytest.mark.parametrize("scheme", _FAULTY_SCHEMES)
+def test_razor_replays_every_fault(grid_results, scheme):
+    stats = grid_results[("astar", scheme)].stats
+    if scheme is SchemeKind.RAZOR:
+        # no prediction: every violation replays
+        assert stats.replays >= stats.faults_total
+    else:
+        # predicted faults are tolerated without (necessarily) replaying
+        assert stats.replays >= stats.faults_unpredicted
+
+
+def test_fault_free_run_has_no_faults():
+    stats = run_one(
+        RunSpec("astar", SchemeKind.FAULT_FREE, 0.97, seed=3, **_FAST)
+    ).stats
+    assert stats.faults_total == 0
+    assert stats.stage_faults == {}
+    assert stats.faults_predicted == stats.faults_unpredicted == 0
