@@ -72,7 +72,7 @@ def _pool_run(specs, jobs, store, timeout):
             if remaining <= 0:
                 raise multiprocessing.TimeoutError
             results[i] = handle.get(remaining)[0]
-            if store:
+            if store and not getattr(results[i], "is_failure", False):
                 store.store(specs[i], results[i])
     except multiprocessing.TimeoutError:
         pool.terminate()
@@ -124,16 +124,19 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
     index ``acc.n``. ``on_run(point, index, seed, values, counts)`` is
     called once per completed draw, in index order — the journal hook.
 
-    Returns ``(acc, reason)`` with ``reason`` one of ``"ci"`` (targets
-    met) or ``"max_seeds"``.
+    Returns ``(acc, reason, failure)``: ``reason`` is ``"ci"`` (targets
+    met), ``"max_seeds"``, or ``"failed"`` when a verified run came back
+    as a :class:`~repro.verify.bundle.RunFailure` — the failure object
+    (with its repro-bundle path) rides along and draws already pushed
+    stay in ``acc``; ``failure`` is ``None`` otherwise.
     """
     if acc is None:
         acc = PointAccumulator(z=spec.z)
     while True:
         if acc.n >= spec.min_seeds and acc.converged(spec.targets):
-            return acc, "ci"
+            return acc, "ci", None
         if acc.n >= spec.max_seeds:
-            return acc, "max_seeds"
+            return acc, "max_seeds", None
         indices = range(
             acc.n,
             min(acc.n + spec.batch_size, spec.max_seeds),
@@ -143,6 +146,9 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
         results = run_fn(flat)
         for offset, index in enumerate(indices):
             result, baseline = results[2 * offset], results[2 * offset + 1]
+            for candidate in (result, baseline):
+                if getattr(candidate, "is_failure", False):
+                    return acc, "failed", candidate
             values, counts = extract_metrics(result, baseline)
             acc.push(values, counts)
             if on_run is not None:
@@ -185,6 +191,8 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
         )
     if run_fn is None:
         run_fn = make_run_fn(jobs, cache, cache_dir, timeout, retries)
+    # verified/storm runs drop their repro bundles inside the campaign
+    spec.repro_dir = os.path.join(directory, "bundles")
 
     def on_run(point, index, seed, values, counts):
         journal.append({
@@ -199,10 +207,23 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
             acc = PointAccumulator(z=spec.z)
             for record in state.runs.get(point.id, []):
                 acc.push(record["metrics"], record["counts"])
-            acc, reason = measure_point(spec, point, run_fn, acc, on_run)
-            journal.append({
+            acc, reason, failure = measure_point(
+                spec, point, run_fn, acc, on_run
+            )
+            event = {
                 "event": "point", "point": point.id, "n": acc.n,
-                "stopped": reason, "summary": acc.summary(),
-            })
+                "stopped": reason,
+                "summary": acc.summary() if acc.n else None,
+            }
+            if failure is not None:
+                # the point is journaled as completed-but-failed (resume
+                # skips it; the campaign continues past it) with enough
+                # to find and replay the repro bundle
+                event["failure"] = {
+                    "kind": failure.kind,
+                    "spec": repr(failure.spec),
+                    "bundle": failure.bundle_path,
+                }
+            journal.append(event)
         journal.append({"event": "done"})
     return write_reports(directory)

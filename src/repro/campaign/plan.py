@@ -129,12 +129,23 @@ class CampaignSpec:
         Critical value of the intervals (1.96 = 95%).
     predictor / overclock:
         Forwarded to every :class:`RunSpec`.
+    verify:
+        Run every simulation (scheme and baseline) under the lockstep
+        golden-model checker; a divergence marks the point failed with
+        a repro bundle instead of producing numbers silently built on a
+        corrupted machine.
+    storm:
+        Optional :class:`~repro.faults.storm.StormConfig` (or its dict
+        form) applied to the scheme runs — fault-storm robustness
+        campaigns. Baselines stay storm-free so overheads remain
+        meaningful.
     """
 
     def __init__(self, name, benchmarks, schemes, vdds=(0.97,),
                  n_instructions=6000, warmup=3000, master_seed=1,
                  seeds=None, min_seeds=3, max_seeds=12, batch_size=3,
-                 targets=None, z=1.96, predictor="tep", overclock=1.0):
+                 targets=None, z=1.96, predictor="tep", overclock=1.0,
+                 verify=False, storm=None):
         self.name = name
         self.benchmarks = list(benchmarks)
         self.schemes = [
@@ -155,6 +166,15 @@ class CampaignSpec:
         self.z = float(z)
         self.predictor = predictor
         self.overclock = float(overclock)
+        self.verify = bool(verify)
+        if storm is not None and not hasattr(storm, "canonical"):
+            from repro.faults.storm import StormConfig
+
+            storm = StormConfig.from_dict(storm)
+        self.storm = storm
+        #: where failed runs drop their repro bundles — execution detail
+        #: set by the executor, not part of the manifest
+        self.repro_dir = None
 
     # ------------------------------------------------------------------
     def validate(self):
@@ -196,12 +216,14 @@ class CampaignSpec:
         common = dict(
             vdd=point.vdd, n_instructions=self.n_instructions,
             warmup=self.warmup, seed=seed, predictor=self.predictor,
-            overclock=self.overclock,
+            overclock=self.overclock, verify=self.verify,
         )
-        return (
-            RunSpec(point.benchmark, point.scheme, **common),
-            RunSpec(point.benchmark, SchemeKind.FAULT_FREE, **common),
+        run_spec = RunSpec(
+            point.benchmark, point.scheme, storm=self.storm, **common
         )
+        base_spec = RunSpec(point.benchmark, SchemeKind.FAULT_FREE, **common)
+        run_spec.repro_dir = base_spec.repro_dir = self.repro_dir
+        return (run_spec, base_spec)
 
     # ------------------------------------------------------------------
     def to_dict(self):
@@ -222,6 +244,8 @@ class CampaignSpec:
             "z": self.z,
             "predictor": self.predictor,
             "overclock": self.overclock,
+            "verify": self.verify,
+            "storm": self.storm.to_dict() if self.storm is not None else None,
         }
 
     @classmethod

@@ -46,7 +46,7 @@ def build_report(directory):
             summary, n, stopped = acc.summary(), acc.n, "incomplete"
         else:
             continue
-        points.append({
+        entry = {
             "point": point.id,
             "benchmark": point.benchmark,
             "scheme": point.scheme.name,
@@ -54,10 +54,15 @@ def build_report(directory):
             "n": n,
             "stopped": stopped,
             "metrics": summary,
-        })
+        }
+        if completion is not None and completion.get("failure"):
+            entry["failure"] = completion["failure"]
+        points.append(entry)
 
     by_scheme = {}
     for entry in points:
+        if not entry["metrics"]:
+            continue  # failed before any complete draw: nothing to pool
         scheme = by_scheme.setdefault(entry["scheme"], {})
         vdd = scheme.setdefault(repr(entry["vdd"]), {})
         for metric in METRICS:
@@ -81,6 +86,8 @@ def build_report(directory):
 
 
 def _cell(metrics, metric):
+    if not metrics:
+        return "FAILED"  # point aborted before its first complete draw
     entry = metrics[metric]
     half = entry["halfwidth"]
     if half is None:

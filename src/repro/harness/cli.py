@@ -210,6 +210,147 @@ def _run(name, args):
 
 
 # ----------------------------------------------------------------------
+# verify subcommand
+# ----------------------------------------------------------------------
+def _verify_parser():
+    from repro.faults.storm import StormConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro-timing verify",
+        description=(
+            "Runtime verification: lockstep golden-model checking, "
+            "fault-storm stress runs, and repro-bundle replay. Any "
+            "divergence or hang is captured as a minimized, replayable "
+            "JSON bundle. See docs/robustness.md."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    lockstep = verbs.add_parser(
+        "lockstep",
+        help="lockstep-check a (benchmark x scheme x vdd) grid",
+    )
+    storm = verbs.add_parser(
+        "storm",
+        help="fault-storm stress runs under the lockstep checker",
+    )
+    for sub in (lockstep, storm):
+        sub.add_argument("--benchmarks", nargs="+",
+                         default=["astar", "bzip2"],
+                         help="benchmarks to check")
+        sub.add_argument("--schemes", nargs="+",
+                         default=["FAULT_FREE", "ABS", "FFS", "CDS"],
+                         help="schemes to check")
+        sub.add_argument("--vdds", nargs="+", type=float,
+                         default=[1.10, 0.97],
+                         help="supply voltages to check")
+        sub.add_argument("--instructions", type=int, default=4000,
+                         help="measured instructions per run")
+        sub.add_argument("--warmup", type=int, default=1000,
+                         help="warmup instructions per run")
+        sub.add_argument("--seed", type=int, default=1, help="base seed")
+        sub.add_argument("--seeds", type=int, default=1,
+                         help="consecutive seeds per grid point")
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (0 = all cores)")
+        sub.add_argument("--bundle-dir", default="repro_bundles",
+                         help="where failing runs drop repro bundles")
+    for name in StormConfig.FIELDS:
+        storm.add_argument(
+            f"--{name.replace('_', '-')}", type=float, default=None,
+            help=f"override the default-storm {name}",
+        )
+    replay = verbs.add_parser(
+        "replay-bundle", help="re-run a repro bundle and diff the failure"
+    )
+    replay.add_argument("bundle", help="path of the bundle JSON")
+    replay.add_argument("--full", action="store_true",
+                        help="replay the original spec instead of the "
+                             "minimized one")
+    return parser
+
+
+def _verify_main(argv):
+    import json
+
+    args = _verify_parser().parse_args(argv)
+    if args.verb == "replay-bundle":
+        from repro.verify.bundle import replay_bundle
+
+        try:
+            report = replay_bundle(args.bundle, minimized=not args.full)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot replay {args.bundle}: {exc!r}", file=sys.stderr)
+            return 2
+        print(json.dumps(report, indent=2, sort_keys=True))
+        if report["identical"]:
+            print("replay: failure reproduced byte-identically")
+            return 0
+        if report["reproduced"]:
+            print("replay: failure kind reproduced but detail differs "
+                  "(model drift? check model_version)", file=sys.stderr)
+        else:
+            print("replay: failure did NOT reproduce", file=sys.stderr)
+        return 1
+
+    code = _validate_benchmarks(args.benchmarks)
+    if code is None:
+        code = _validate_schemes(args.schemes)
+    if code is not None:
+        return code
+    storm = None
+    if args.verb == "storm":
+        from repro.faults.storm import StormConfig, default_storm
+
+        storm = default_storm()
+        overrides = {
+            name: getattr(args, name)
+            for name in StormConfig.FIELDS
+            if getattr(args, name) is not None
+        }
+        if overrides:
+            knobs = storm.to_dict()
+            knobs.update(overrides)
+            storm = StormConfig.from_dict(knobs)
+    from repro.harness.parallel import run_many
+    from repro.harness.runner import RunSpec
+
+    specs = []
+    for benchmark in args.benchmarks:
+        for scheme in args.schemes:
+            for vdd in args.vdds:
+                for s in range(args.seeds):
+                    spec = RunSpec(
+                        benchmark, scheme, vdd, args.instructions,
+                        args.warmup, args.seed + s,
+                        verify=True, storm=storm,
+                    )
+                    spec.repro_dir = args.bundle_dir
+                    specs.append(spec)
+    results = run_many(specs, jobs=args.jobs)
+    failures = 0
+    for spec, result in zip(specs, results):
+        scheme = getattr(spec.scheme, "name", spec.scheme)
+        tag = f"{spec.benchmark}/{scheme}/vdd={spec.vdd!r}/seed={spec.seed}"
+        if getattr(result, "is_failure", False):
+            failures += 1
+            print(f"FAIL {tag}: {result.kind} -> {result.bundle_path}")
+        else:
+            verification = getattr(result, "verification", {}) or {}
+            print(
+                f"ok   {tag}: {verification.get('commits', '?')} commits, "
+                f"digest {verification.get('digest', '?')}, "
+                f"safety_net={result.stats.safety_net_replays}, "
+                f"storm_faults={result.stats.storm_faults}"
+            )
+    print(
+        f"verify {args.verb}: {len(specs) - failures}/{len(specs)} runs "
+        f"clean, {failures} failure(s)"
+        + (f" (bundles in {args.bundle_dir})" if failures else "")
+    )
+    return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
 # campaign subcommand
 # ----------------------------------------------------------------------
 def _add_spec_options(parser):
@@ -399,6 +540,8 @@ def main(argv=None):
         return 0
     if argv[:1] == ["campaign"]:
         return _campaign_main(argv[1:])
+    if argv[:1] == ["verify"]:
+        return _verify_main(argv[1:])
     args = _build_parser().parse_args(argv)
     code = _validate_benchmarks(args.benchmarks)
     if code is not None:

@@ -99,7 +99,12 @@ def run_seeds(benchmark, scheme, vdd, seeds=(1, 2, 3), n_instructions=6000,
     )
     point = spec.points()[0]
     run_fn = make_run_fn(jobs=jobs, cache=cache, cache_dir=cache_dir)
-    acc, _reason = measure_point(spec, point, run_fn)
+    acc, _reason, failure = measure_point(spec, point, run_fn)
+    if failure is not None:
+        # no journal to park a failed point in here: stay loud
+        raise RuntimeError(
+            f"verified run failed during multiseed sweep: {failure!r}"
+        )
     return MultiSeedResult(
         benchmark, point.scheme, vdd,
         SeedStatistic(acc.values["perf_overhead"]),

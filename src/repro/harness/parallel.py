@@ -24,6 +24,7 @@ fully determines its result (see ``RunSpec.canonical``).
 import hashlib
 import os
 import pickle
+import sys
 
 from repro.harness.runner import run_one
 
@@ -84,13 +85,31 @@ class ResultCache:
         return os.path.join(self.root, self.version, spec.key() + ".pkl")
 
     def load(self, spec):
-        """The cached result for ``spec``, or ``None`` on a miss."""
+        """The cached result for ``spec``, or ``None`` on a miss.
+
+        Any unreadable entry — truncated write, corrupted bytes, a
+        pickle from renamed classes — is logged, unlinked, and treated
+        as a miss: a bad cache file must cost one recompute, never a
+        crashed batch.
+        """
+        path = self._path(spec)
         try:
-            with open(self._path(spec), "rb") as fh:
+            with open(path, "rb") as fh:
                 result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except OSError:
             self.misses += 1
+            return None
+        except Exception as exc:  # noqa: BLE001 — any corrupt entry
+            self.misses += 1
+            print(
+                f"[cache] discarding unreadable entry "
+                f"{os.path.basename(path)}: {exc!r}",
+                file=sys.stderr,
+            )
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
             return None
         self.hits += 1
         return result
@@ -176,6 +195,16 @@ class ResultCache:
 
 def _worker(spec):
     # module-level so it pickles under every multiprocessing start method
+    if (
+        getattr(spec, "verify", False)
+        or getattr(spec, "storm", None) is not None
+        or getattr(spec, "corruption", None)
+    ):
+        # verification failures come back as RunFailure result objects
+        # (with a repro bundle) instead of killing the whole batch
+        from repro.verify.driver import run_checked
+
+        return run_checked(spec)
     return run_one(spec)
 
 
@@ -234,9 +263,11 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None):
             with ctx.Pool(n_jobs) as pool:
                 fresh = pool.map(_worker, todo)
         else:
-            fresh = [run_one(spec) for spec in todo]
+            fresh = [_worker(spec) for spec in todo]
         for (key, i), result in zip(pending.items(), fresh):
-            if store is not None:
+            # failures are never cached: a transient capture must not
+            # poison future batches with a pre-failed result
+            if store is not None and not getattr(result, "is_failure", False):
                 store.store(specs[i], result)
             for j in range(len(specs)):
                 if keys[j] == key:

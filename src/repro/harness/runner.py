@@ -36,7 +36,7 @@ class RunSpec:
     def __init__(self, benchmark, scheme=SchemeKind.FAULT_FREE,
                  vdd=VDD_NOMINAL, n_instructions=20000, warmup=4000, seed=1,
                  config=None, tep_config=None, predictor="tep",
-                 overclock=1.0):
+                 overclock=1.0, storm=None, verify=False, corruption=None):
         self.benchmark = benchmark
         self.scheme = scheme
         self.vdd = vdd
@@ -51,6 +51,17 @@ class RunSpec:
         #: cycle-time shrink factor (>1 = run faster than the nominal
         #: frequency; violations appear once the guardband is consumed)
         self.overclock = overclock
+        #: optional :class:`~repro.faults.storm.StormConfig` — fault-storm
+        #: stress mode (wild faults, sensor dropouts, TEP chaos)
+        self.storm = storm
+        #: run under the lockstep golden-model checker (repro.verify)
+        self.verify = verify
+        #: optional dict form of a test-only
+        #: :class:`~repro.verify.chaos.CorruptionHook` (implies verify)
+        self.corruption = corruption
+        #: directory for repro bundles on failure — an execution detail,
+        #: deliberately NOT part of :meth:`canonical`
+        self.repro_dir = None
 
     def canonical(self):
         """A nested tuple of primitives that fully determines this run.
@@ -83,6 +94,11 @@ class RunSpec:
                 tep_config.n_entries, tep_config.tag_bits,
                 tep_config.counter_bits, tep_config.history_bits,
             )
+        storm = self.storm.canonical() if self.storm is not None else None
+        corruption = (
+            tuple(sorted(self.corruption.items()))
+            if self.corruption else None
+        )
         return (
             self.benchmark,
             getattr(self.scheme, "value", self.scheme),
@@ -94,6 +110,9 @@ class RunSpec:
             tep_config,
             self.predictor,
             repr(self.overclock),
+            storm,
+            bool(self.verify),
+            corruption,
         )
 
     def key(self):
@@ -228,6 +247,20 @@ def build_core(spec):
         else:
             tep = make_predictor(spec.predictor)
     sensor = VoltageSensor(spec.vdd, overclocked=spec.overclock > 1.0)
+    storm = getattr(spec, "storm", None)
+    if storm is not None:
+        # storm wrapping must precede core construction: the core latches
+        # its sensor gate and TEP lookup method in __init__
+        from repro.faults.storm import ChaoticTEP, FlakySensor, StormInjector
+
+        injector = StormInjector(injector, storm, seed=spec.seed + 401)
+        if storm.sensor_flap > 0.0:
+            sensor = FlakySensor(sensor, storm.sensor_flap,
+                                 seed=spec.seed + 402)
+        if tep is not None and (storm.tep_drop > 0.0
+                                or storm.tep_fabricate > 0.0):
+            tep = ChaoticTEP(tep, storm.tep_drop, storm.tep_fabricate,
+                             seed=spec.seed + 403)
     config = spec.config or CoreConfig.core1()
     core = OoOCore(
         config, trace, hierarchy, scheme,
@@ -275,7 +308,17 @@ def prime_caches(program, hierarchy, line_bytes=64):
 
 
 def run_one(spec):
-    """Run one simulation point and return its :class:`SimResult`."""
+    """Run one simulation point and return its :class:`SimResult`.
+
+    Specs with ``verify`` (or a ``corruption`` hook) run under the
+    lockstep golden-model checker and raise
+    :class:`~repro.verify.lockstep.DivergenceError` on any architectural
+    divergence — see :func:`repro.verify.driver.run_verified`.
+    """
+    if getattr(spec, "verify", False) or getattr(spec, "corruption", None):
+        from repro.verify.driver import run_verified
+
+        return run_verified(spec)
     core = build_core(spec)
     prime_caches(core.program, core.hierarchy)
     if spec.warmup:
@@ -285,6 +328,7 @@ def run_one(spec):
         core.lsq.cam_searches = 0
         core.lsq.forwards = 0
     stats = core.run(spec.n_instructions)
+    stats.storm_faults = getattr(core.injector, "storm_faults", 0)
     energy = EnergyModel().evaluate(
         stats, core.hierarchy.stats(), spec.vdd, core.scheme.uses_tep
     )

@@ -71,6 +71,48 @@ class DeadlockError(RuntimeError):
     """Raised when the pipeline makes no progress for too long."""
 
 
+class SimulationHangError(DeadlockError):
+    """No-commit-progress watchdog fired (deadlock/livelock).
+
+    Carries everything needed to diagnose the hang without re-running:
+    the cycle it fired, commit progress against the budget, how long the
+    commit stream had been silent, and the occupancy of every queueing
+    structure (ROB/IQ/LSQ/FUs/front end) at that moment.
+    """
+
+    def __init__(self, message, cycle=None, committed=None, target=None,
+                 stalled_cycles=None, occupancy=None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.committed = committed
+        self.target = target
+        self.stalled_cycles = stalled_cycles
+        self.occupancy = occupancy or {}
+
+    def detail(self):
+        """Deterministic JSON-safe description (bundle ``failure.detail``)."""
+        return {
+            "cycle": self.cycle,
+            "committed": self.committed,
+            "target": self.target,
+            "stalled_cycles": self.stalled_cycles,
+            "occupancy": self.occupancy,
+            "message": str(self),
+        }
+
+    def __reduce__(self):
+        # keep structured fields across multiprocessing pickling
+        return (_rebuild_hang, (str(self), self.cycle, self.committed,
+                                self.target, self.stalled_cycles,
+                                self.occupancy))
+
+
+def _rebuild_hang(message, cycle, committed, target, stalled_cycles,
+                  occupancy):
+    return SimulationHangError(message, cycle, committed, target,
+                               stalled_cycles, occupancy)
+
+
 class OoOCore:
     """A 4-wide out-of-order core with violation-aware scheduling hooks.
 
@@ -109,6 +151,9 @@ class OoOCore:
         self.sensor = sensor
         self.vdd = vdd
         self.stats = SimStats()
+        #: optional hook called with each retired DynInst, in commit
+        #: order (used by the lockstep checker and the pipetrace viewer)
+        self.commit_listener = None
 
         self.rename = RenameState(config.n_arch_regs, config.n_phys_regs)
         self.rob = ReorderBuffer(config.rob_size)
@@ -144,6 +189,8 @@ class OoOCore:
             self._tep_gate = 1      # never armed
         elif sensor is None:
             self._tep_gate = 0      # unconditionally armed
+        elif getattr(sensor, "dynamic", False):
+            self._tep_gate = 2      # flaky/storm sensor: ask per fetch
         elif sensor.overclocked or sensor.vdd <= sensor.v_threshold:
             self._tep_gate = 0      # statically armed for the whole run
         elif sensor.thermal is None:
@@ -164,18 +211,24 @@ class OoOCore:
     # ==================================================================
     # public API
     # ==================================================================
-    def run(self, max_committed, max_cycles=None):
+    def run(self, max_committed, max_cycles=None, hang_cycles=20000):
         """Simulate until ``max_committed`` instructions retire.
 
         Returns the :class:`~repro.uarch.stats.SimStats` of the run.
-        ``max_cycles`` (default: a generous multiple of the budget) guards
-        against deadlock.
+        Two watchdogs guard against a wedged machine: ``hang_cycles``
+        without a single commit (deadlock/livelock — the common failure
+        shape) and ``max_cycles`` total (default: a generous multiple of
+        the budget; backstop for pathological-but-progressing runs).
+        Both raise :class:`SimulationHangError` with a full occupancy
+        snapshot of the queueing structures.
         """
         if max_committed <= 0:
             raise ValueError("max_committed must be positive")
         if max_cycles is None:
             max_cycles = 400 * max_committed + 20000
         stats = self.stats
+        progress_committed = stats.committed
+        progress_cycle = self.cycle
         thermal = getattr(self.sensor, "thermal", None)
         # bind bound methods and stable sub-objects once: the loop below
         # runs once per simulated cycle. Dict-valued state
@@ -197,11 +250,22 @@ class OoOCore:
             if thermal is not None and not cycle & 127:
                 thermal.advance(128)
             if cycle > max_cycles:
-                raise DeadlockError(
-                    f"no forward progress: cycle={cycle}, "
-                    f"committed={stats.committed}/{max_committed}, "
-                    f"rob={len(self.rob)}, iq={len(self.iq)}"
+                raise self._hang_error(
+                    "cycle budget exhausted", max_committed,
+                    cycle - progress_cycle,
                 )
+            # commit watchdog, sampled every 1024 cycles to stay off the
+            # hot path (a real hang is detected within hang_cycles + 1023)
+            if not cycle & 1023:
+                committed = stats.committed
+                if committed != progress_committed:
+                    progress_committed = committed
+                    progress_cycle = cycle
+                elif cycle - progress_cycle >= hang_cycles:
+                    raise self._hang_error(
+                        "commit watchdog", max_committed,
+                        cycle - progress_cycle,
+                    )
             if self._ep_stalls and consume_ep_stall():
                 stats.cycles += 1
                 self.cycle = cycle + 1
@@ -241,6 +305,44 @@ class OoOCore:
         stats.lsq_searches = self.lsq.cam_searches
         stats.store_forwards = self.lsq.forwards
         return stats
+
+    def occupancy(self):
+        """Occupancy of every queueing structure (hang diagnostics)."""
+        cycle = self.cycle
+        fus_busy = {
+            kind.name: sum(1 for u in units if u.next_issue > cycle)
+            for kind, units in self.fus.units.items()
+        }
+        return {
+            "cycle": cycle,
+            "rob": len(self.rob),
+            "iq": len(self.iq.entries),
+            "lsq": len(self.lsq),
+            "fus_busy": fus_busy,
+            "conveyor": sum(len(latch) for latch in self._conveyor),
+            "refetch": len(self._refetch),
+            "pending_events": sum(len(e) for e in self._events.values()),
+            "pending_ep_stalls": sum(self._ep_stalls.values()),
+            "blocking_branch": self._blocking_branch,
+            "fetch_resume_at": self._fetch_resume_at,
+            "dispatch_hold_until": self._dispatch_hold_until,
+            "done_fetching": self._done_fetching,
+        }
+
+    def _hang_error(self, reason, max_committed, stalled_cycles):
+        committed = self.stats.committed
+        occupancy = self.occupancy()
+        return SimulationHangError(
+            f"{reason}: no commit for {stalled_cycles} cycles at "
+            f"cycle={self.cycle}, committed={committed}/{max_committed}, "
+            f"rob={occupancy['rob']}, iq={occupancy['iq']}, "
+            f"lsq={occupancy['lsq']}",
+            cycle=self.cycle,
+            committed=committed,
+            target=max_committed,
+            stalled_cycles=stalled_cycles,
+            occupancy=occupancy,
+        )
 
     # ==================================================================
     # EP global stall (Error Padding baseline)
@@ -333,6 +435,7 @@ class OoOCore:
         lsq_retire = self.lsq.retire
         store_access = self.hierarchy.access_data_latency
         train_tep = self._train_tep
+        listener = self.commit_listener
         for inst in self.rob.commit_ready(self._width):
             rename_commit(inst)
             if inst.is_mem:
@@ -344,6 +447,8 @@ class OoOCore:
             inst.commit_cycle = cycle
             stats.committed += 1
             train_tep(inst)
+            if listener is not None:
+                listener(inst)
 
     def _train_tep(self, inst):
         """Train the predictor on the instruction's observed outcome."""
@@ -442,12 +547,29 @@ class OoOCore:
             selective_mode = self._selective_mode
             count_fault = stats.count_fault
             selective_stages = []
+            safety_replay = False
             for stage, bit in _ISSUE_FAULT_STAGES:
                 if not mask & bit:
                     continue
                 if stage is PipeStage.MEM and not is_mem:
+                    # a violation latched in a stage this instruction never
+                    # occupies in the datapath model — only storm-mode
+                    # "wild" faults produce this, and the TEP cannot see
+                    # them. Safety net: degrade to a full stall-and-replay
+                    # instead of letting the corrupt latch go live (there
+                    # is no MEM timing anchor to hang a repair on).
+                    count_fault(stage, False)
+                    stats.safety_net_replays += 1
+                    safety_replay = True
                     continue
                 tolerated = stage == pred_stage and tolerates
+                if (tolerated and effects is not None
+                        and effects.stage is None):
+                    # predicted and nominally tolerated, but the VTE issued
+                    # no padding for this stage/op pair: the extra cycle
+                    # never happened. Safety net: recover as unpredicted.
+                    stats.safety_net_replays += 1
+                    tolerated = False
                 count_fault(stage, tolerated)
                 if tolerated:
                     continue
@@ -455,6 +577,8 @@ class OoOCore:
                     selective_stages.append(stage)
                 elif flush_stage is None:
                     flush_stage = stage
+            if safety_replay and flush_stage is None:
+                self._schedule(cycle + 1, _EV_REPLAY, inst)
             # selective (Razor-I) recovery: the faulty instruction
             # re-executes in place with the recovery penalty; its
             # dependents simply wait

@@ -31,6 +31,10 @@ class SimStats:
         self.inorder_stalls = 0
         self.memdep_violations = 0
         self.wrong_path_fetched = 0
+        # robustness safety net (storm-mode wild faults, unpadded
+        # predictions — see pipeline._issue) and storm bookkeeping
+        self.safety_net_replays = 0
+        self.storm_faults = 0
         # activity for the energy model
         self.fu_ops = {}
         self.regreads = 0
@@ -89,6 +93,8 @@ class SimStats:
             "faults_unpredicted": self.faults_unpredicted,
             "false_predictions": self.false_predictions,
             "replays": self.replays,
+            "safety_net_replays": self.safety_net_replays,
+            "storm_faults": self.storm_faults,
             "ep_stalls": self.ep_stalls,
             "slot_freezes": self.slot_freezes,
             "squashed": self.squashed,

@@ -1,0 +1,40 @@
+"""Runtime verification: golden-model lockstep checking and repro bundles.
+
+The paper's central correctness claim — a predicted-faulty instruction
+gets exactly one extra cycle in its faulty stage, only its dependents are
+delayed, and architectural state is never corrupted — is enforced here at
+runtime rather than assumed:
+
+* :mod:`repro.verify.semantics` gives every synthetic instruction a
+  deterministic functional meaning (values, memory), shared by the golden
+  model and the pipeline's commit-order executor.
+* :mod:`repro.verify.golden` executes the same program/trace with simple
+  sequential in-order semantics — the reference machine.
+* :mod:`repro.verify.lockstep` compares the out-of-order pipeline's
+  retired stream against the golden model at every commit and the final
+  architectural images at end of run, raising a structured
+  :class:`~repro.verify.lockstep.DivergenceError` on any mismatch.
+* :mod:`repro.verify.chaos` is the test-only silent-corruption hook used
+  to prove the checker (and the bundle pipeline behind it) actually fires.
+* :mod:`repro.verify.bundle` captures any divergence/hang into a
+  delta-debugged, self-contained, replayable JSON repro bundle.
+* :mod:`repro.verify.driver` wires all of it into single runs
+  (:func:`~repro.verify.driver.run_verified`) and checked batch workers
+  (:func:`~repro.verify.driver.run_checked`).
+"""
+
+from repro.verify.chaos import CorruptionHook
+from repro.verify.golden import GoldenModel
+from repro.verify.lockstep import DivergenceError, LockstepChecker
+from repro.verify.semantics import ArchState, CommitRecord, execute, mix64
+
+__all__ = [
+    "ArchState",
+    "CommitRecord",
+    "CorruptionHook",
+    "DivergenceError",
+    "GoldenModel",
+    "LockstepChecker",
+    "execute",
+    "mix64",
+]

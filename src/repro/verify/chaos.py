@@ -1,0 +1,88 @@
+"""Test-only silent-corruption hook on the DUT commit path.
+
+The lockstep checker's reason to exist is catching silent architectural
+corruption — but a correct simulator never produces any, so the checker
+(and the minimization/replay machinery downstream of it) would otherwise
+be dead code that nothing proves works. :class:`CorruptionHook` closes
+that loop: it perturbs the *pipeline-side* commit stream in one of a few
+physically-motivated ways, exactly once, at (or after) a chosen sequence
+number:
+
+* ``value_xor`` — the committed destination value is bit-flipped, as an
+  untolerated timing fault latching a wrong result would;
+* ``store_addr_xor`` — a store retires to the wrong 8-byte word;
+* ``drop`` — a retirement is lost (the instruction vanishes
+  architecturally);
+* ``dup`` — a retirement is applied twice (a replay that also committed
+  its first pass).
+
+The hook is serializable, so a repro bundle that needed it to fail can
+replay the identical corruption byte for byte.
+"""
+
+from repro.verify.semantics import execute
+
+KINDS = ("value_xor", "store_addr_xor", "drop", "dup")
+
+_DEFAULT_MASK = 0xDEAD_BEEF_0BAD_F00D
+
+
+class CorruptionHook:
+    """Perturb the first eligible commit at or after ``seq`` (one-shot)."""
+
+    def __init__(self, kind, seq, mask=_DEFAULT_MASK):
+        if kind not in KINDS:
+            raise ValueError(f"unknown corruption kind {kind!r}; "
+                             f"known: {KINDS}")
+        self.kind = kind
+        self.seq = int(seq)
+        self.mask = int(mask)
+        #: seq actually corrupted (None until the hook fires)
+        self.fired_seq = None
+
+    # ------------------------------------------------------------------
+    def _eligible(self, inst):
+        if self.kind == "value_xor":
+            return inst.static.dest is not None and not inst.is_store
+        if self.kind == "store_addr_xor":
+            return inst.is_store
+        return True  # drop / dup corrupt any retirement
+
+    def apply(self, state, inst):
+        """DUT-side commit records for ``inst`` (0, 1 or 2 of them)."""
+        if self.fired_seq is not None or inst.seq < self.seq \
+                or not self._eligible(inst):
+            return (execute(state, inst),)
+        self.fired_seq = inst.seq
+        if self.kind == "drop":
+            return ()
+        if self.kind == "dup":
+            record = execute(state, inst)
+            return (record, record)
+        if self.kind == "store_addr_xor":
+            record = execute(state, inst)
+            # the data lands in the wrong word: move it architecturally
+            state.mem.pop(record.mem_addr >> 3, None)
+            record.mem_addr ^= self.mask & ~0x7
+            state.store(record.mem_addr, record.store_data)
+            return (record,)
+        # value_xor: corrupt the latched result *and* the machine state,
+        # so dependents consume the corrupt value too
+        record = execute(state, inst)
+        record.value ^= self.mask
+        state.regs[record.dest] = record.value
+        return (record,)
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        return {"kind": self.kind, "seq": self.seq, "mask": self.mask}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["kind"], data["seq"], data.get("mask", _DEFAULT_MASK))
+
+    def __repr__(self):
+        return (
+            f"CorruptionHook({self.kind!r}, seq>={self.seq}, "
+            f"mask={self.mask:#x})"
+        )

@@ -1,0 +1,52 @@
+"""Golden in-order functional reference model.
+
+The golden machine is the simplest correct implementation of the ISA
+contract: it pulls dynamic instructions off its *own* trace generator
+(same program, same seed — trace generation is deterministic, so the
+stream is identical to the one the pipeline fetches) and executes them
+one at a time, strictly in program order, with
+:func:`repro.verify.semantics.execute`. No pipeline, no speculation, no
+faults: whatever this machine retires is, by definition, the correct
+architectural outcome.
+
+The lockstep checker advances the golden machine one instruction per
+pipeline commit, which is exactly the paper's correctness obligation: an
+out-of-order machine under any timing-fault handling scheme must retire
+the same architectural stream as the in-order fault-free machine.
+"""
+
+from repro.verify.semantics import ArchState, execute
+from repro.workloads.trace import TraceGenerator
+
+
+class GoldenModel:
+    """Sequential reference execution of a program's dynamic trace."""
+
+    def __init__(self, program, trace_seed, n_arch_regs):
+        self.trace = TraceGenerator(program, seed=trace_seed)
+        self.state = ArchState(n_arch_regs)
+        self.executed = 0
+
+    @classmethod
+    def for_core(cls, core, trace_seed):
+        """Golden twin of ``core`` (same program, regfile width, trace)."""
+        return cls(core.program, trace_seed, core.config.n_arch_regs)
+
+    def next_record(self):
+        """Execute the next trace instruction; ``None`` when exhausted."""
+        try:
+            inst = next(self.trace)
+        except StopIteration:
+            return None
+        self.executed += 1
+        return execute(self.state, inst)
+
+    def run(self, n):
+        """Execute ``n`` instructions and return their records."""
+        records = []
+        for _ in range(n):
+            record = self.next_record()
+            if record is None:
+                break
+            records.append(record)
+        return records

@@ -1,0 +1,171 @@
+"""Lockstep checker: pipeline commits vs the golden reference, per retire.
+
+The checker installs itself as the core's ``commit_listener`` and, for
+every retired instruction, (1) applies the shared functional semantics to
+its own commit-order architectural state, (2) advances the golden
+in-order model by one instruction, and (3) compares the two commit
+records field by field — sequence number, PC, operation, branch outcome,
+memory address, destination register and its value, store data. At end
+of run :meth:`LockstepChecker.finalize` additionally compares the full
+register file and memory images.
+
+Any mismatch raises a structured :class:`DivergenceError` carrying both
+records, the commit index, the simulator cycle, and both machines'
+architectural snapshots — everything the repro-bundle capturer needs to
+journal an actionable, replayable failure.
+"""
+
+from repro.verify.semantics import RECORD_FIELDS, ArchState, execute
+
+
+class DivergenceError(RuntimeError):
+    """The pipeline's retired stream departed from the golden model."""
+
+    def __init__(self, message, field=None, expected=None, actual=None,
+                 commit_index=None, cycle=None, golden_state=None,
+                 dut_state=None):
+        super().__init__(message)
+        self.field = field
+        #: golden-side :class:`CommitRecord` dict (None for final-state
+        #: divergences, which have no single offending commit)
+        self.expected = expected
+        self.actual = actual
+        self.commit_index = commit_index
+        self.cycle = cycle
+        self.golden_state = golden_state
+        self.dut_state = dut_state
+
+    def detail(self):
+        """Deterministic JSON-safe description (bundle `failure.detail`)."""
+        return {
+            "field": self.field,
+            "expected": self.expected,
+            "actual": self.actual,
+            "commit_index": self.commit_index,
+            "cycle": self.cycle,
+            "golden_state": self.golden_state,
+            "dut_state": self.dut_state,
+            "message": str(self),
+        }
+
+    def __reduce__(self):
+        return (_rebuild_divergence, (str(self), self.field, self.expected,
+                                      self.actual, self.commit_index,
+                                      self.cycle, self.golden_state,
+                                      self.dut_state))
+
+
+def _rebuild_divergence(message, field, expected, actual, commit_index,
+                        cycle, golden_state, dut_state):
+    return DivergenceError(message, field, expected, actual, commit_index,
+                           cycle, golden_state, dut_state)
+
+
+class LockstepChecker:
+    """Commit-by-commit comparison of a core against its golden twin.
+
+    Parameters
+    ----------
+    core:
+        An :class:`~repro.uarch.pipeline.OoOCore`; the checker installs
+        itself as its ``commit_listener``.
+    golden:
+        The :class:`~repro.verify.golden.GoldenModel` twin.
+    corruption:
+        Optional :class:`~repro.verify.chaos.CorruptionHook` perturbing
+        the DUT-side commit stream — the test-only hook that proves the
+        checker catches silent corruption end to end.
+    """
+
+    def __init__(self, core, golden, corruption=None):
+        self.core = core
+        self.golden = golden
+        #: the DUT's architectural state, rebuilt in *commit order* with
+        #: the same semantics the golden model applies in *trace order*
+        self.state = ArchState(core.config.n_arch_regs)
+        self.corruption = corruption
+        self.commits = 0
+        core.commit_listener = self.on_commit
+
+    # ------------------------------------------------------------------
+    def on_commit(self, inst):
+        """Compare one retired instruction against the golden stream."""
+        if self.corruption is not None:
+            records = self.corruption.apply(self.state, inst)
+        else:
+            records = (execute(self.state, inst),)
+        for dut in records:
+            golden = self.golden.next_record()
+            index = self.commits
+            self.commits = index + 1
+            if golden is None:
+                self._raise("stream", None, dut, index)
+            for field in RECORD_FIELDS:
+                if getattr(golden, field) != getattr(dut, field):
+                    self._raise(field, golden, dut, index)
+
+    def _raise(self, field, golden, dut, index):
+        expected = golden.to_dict() if golden is not None else None
+        actual = dut.to_dict() if dut is not None else None
+        raise DivergenceError(
+            f"architectural divergence at commit #{index} "
+            f"(cycle {self.core.cycle}): field {field!r} — "
+            f"golden={expected and expected.get(field)!r} "
+            f"vs pipeline={actual and actual.get(field)!r}",
+            field=field,
+            expected=expected,
+            actual=actual,
+            commit_index=index,
+            cycle=self.core.cycle,
+            golden_state=self.golden.state.snapshot(),
+            dut_state=self.state.snapshot(),
+        )
+
+    # ------------------------------------------------------------------
+    def finalize(self):
+        """End-of-run audit: final regfile + memory images must match.
+
+        Trivially true when every per-commit record matched — kept as an
+        independent invariant so a checker bug (or a corruption mode that
+        slips through record comparison) still cannot certify a corrupt
+        machine. Returns a small report dict on success.
+        """
+        golden_state = self.golden.state
+        dut_state = self.state
+        if golden_state.regs != dut_state.regs:
+            bad = next(
+                r for r, (g, d)
+                in enumerate(zip(golden_state.regs, dut_state.regs))
+                if g != d
+            )
+            raise DivergenceError(
+                f"final register image mismatch at r{bad}: "
+                f"golden={golden_state.regs[bad]:#x} "
+                f"vs pipeline={dut_state.regs[bad]:#x}",
+                field=f"final_reg_{bad}",
+                commit_index=self.commits,
+                cycle=self.core.cycle,
+                golden_state=golden_state.snapshot(),
+                dut_state=dut_state.snapshot(),
+            )
+        if golden_state.mem != dut_state.mem:
+            words = set(golden_state.mem) | set(dut_state.mem)
+            bad = min(
+                w for w in words
+                if golden_state.mem.get(w) != dut_state.mem.get(w)
+            )
+            raise DivergenceError(
+                f"final memory image mismatch at word {bad:#x}: "
+                f"golden={golden_state.mem.get(bad)!r} "
+                f"vs pipeline={dut_state.mem.get(bad)!r}",
+                field="final_mem",
+                commit_index=self.commits,
+                cycle=self.core.cycle,
+                golden_state=golden_state.snapshot(),
+                dut_state=dut_state.snapshot(),
+            )
+        return {
+            "commits": self.commits,
+            "digest": dut_state.digest(),
+            "mem_words": len(dut_state.mem),
+        }

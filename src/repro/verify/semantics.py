@@ -1,0 +1,181 @@
+"""Deterministic functional semantics for synthetic programs.
+
+The timing simulator models *when* instructions execute, not *what* they
+compute — a synthetic :class:`~repro.isa.instruction.StaticInst` has no
+arithmetic meaning. For lockstep checking we give every instruction one:
+a 64-bit value computed by a strong mixing function over its operation
+class, PC, and the current values of its source registers (plus the
+loaded memory word for loads). The function is:
+
+* **deterministic** — same instruction over the same architectural state
+  always produces the same value, in any process;
+* **sensitive** — any commit-stream defect (a lost, duplicated,
+  reordered, or phantom retirement; a wrong store address; a load/store
+  ordering violation that leaks through) changes some downstream value
+  with overwhelming probability, so a single end-of-run image comparison
+  (or the first per-commit comparison after the defect) catches it;
+* **cheap** — a handful of xors and multiplies per committed instruction,
+  so verified runs stay within ~2x of unverified throughput.
+
+Both the golden in-order reference and the pipeline-side commit executor
+call the same :func:`execute`; any disagreement between the two machines
+is therefore a genuine difference in *retired architectural state*, never
+a modelling artefact of the checker itself.
+
+Memory is modelled at the LSQ's 8-byte match granularity: stores and
+loads to the same 8-byte word alias, exactly as the store-forwarding CAM
+sees them.
+"""
+
+from repro.isa.opcodes import OpClass
+
+_MASK64 = (1 << 64) - 1
+#: Word granularity of the memory image — matches the LSQ CAM (8 bytes).
+_WORD_SHIFT = 3
+_MEM_SALT = 0x9E3779B97F4A7C15
+_REG_SALT = 0xD1B54A32D192ED03
+
+
+def mix64(x):
+    """SplitMix64 finalizer: a fast, well-distributed 64-bit mixer."""
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+#: Per-opclass salt so e.g. an IALU and an IMUL over the same sources
+#: produce unrelated values.
+_OP_SALT = tuple(mix64(0xA076_1D64_78BD_642F * (int(op) + 1)) for op in OpClass)
+
+
+class ArchState:
+    """Architectural machine state: register file plus sparse memory.
+
+    Registers start from a deterministic non-zero pattern; memory words
+    are lazily materialized from a pure function of their address, so two
+    machines that touched different words still agree on every word
+    either of them reads.
+    """
+
+    __slots__ = ("regs", "mem")
+
+    def __init__(self, n_regs):
+        self.regs = [mix64(_REG_SALT ^ (r + 1)) for r in range(n_regs)]
+        self.mem = {}
+
+    def load(self, addr):
+        """Value of the 8-byte word containing ``addr``."""
+        word = addr >> _WORD_SHIFT
+        value = self.mem.get(word)
+        if value is None:
+            value = mix64(_MEM_SALT ^ word)
+        return value
+
+    def store(self, addr, value):
+        """Overwrite the 8-byte word containing ``addr``."""
+        self.mem[addr >> _WORD_SHIFT] = value
+
+    def digest(self):
+        """Short stable hex digest of the full architectural image."""
+        import hashlib
+
+        h = hashlib.sha256()
+        for value in self.regs:
+            h.update(value.to_bytes(8, "little"))
+        for word in sorted(self.mem):
+            h.update(word.to_bytes(8, "little", signed=word < 0))
+            h.update(self.mem[word].to_bytes(8, "little"))
+        return h.hexdigest()[:16]
+
+    def snapshot(self):
+        """JSON-safe summary of the image (for divergence reports)."""
+        return {
+            "regs": list(self.regs),
+            "mem_words": len(self.mem),
+            "digest": self.digest(),
+        }
+
+
+#: Fields compared per commit, in the order they are checked.
+RECORD_FIELDS = (
+    "seq", "pc", "op", "taken", "mem_addr", "dest", "store_data", "value",
+)
+
+
+class CommitRecord:
+    """The architecturally visible outcome of one retired instruction."""
+
+    __slots__ = RECORD_FIELDS
+
+    def __init__(self, seq, pc, op, taken, mem_addr, dest, store_data, value):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.taken = taken
+        self.mem_addr = mem_addr
+        self.dest = dest
+        self.store_data = store_data
+        self.value = value
+
+    def to_dict(self):
+        """JSON-safe dict with a symbolic op name."""
+        return {
+            "seq": self.seq,
+            "pc": self.pc,
+            "op": OpClass(self.op).name,
+            "taken": self.taken,
+            "mem_addr": self.mem_addr,
+            "dest": self.dest,
+            "store_data": self.store_data,
+            "value": self.value,
+        }
+
+    def __eq__(self, other):
+        return isinstance(other, CommitRecord) and all(
+            getattr(self, f) == getattr(other, f) for f in RECORD_FIELDS
+        )
+
+    def __repr__(self):
+        return (
+            f"CommitRecord(seq={self.seq}, pc={self.pc:#x}, "
+            f"op={OpClass(self.op).name}, dest={self.dest}, "
+            f"value={self.value})"
+        )
+
+
+def execute(state, inst):
+    """Apply one dynamic instruction to ``state``; return its record.
+
+    ``inst`` is a :class:`~repro.isa.instruction.DynInst` (only its
+    architectural identity is read: pc, op, register operands, resolved
+    memory address, branch outcome). The same function serves the golden
+    model (trace order) and the lockstep checker (commit order).
+    """
+    op = inst.op
+    static = inst.static
+    regs = state.regs
+    acc = _OP_SALT[op] ^ mix64(inst.pc)
+    for i, r in enumerate(static.srcs):
+        acc ^= mix64(regs[r] + 3 * i + 1)
+    dest = static.dest
+    value = None
+    store_data = None
+    mem_addr = None
+    taken = None
+    if op is OpClass.LOAD:
+        mem_addr = inst.mem_addr
+        value = mix64(acc ^ state.load(mem_addr))
+    elif op is OpClass.STORE:
+        mem_addr = inst.mem_addr
+        store_data = mix64(acc)
+        state.store(mem_addr, store_data)
+    elif op is OpClass.BRANCH:
+        taken = inst.taken
+    elif dest is not None:
+        value = mix64(acc)
+    if dest is not None and value is not None:
+        regs[dest] = value
+    return CommitRecord(
+        inst.seq, inst.pc, int(op), taken, mem_addr, dest, store_data, value,
+    )

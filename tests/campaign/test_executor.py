@@ -245,6 +245,77 @@ class _FlakyRunFn:
         return run_many(specs, jobs=1)
 
 
+# ----------------------------------------------------------------------
+# verification failure path: one failed point cannot take down a campaign
+# ----------------------------------------------------------------------
+class _FailingRunFn:
+    """Delegates to run_many, but fails one benchmark's scheme runs."""
+
+    def __init__(self, failing_benchmark):
+        self.failing_benchmark = failing_benchmark
+
+    def __call__(self, specs):
+        from repro.core.schemes import SchemeKind
+        from repro.verify.bundle import RunFailure
+
+        results = run_many(specs, jobs=1)
+        for i, spec in enumerate(specs):
+            if (
+                spec.benchmark == self.failing_benchmark
+                and spec.scheme is not SchemeKind.FAULT_FREE
+            ):
+                results[i] = RunFailure(
+                    spec, "divergence", {"field": "value"},
+                    bundle_path="/tmp/fake-bundle.json",
+                )
+        return results
+
+
+class TestVerificationFailurePath:
+    def _run(self, tmp_path):
+        spec = _spec(
+            benchmarks=["astar", "bzip2"], schemes=["ABS"], seeds=[1],
+        )
+        return run_campaign(
+            tmp_path, spec=spec, run_fn=_FailingRunFn("astar")
+        )
+
+    def test_campaign_completes_past_a_failed_point(self, tmp_path):
+        report = self._run(tmp_path)
+        assert report["complete"]
+        by_bench = {p["benchmark"]: p for p in report["points"]}
+        assert by_bench["astar"]["stopped"] == "failed"
+        assert by_bench["astar"]["metrics"] is None
+        assert by_bench["bzip2"]["metrics"] is not None
+
+    def test_failure_event_carries_the_bundle_path(self, tmp_path):
+        self._run(tmp_path)
+        state = Journal(tmp_path).replay()
+        completion = state.completed["astar/ABS/0.97"]
+        assert completion["failure"]["kind"] == "divergence"
+        assert completion["failure"]["bundle"] == "/tmp/fake-bundle.json"
+
+    def test_failed_cell_renders_as_failed(self, tmp_path):
+        from repro.campaign.report import render_markdown
+
+        report = self._run(tmp_path)
+        markdown = render_markdown(report)
+        assert "FAILED" in markdown
+
+    def test_pooled_aggregates_skip_failed_points(self, tmp_path):
+        report = self._run(tmp_path)
+        # only bzip2 contributes to the ABS pool; no crash on the
+        # metrics-less astar entry
+        assert "ABS" in report["by_scheme"]
+
+    def test_failed_point_is_not_rerun_on_resume(self, tmp_path):
+        self._run(tmp_path)
+        untouched = _CountingRunFn()
+        report = run_campaign(tmp_path, resume=True, run_fn=untouched)
+        assert untouched.calls == 0
+        assert report["complete"]
+
+
 class TestBoundedRetry:
     def test_retries_recover_from_transient_failures(self, tmp_path):
         flaky = _FlakyRunFn(failures=2)

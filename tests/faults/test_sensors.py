@@ -1,6 +1,7 @@
 """Thermal model and the TEP-gating voltage sensor."""
 
 from repro.faults.sensors import ThermalModel, VoltageSensor
+from repro.faults.storm import FlakySensor
 from repro.faults.timing import VDD_HIGH_FAULT, VDD_LOW_FAULT, VDD_NOMINAL
 
 
@@ -43,3 +44,51 @@ class TestVoltageSensor:
     def test_custom_threshold(self):
         sensor = VoltageSensor(1.05, v_threshold=1.0)
         assert not sensor.favorable()
+
+    def test_vdd_exactly_at_threshold_is_favorable(self):
+        # the comparison is inclusive: vdd <= v_threshold arms the sensor
+        assert VoltageSensor(1.0, v_threshold=1.0).favorable()
+        assert not VoltageSensor(1.0 + 1e-12, v_threshold=1.0).favorable()
+
+    def test_temperature_exactly_at_threshold_is_favorable(self):
+        thermal = ThermalModel(seed=0)
+        thermal.temperature = 90.0
+        sensor = VoltageSensor(VDD_NOMINAL, thermal=thermal, t_threshold=90)
+        assert sensor.favorable()
+        thermal.temperature = 89.999
+        assert not sensor.favorable()
+
+    def test_overclocked_sensor_always_favorable(self):
+        # overclocking consumes the guardband even at nominal supply
+        assert VoltageSensor(VDD_NOMINAL, overclocked=True).favorable()
+
+
+class TestFlakySensorEdgeCases:
+    def test_dropout_suppresses_a_favorable_supply(self):
+        sensor = FlakySensor(
+            VoltageSensor(VDD_LOW_FAULT), flap=1.0, seed=0, dropout_len=8
+        )
+        readings = [sensor.favorable() for _ in range(200)]
+        assert not all(readings)
+        assert sensor.dropouts > 0
+
+    def test_never_arms_an_unfavorable_supply(self):
+        # flapping only drops readings; it cannot invent favorable ones
+        sensor = FlakySensor(
+            VoltageSensor(VDD_NOMINAL), flap=0.5, seed=0, dropout_len=8
+        )
+        assert not any(sensor.favorable() for _ in range(500))
+
+    def test_identical_seeds_are_deterministic(self):
+        def pattern(seed):
+            sensor = FlakySensor(
+                VoltageSensor(VDD_LOW_FAULT), flap=0.4, seed=seed
+            )
+            return [sensor.favorable() for _ in range(300)]
+
+        assert pattern(9) == pattern(9)
+        assert pattern(9) != pattern(10)
+
+    def test_delegates_unknown_attributes_to_inner(self):
+        inner = VoltageSensor(VDD_LOW_FAULT)
+        assert FlakySensor(inner).vdd == inner.vdd

@@ -160,6 +160,45 @@ def test_corrupt_cache_entry_is_a_miss(tmp_path):
         assert _fingerprint(pickle.load(fh)) == _fingerprint(result)
 
 
+def test_corrupt_cache_entry_is_logged_and_unlinked(tmp_path, capsys):
+    spec = _specs()[0]
+    path = tmp_path / model_version() / (spec.key() + ".pkl")
+    os.makedirs(path.parent, exist_ok=True)
+    path.write_bytes(b"\x80\x05garbage")
+    cache = ResultCache(tmp_path)
+    assert cache.load(spec) is None
+    assert cache.misses == 1
+    assert "discarding unreadable entry" in capsys.readouterr().err
+    assert not path.exists()  # bad bytes don't linger for the next batch
+
+
+def test_truncated_cache_entry_is_a_miss(tmp_path):
+    spec = _specs()[0]
+    result = run_one(spec)
+    cache = ResultCache(tmp_path)
+    cache.store(spec, result)
+    path = tmp_path / model_version() / (spec.key() + ".pkl")
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])  # torn write
+    assert ResultCache(tmp_path).load(spec) is None
+    # the whole batch recomputes and heals the entry rather than crashing
+    healed = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]
+    assert _fingerprint(healed) == _fingerprint(result)
+
+
+def test_unpicklable_class_reference_is_a_miss(tmp_path):
+    # a stale entry pickled against renamed classes raises on load;
+    # it must cost one recompute, never a crashed batch
+    spec = _specs()[0]
+    path = tmp_path / model_version() / (spec.key() + ".pkl")
+    os.makedirs(path.parent, exist_ok=True)
+    payload = pickle.dumps(ResultCache).replace(
+        b"ResultCache", b"GhostResult"
+    )
+    path.write_bytes(payload)
+    assert ResultCache(tmp_path).load(spec) is None
+
+
 def test_cached_result_survives_pickle_round_trip(tmp_path):
     spec = _specs()[1]
     result = run_many([spec], jobs=1, cache=True, cache_dir=tmp_path)[0]

@@ -1,0 +1,134 @@
+"""Lockstep checker: clean runs certify, corrupted runs are caught."""
+
+import pickle
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.harness.runner import RunSpec, run_one
+from repro.verify.chaos import KINDS, CorruptionHook
+from repro.verify.lockstep import DivergenceError
+
+_FAST = dict(n_instructions=1200, warmup=200)
+_SCHEMES = (
+    SchemeKind.FAULT_FREE, SchemeKind.ABS, SchemeKind.FFS, SchemeKind.CDS,
+)
+
+
+def _verified(scheme, **kw):
+    spec_kw = dict(_FAST, verify=True, seed=3)
+    spec_kw.update(kw)
+    return run_one(RunSpec("streaming", scheme, 0.97, **spec_kw))
+
+
+class TestCleanRuns:
+    @pytest.mark.parametrize("scheme", _SCHEMES, ids=lambda s: s.name)
+    def test_scheme_passes_lockstep(self, scheme):
+        result = _verified(scheme)
+        report = result.verification
+        # the checker spans warmup + measurement; commit width may
+        # overshoot the budget by a couple of instructions
+        assert report["commits"] >= _FAST["n_instructions"] + _FAST["warmup"]
+        assert report["digest"]
+
+    def test_all_schemes_retire_identical_architectural_state(self):
+        # the paper's correctness obligation: every fault-handling scheme
+        # must retire the same stream as the fault-free machine
+        digests = {
+            _verified(scheme).verification["digest"] for scheme in _SCHEMES
+        }
+        assert len(digests) == 1
+
+    def test_verification_is_deterministic(self):
+        a = _verified(SchemeKind.FFS)
+        b = _verified(SchemeKind.FFS)
+        assert a.verification == b.verification
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_unverified_run_has_no_listener_overhead(self):
+        spec = RunSpec("streaming", SchemeKind.ABS, 0.97, **_FAST)
+        result = run_one(spec)
+        assert not hasattr(result, "verification")
+
+
+class TestCorruptionCaught:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_kind_is_caught(self, kind):
+        with pytest.raises(DivergenceError) as excinfo:
+            _verified(
+                SchemeKind.FFS, corruption={"kind": kind, "seq": 400}
+            )
+        exc = excinfo.value
+        assert exc.commit_index is not None
+        assert exc.field is not None
+        detail = exc.detail()
+        if kind in ("value_xor", "store_addr_xor"):
+            # state-corrupting kinds leave divergent machine images;
+            # drop/dup desync the stream before any state differs
+            assert detail["golden_state"]["digest"] != (
+                detail["dut_state"]["digest"]
+            )
+        else:
+            assert exc.field == "seq"
+
+    def test_value_xor_pinpoints_the_corrupt_field(self):
+        with pytest.raises(DivergenceError) as excinfo:
+            _verified(
+                SchemeKind.ABS, corruption={"kind": "value_xor", "seq": 400}
+            )
+        exc = excinfo.value
+        assert exc.field == "value"
+        assert exc.expected["seq"] == exc.actual["seq"]
+        assert exc.expected["value"] != exc.actual["value"]
+
+    def test_drop_detected_at_the_next_commit(self):
+        with pytest.raises(DivergenceError) as excinfo:
+            _verified(
+                SchemeKind.ABS, corruption={"kind": "drop", "seq": 400}
+            )
+        assert excinfo.value.field == "seq"
+
+    def test_divergence_survives_pickling(self):
+        with pytest.raises(DivergenceError) as excinfo:
+            _verified(
+                SchemeKind.ABS, corruption={"kind": "dup", "seq": 400}
+            )
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(clone, DivergenceError)
+        assert clone.detail() == excinfo.value.detail()
+
+    def test_corruption_in_spec_changes_cache_key(self):
+        clean = RunSpec("streaming", SchemeKind.ABS, 0.97, **_FAST)
+        hook = RunSpec(
+            "streaming", SchemeKind.ABS, 0.97,
+            corruption={"kind": "drop", "seq": 400}, **_FAST,
+        )
+        verified = RunSpec(
+            "streaming", SchemeKind.ABS, 0.97, verify=True, **_FAST
+        )
+        assert len({clean.key(), hook.key(), verified.key()}) == 3
+
+
+class TestCorruptionHook:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown corruption kind"):
+            CorruptionHook("bitrot", 10)
+
+    def test_round_trips_through_dict(self):
+        hook = CorruptionHook("store_addr_xor", 25, mask=0xFF0)
+        clone = CorruptionHook.from_dict(hook.to_dict())
+        assert (clone.kind, clone.seq, clone.mask) == (
+            hook.kind, hook.seq, hook.mask
+        )
+
+    def test_fires_exactly_once(self):
+        result = None
+        try:
+            result = _verified(
+                SchemeKind.ABS, corruption={"kind": "value_xor", "seq": 10}
+            )
+        except DivergenceError as exc:
+            # one corruption -> the first mismatching commit is the
+            # corrupted one itself, not a later echo
+            assert exc.actual["seq"] >= 10
+        assert result is None

@@ -1,0 +1,127 @@
+"""Functional semantics: determinism, sensitivity, state digests."""
+
+from repro.isa.instruction import DynInst, StaticInst
+from repro.isa.opcodes import OpClass
+from repro.verify.golden import GoldenModel
+from repro.verify.semantics import ArchState, CommitRecord, execute, mix64
+from tests.conftest import make_linear_program
+
+_N_REGS = 16
+
+
+def _dyn(op, seq=0, dest=1, srcs=(2, 3), pc=0x1000, mem_addr=None,
+         taken=None):
+    static = StaticInst(pc, op, dest=dest, srcs=srcs)
+    inst = DynInst(seq, static)
+    if mem_addr is not None:
+        inst.mem_addr = mem_addr
+    if taken is not None:
+        inst.taken = taken
+    return inst
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_distinct_on_neighbours(self):
+        values = {mix64(i) for i in range(1000)}
+        assert len(values) == 1000
+
+    def test_stays_64_bit(self):
+        for x in (0, 1, (1 << 64) - 1, 1 << 100):
+            assert 0 <= mix64(x) < (1 << 64)
+
+
+class TestArchState:
+    def test_initial_regs_deterministic_and_nonzero(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        assert a.regs == b.regs
+        assert all(r != 0 for r in a.regs)
+
+    def test_lazy_memory_agrees_across_machines(self):
+        # a word neither machine wrote reads the same on both
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        assert a.load(0xBEEF00) == b.load(0xBEEF00)
+        assert a.mem == {}  # reads don't materialize words
+
+    def test_store_load_round_trip_at_word_granularity(self):
+        state = ArchState(_N_REGS)
+        state.store(0x1004, 77)  # any byte of the 8-byte word aliases
+        assert state.load(0x1000) == 77
+        assert state.load(0x1007) == 77
+        assert state.load(0x1008) != 77
+
+    def test_digest_stable_and_sensitive(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        assert a.digest() == b.digest()
+        b.regs[3] ^= 1
+        assert a.digest() != b.digest()
+        b.regs[3] ^= 1
+        b.store(0x40, 1)
+        assert a.digest() != b.digest()
+
+
+class TestExecute:
+    def test_same_instruction_same_state_same_record(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        ra = execute(a, _dyn(OpClass.IALU))
+        rb = execute(b, _dyn(OpClass.IALU))
+        assert ra == rb
+        assert a.regs == b.regs
+
+    def test_value_depends_on_source_registers(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        b.regs[2] ^= 1
+        assert execute(a, _dyn(OpClass.IALU)).value != execute(
+            b, _dyn(OpClass.IALU)
+        ).value
+
+    def test_opclass_salts_results(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        assert execute(a, _dyn(OpClass.IALU)).value != execute(
+            b, _dyn(OpClass.IMUL)
+        ).value
+
+    def test_store_then_load_flows_through_memory(self):
+        a, b = ArchState(_N_REGS), ArchState(_N_REGS)
+        execute(a, _dyn(OpClass.STORE, dest=None, mem_addr=0x2000))
+        ra = execute(a, _dyn(OpClass.LOAD, seq=1, mem_addr=0x2000))
+        rb = execute(b, _dyn(OpClass.LOAD, seq=1, mem_addr=0x2000))
+        # the store changed what the subsequent load computes
+        assert ra.value != rb.value
+
+    def test_branch_record_carries_outcome_only(self):
+        state = ArchState(_N_REGS)
+        record = execute(
+            state, _dyn(OpClass.BRANCH, dest=None, taken=True)
+        )
+        assert record.taken is True
+        assert record.value is None
+        assert record.mem_addr is None
+
+    def test_record_equality_is_fieldwise(self):
+        a = CommitRecord(0, 0x1000, int(OpClass.IALU), None, None, 1, None, 5)
+        b = CommitRecord(0, 0x1000, int(OpClass.IALU), None, None, 1, None, 5)
+        c = CommitRecord(0, 0x1000, int(OpClass.IALU), None, None, 1, None, 6)
+        assert a == b
+        assert a != c
+
+
+class TestGoldenModel:
+    def test_same_program_seed_reproduces_stream_and_digest(self):
+        program = make_linear_program()
+        a = GoldenModel(program, trace_seed=9, n_arch_regs=_N_REGS)
+        b = GoldenModel(program, trace_seed=9, n_arch_regs=_N_REGS)
+        assert a.run(200) == b.run(200)
+        assert a.state.digest() == b.state.digest()
+
+    def test_different_seed_diverges(self):
+        program = make_linear_program()
+        a = GoldenModel(program, trace_seed=9, n_arch_regs=_N_REGS)
+        b = GoldenModel(program, trace_seed=10, n_arch_regs=_N_REGS)
+        a.run(200)
+        b.run(200)
+        # different trace realization -> different architectural image
+        # (branch outcomes differ even over the same static blocks)
+        assert a.executed == b.executed == 200

@@ -1,0 +1,205 @@
+"""Fault-storm stress mode: determinism, safety net, checker survival."""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.storm import (
+    ChaoticTEP,
+    FlakySensor,
+    StormConfig,
+    StormInjector,
+    default_storm,
+)
+from repro.faults.timing import VDD_LOW_FAULT, VDD_NOMINAL
+from repro.faults.sensors import VoltageSensor
+from repro.harness.runner import RunSpec, run_one
+from repro.isa.opcodes import OOO_STAGES, PipeStage
+from tests.conftest import make_core
+
+_FAST = dict(n_instructions=1200, warmup=200)
+
+
+def _storm_spec(scheme=SchemeKind.FFS, storm=None, **kw):
+    spec_kw = dict(_FAST, verify=True, seed=7, storm=storm or default_storm())
+    spec_kw.update(kw)
+    return RunSpec("streaming", scheme, 0.97, **spec_kw)
+
+
+class TestStormConfig:
+    def test_round_trips_through_dict(self):
+        config = default_storm()
+        clone = StormConfig.from_dict(config.to_dict())
+        assert clone.canonical() == config.canonical()
+
+    def test_rejects_degenerate_windows(self):
+        with pytest.raises(ValueError):
+            StormConfig(burst_len=0)
+        with pytest.raises(ValueError):
+            StormConfig(burst_gap=-1)
+
+    def test_storm_is_part_of_the_spec_identity(self):
+        calm = RunSpec("streaming", SchemeKind.FFS, 0.97, **_FAST)
+        stormy = RunSpec(
+            "streaming", SchemeKind.FFS, 0.97, storm=default_storm(), **_FAST
+        )
+        milder = RunSpec(
+            "streaming", SchemeKind.FFS, 0.97,
+            storm=StormConfig(burst_rate=0.01), **_FAST,
+        )
+        assert len({calm.key(), stormy.key(), milder.key()}) == 3
+
+    def test_repro_dir_is_not_part_of_the_identity(self):
+        a = RunSpec("streaming", SchemeKind.FFS, 0.97, **_FAST)
+        b = RunSpec("streaming", SchemeKind.FFS, 0.97, **_FAST)
+        b.repro_dir = "/somewhere/else"
+        assert a.key() == b.key()
+
+
+class TestStormInjector:
+    def test_identical_seeds_inject_identically(self):
+        config = StormConfig(burst_rate=0.5, burst_len=50, burst_gap=50)
+
+        def faulted_stages(seed):
+            core = make_core(
+                injector=StormInjector(None, config, seed=seed),
+                vdd=VDD_LOW_FAULT, scheme=SchemeKind.FFS,
+            )
+            core.run(400)
+            return core.injector.storm_faults, core.injector.wild_faults
+
+        assert faulted_stages(11) == faulted_stages(11)
+        assert faulted_stages(11) != faulted_stages(12)
+
+    def test_calm_windows_see_no_storm_faults(self):
+        config = StormConfig(burst_rate=1.0, burst_len=10, burst_gap=10**9)
+        injector = StormInjector(None, config, seed=3)
+        core = make_core(
+            injector=injector, vdd=VDD_LOW_FAULT, scheme=SchemeKind.FFS
+        )
+        core.run(500)
+        # the burst window covers only the first 10 resolved instances
+        assert 0 < injector.storm_faults <= 10
+
+    def test_safety_net_absorbs_wild_mem_faults(self):
+        # all-wild storm on an ALU-only program: MEM-stage faults land on
+        # non-memory instructions, which only the safety net can catch
+        config = StormConfig(
+            burst_rate=1.0, burst_len=10**6, burst_gap=0, wild_frac=1.0
+        )
+        injector = StormInjector(None, config, seed=5)
+        core = make_core(
+            injector=injector, vdd=VDD_LOW_FAULT, scheme=SchemeKind.FFS
+        )
+        stats = core.run(600)
+        assert stats.committed >= 600
+        assert injector.wild_faults > 0
+        assert stats.safety_net_replays > 0
+
+    def test_delegates_to_wrapped_injector(self):
+        class Base:
+            enabled = True
+            critical_pcs = {0x1234}
+
+            def resolve(self, inst, vdd):
+                return inst
+
+        storm = StormInjector(Base(), StormConfig(), seed=0)
+        assert storm.critical_pcs == {0x1234}
+
+
+class TestFlakySensor:
+    def test_flap_zero_is_a_passthrough(self):
+        sensor = FlakySensor(VoltageSensor(VDD_LOW_FAULT), flap=0.0, seed=1)
+        assert all(sensor.favorable() for _ in range(200))
+        assert sensor.dropouts == 0
+
+    def test_dropouts_flap_and_recover(self):
+        sensor = FlakySensor(
+            VoltageSensor(VDD_LOW_FAULT), flap=0.5, seed=1, dropout_len=16
+        )
+        readings = [sensor.favorable() for _ in range(2000)]
+        assert sensor.dropouts > 0
+        assert any(readings) and not all(readings)
+        # dropouts are sustained windows, not single-query blips
+        first_drop = readings.index(False)
+        assert not any(readings[first_drop:first_drop + 16])
+
+    def test_identical_seeds_flap_identically(self):
+        def pattern(seed):
+            sensor = FlakySensor(
+                VoltageSensor(VDD_LOW_FAULT), flap=0.3, seed=seed
+            )
+            return [sensor.favorable() for _ in range(500)]
+
+        assert pattern(4) == pattern(4)
+
+    def test_marks_itself_dynamic(self):
+        # forces the per-fetch sensor gate instead of the latched verdict
+        assert FlakySensor(VoltageSensor(VDD_NOMINAL)).dynamic is True
+
+
+class TestChaoticTEP:
+    class _StubTEP:
+        def __init__(self, prediction=None):
+            self.prediction = prediction
+            self.trained = []
+
+        def predict_or_key(self, pc, ghr):
+            return self.prediction, (pc, ghr)
+
+        def train(self, *args):
+            self.trained.append(args)
+
+    def test_drop_all_suppresses_every_prediction(self):
+        from repro.core.tep import TEPPrediction
+
+        real = TEPPrediction(PipeStage.EXECUTE, False, key=(1, 2))
+        chaotic = ChaoticTEP(self._StubTEP(real), drop=1.0, seed=2)
+        for _ in range(50):
+            prediction, key = chaotic.predict_or_key(0x10, 0)
+            assert prediction is None
+            assert key == (0x10, 0)
+        assert chaotic.dropped == 50
+
+    def test_fabricates_phantoms_on_misses(self):
+        chaotic = ChaoticTEP(
+            self._StubTEP(None), drop=0.0, fabricate=1.0, seed=2
+        )
+        prediction, _key = chaotic.predict_or_key(0x10, 0)
+        assert prediction is not None
+        assert prediction.stage in OOO_STAGES
+        assert chaotic.fabricated == 1
+
+    def test_training_passes_through(self):
+        stub = self._StubTEP(None)
+        chaotic = ChaoticTEP(stub, seed=0)
+        chaotic.train("pc", "ghr", "outcome")
+        assert stub.trained == [("pc", "ghr", "outcome")]
+
+
+class TestStormUnderTheChecker:
+    @pytest.mark.parametrize(
+        "scheme", (SchemeKind.ABS, SchemeKind.FFS, SchemeKind.CDS),
+        ids=lambda s: s.name,
+    )
+    def test_storm_never_corrupts_architectural_state(self, scheme):
+        result = run_one(_storm_spec(scheme))
+        assert result.verification["commits"] >= (
+            _FAST["n_instructions"] + _FAST["warmup"]
+        )
+        assert result.stats.storm_faults > 0
+
+    def test_storm_run_is_deterministic(self):
+        a = run_one(_storm_spec())
+        b = run_one(_storm_spec())
+        assert a.verification == b.verification
+        assert a.stats.as_dict() == b.stats.as_dict()
+
+    def test_storm_digest_matches_calm_digest(self):
+        # the storm perturbs timing only: same program, same retirement
+        calm = run_one(
+            RunSpec("streaming", SchemeKind.FFS, 0.97, verify=True,
+                    seed=7, **_FAST)
+        )
+        stormy = run_one(_storm_spec())
+        assert stormy.verification["digest"] == calm.verification["digest"]

@@ -1,0 +1,50 @@
+"""Property fuzz: no storm configuration may corrupt architectural state.
+
+Hypothesis drives the storm knobs; every generated weather pattern runs a
+short window under the lockstep checker. A divergence here is a real
+robustness bug (the repro bundle the failure leaves behind is the start
+of the debugging session, not a flaky test). CI's ``verify-smoke`` job
+runs this same property with a larger example budget.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.schemes import SchemeKind
+from repro.faults.storm import StormConfig
+from repro.harness.runner import RunSpec
+from repro.verify.driver import run_checked
+
+_EXAMPLES = int(os.environ.get("STORM_FUZZ_EXAMPLES", "6"))
+
+_knobs = st.fixed_dictionaries({
+    "burst_rate": st.floats(0.0, 0.5),
+    "burst_len": st.integers(1, 400),
+    "burst_gap": st.integers(0, 800),
+    "wild_frac": st.floats(0.0, 1.0),
+    "sensor_flap": st.floats(0.0, 0.5),
+    "tep_drop": st.floats(0.0, 1.0),
+    "tep_fabricate": st.floats(0.0, 0.1),
+})
+
+
+@settings(
+    max_examples=_EXAMPLES,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(knobs=_knobs, seed=st.integers(1, 2**16))
+def test_no_storm_corrupts_architectural_state(knobs, seed, tmp_path_factory):
+    spec = RunSpec(
+        "dense_alu", SchemeKind.FFS, 0.97, n_instructions=700, warmup=100,
+        seed=seed, verify=True, storm=StormConfig(**knobs),
+    )
+    spec.repro_dir = str(tmp_path_factory.mktemp("storm-fuzz"))
+    result = run_checked(spec)
+    assert not getattr(result, "is_failure", False), (
+        f"storm corrupted architectural state: {result!r} "
+        f"(repro bundle: {getattr(result, 'bundle_path', None)})"
+    )
+    assert result.verification["commits"] >= 800

@@ -1,0 +1,104 @@
+"""Deadlock/livelock watchdog: typed hang errors with occupancy dumps."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.isa.instruction import StaticInst
+from repro.isa.opcodes import OpClass
+from repro.isa.program import BasicBlock, Program
+from repro.uarch.pipeline import DeadlockError, SimulationHangError
+from repro.uarch.regfile import INFINITE
+from tests.conftest import make_core
+
+
+class _FrozenScoreboard(list):
+    """A ready-cycle scoreboard that silently loses every broadcast."""
+
+    def __setitem__(self, index, value):
+        pass
+
+
+def _serial_chain_program(n=6):
+    """Each instruction reads the register the previous one wrote."""
+    insts = [
+        StaticInst(0x1000 + 4 * i, OpClass.IALU, dest=1, srcs=(1,))
+        for i in range(n - 1)
+    ]
+    insts.append(
+        StaticInst(0x1000 + 4 * (n - 1), OpClass.BRANCH, srcs=(),
+                   taken_prob=0.0)
+    )
+    return Program([BasicBlock(0, insts, [(0, 1.0)])], name="chain")
+
+
+def _wedged_core():
+    """Construct a wakeup deadlock: no producer broadcast ever lands.
+
+    The program is a serial dependency chain; the scoreboard swallows
+    every ``set_ready``/wakeup write, so dependents sleep in the IQ
+    forever and the ROB head never completes — the canonical lost-wakeup
+    bug shape the commit watchdog exists to catch.
+    """
+    core = make_core(program=_serial_chain_program())
+    core.rename.ready_cycle = _FrozenScoreboard(
+        [INFINITE] * core.config.n_phys_regs
+    )
+    return core
+
+
+class TestCommitWatchdog:
+    def test_wakeup_deadlock_raises_typed_hang(self):
+        with pytest.raises(SimulationHangError) as excinfo:
+            _wedged_core().run(100, hang_cycles=3000)
+        exc = excinfo.value
+        assert exc.committed == 0
+        assert exc.target == 100
+        assert exc.stalled_cycles >= 3000
+        # the sleepers are visible in the occupancy dump
+        occupancy = exc.occupancy
+        assert occupancy["iq"] > 0
+        assert occupancy["rob"] > 0
+        assert "lsq" in occupancy and "fus_busy" in occupancy
+
+    def test_hang_is_a_deadlock_error(self):
+        # existing callers catching DeadlockError keep working
+        with pytest.raises(DeadlockError):
+            _wedged_core().run(100, hang_cycles=3000)
+
+    def test_detail_is_json_safe(self):
+        with pytest.raises(SimulationHangError) as excinfo:
+            _wedged_core().run(100, hang_cycles=3000)
+        detail = excinfo.value.detail()
+        assert json.loads(json.dumps(detail)) == detail
+        assert "no commit" in detail["message"]
+
+    def test_hang_survives_pickling(self):
+        # multiprocessing workers must deliver the structured fields
+        with pytest.raises(SimulationHangError) as excinfo:
+            _wedged_core().run(100, hang_cycles=3000)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(clone, SimulationHangError)
+        assert clone.detail() == excinfo.value.detail()
+
+    def test_healthy_run_never_trips_the_watchdog(self):
+        core = make_core()
+        stats = core.run(500, hang_cycles=2048)
+        assert stats.committed >= 500
+
+    def test_serial_chain_commits_without_the_wedge(self):
+        # the deadlock above is the wedge's fault, not the program's
+        core = make_core(program=_serial_chain_program())
+        assert core.run(100).committed >= 100
+
+
+class TestCycleBudgetBackstop:
+    def test_exhausted_budget_raises_with_occupancy(self):
+        core = make_core()
+        with pytest.raises(SimulationHangError) as excinfo:
+            core.run(10_000_000, max_cycles=200)
+        exc = excinfo.value
+        assert exc.cycle >= 200
+        assert "cycle budget" in str(exc)
+        assert exc.occupancy["cycle"] == exc.cycle
