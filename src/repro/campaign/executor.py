@@ -121,8 +121,11 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
     """Measure one grid point until its stopping rule fires.
 
     ``acc`` may carry replayed draws (resume); sampling continues from
-    index ``acc.n``. ``on_run(point, index, seed, values, counts)`` is
-    called once per completed draw, in index order — the journal hook.
+    index ``acc.n``. ``on_run(point, index, seed, values, counts,
+    telemetry)`` is called once per completed draw, in index order — the
+    journal hook. ``telemetry`` is the scheme run's interval-metrics
+    summary dict (``None`` unless the campaign set a telemetry
+    interval).
 
     Returns ``(acc, reason, failure)``: ``reason`` is ``"ci"`` (targets
     met), ``"max_seeds"``, or ``"failed"`` when a verified run came back
@@ -152,8 +155,14 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
             values, counts = extract_metrics(result, baseline)
             acc.push(values, counts)
             if on_run is not None:
+                telem = getattr(result, "telemetry", None)
+                summary = (
+                    telem.metrics.summary()
+                    if telem is not None and telem.metrics is not None
+                    else None
+                )
                 on_run(point, index, spec.seed_for(point, index),
-                       values, counts)
+                       values, counts, summary)
 
 
 def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
@@ -194,11 +203,14 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
     # verified/storm runs drop their repro bundles inside the campaign
     spec.repro_dir = os.path.join(directory, "bundles")
 
-    def on_run(point, index, seed, values, counts):
-        journal.append({
+    def on_run(point, index, seed, values, counts, telemetry=None):
+        event = {
             "event": "run", "point": point.id, "index": index,
             "seed": seed, "metrics": values, "counts": counts,
-        })
+        }
+        if telemetry is not None:
+            event["telemetry"] = telemetry
+        journal.append(event)
 
     with journal:
         for point in spec.points():

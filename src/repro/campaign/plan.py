@@ -139,13 +139,21 @@ class CampaignSpec:
         form) applied to the scheme runs — fault-storm robustness
         campaigns. Baselines stay storm-free so overheads remain
         meaningful.
+    telemetry_interval:
+        When positive, every *scheme* run collects cycle-windowed
+        interval metrics at this window size (see
+        :class:`~repro.telemetry.config.TelemetryConfig`); each draw's
+        series summary is journaled and the report aggregates them per
+        point. ``0`` (default) keeps runs telemetry-free. Baselines stay
+        untouched either way so their cache entries are shared with
+        non-telemetry campaigns.
     """
 
     def __init__(self, name, benchmarks, schemes, vdds=(0.97,),
                  n_instructions=6000, warmup=3000, master_seed=1,
                  seeds=None, min_seeds=3, max_seeds=12, batch_size=3,
                  targets=None, z=1.96, predictor="tep", overclock=1.0,
-                 verify=False, storm=None):
+                 verify=False, storm=None, telemetry_interval=0):
         self.name = name
         self.benchmarks = list(benchmarks)
         self.schemes = [
@@ -172,6 +180,7 @@ class CampaignSpec:
 
             storm = StormConfig.from_dict(storm)
         self.storm = storm
+        self.telemetry_interval = max(0, int(telemetry_interval))
         #: where failed runs drop their repro bundles — execution detail
         #: set by the executor, not part of the manifest
         self.repro_dir = None
@@ -218,8 +227,16 @@ class CampaignSpec:
             warmup=self.warmup, seed=seed, predictor=self.predictor,
             overclock=self.overclock, verify=self.verify,
         )
+        telemetry = None
+        if self.telemetry_interval:
+            from repro.telemetry import TelemetryConfig
+
+            telemetry = TelemetryConfig(
+                metrics=True, interval=self.telemetry_interval, events=False
+            )
         run_spec = RunSpec(
-            point.benchmark, point.scheme, storm=self.storm, **common
+            point.benchmark, point.scheme, storm=self.storm,
+            telemetry=telemetry, **common
         )
         base_spec = RunSpec(point.benchmark, SchemeKind.FAULT_FREE, **common)
         run_spec.repro_dir = base_spec.repro_dir = self.repro_dir
@@ -246,6 +263,7 @@ class CampaignSpec:
             "overclock": self.overclock,
             "verify": self.verify,
             "storm": self.storm.to_dict() if self.storm is not None else None,
+            "telemetry_interval": self.telemetry_interval,
         }
 
     @classmethod

@@ -57,6 +57,9 @@ def build_report(directory):
         }
         if completion is not None and completion.get("failure"):
             entry["failure"] = completion["failure"]
+        summaries = [r["telemetry"] for r in records if r.get("telemetry")]
+        if summaries:
+            entry["telemetry"] = _pool_telemetry(summaries)
         points.append(entry)
 
     by_scheme = {}
@@ -83,6 +86,30 @@ def build_report(directory):
         "points": points,
         "by_scheme": by_scheme,
     }
+
+
+def _pool_telemetry(summaries):
+    """Average per-draw interval-metrics summaries into one per-point view.
+
+    Means average over draws; mins/maxes take the envelope, so the
+    pooled ``min``/``max`` still bound every window of every draw (the
+    dip a single storm burst caused stays visible after pooling).
+    """
+    n = len(summaries)
+    pooled = {
+        "draws": n,
+        "interval": summaries[0]["interval"],
+        "windows": sum(s["windows"] for s in summaries) / n,
+    }
+    for name in summaries[0]:
+        if name in ("draws", "interval", "windows"):
+            continue
+        pooled[name] = {
+            "min": min(s[name]["min"] for s in summaries),
+            "mean": sum(s[name]["mean"] for s in summaries) / n,
+            "max": max(s[name]["max"] for s in summaries),
+        }
+    return pooled
 
 
 def _cell(metrics, metric):
@@ -150,6 +177,30 @@ def render_markdown(report):
                     if match else "—"
                 )
             lines.append(f"| {benchmark} | " + " | ".join(cells) + " |")
+        lines.append("")
+    telem_points = [p for p in report["points"] if p.get("telemetry")]
+    if telem_points:
+        lines.append(
+            "## Interval telemetry — per-window mean [min..max], "
+            "pooled over draws"
+        )
+        lines.append("")
+        lines.append(
+            "| point | interval | windows | ipc | fault_rate "
+            "| replay_rate |"
+        )
+        lines.append("|---" * 6 + "|")
+        for p in telem_points:
+            t = p["telemetry"]
+            cells = [p["point"], str(t["interval"]), f"{t['windows']:.1f}"]
+            for name in ("ipc", "fault_rate", "replay_rate"):
+                entry = t.get(name)
+                cells.append(
+                    f"{entry['mean']:.4f} "
+                    f"[{entry['min']:.4f}..{entry['max']:.4f}]"
+                    if entry else "—"
+                )
+            lines.append("| " + " | ".join(cells) + " |")
         lines.append("")
     return "\n".join(lines)
 

@@ -210,6 +210,156 @@ def _run(name, args):
 
 
 # ----------------------------------------------------------------------
+# trace subcommand
+# ----------------------------------------------------------------------
+def _trace_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-timing trace",
+        description=(
+            "Telemetry capture on a single simulation point: structured "
+            "event tracing (Chrome/Perfetto or JSONL export) and "
+            "cycle-windowed interval metrics (CSV/JSON export). See "
+            "docs/observability.md."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    run = verbs.add_parser(
+        "run", help="record pipeline events; export a Perfetto/JSONL trace"
+    )
+    metrics = verbs.add_parser(
+        "metrics", help="record interval metrics; export a CSV/JSON table"
+    )
+    for sub in (run, metrics):
+        sub.add_argument("--benchmark", default="bzip2",
+                         help="benchmark to simulate (default bzip2)")
+        sub.add_argument("--scheme", default="CDS",
+                         help="fault-handling scheme (default CDS)")
+        sub.add_argument("--vdd", type=float, default=0.97,
+                         help="supply voltage (default 0.97)")
+        sub.add_argument("--instructions", type=int, default=10000,
+                         help="measured instructions")
+        sub.add_argument("--warmup", type=int, default=2000,
+                         help="warmup instructions (not recorded)")
+        sub.add_argument("--seed", type=int, default=1, help="run seed")
+        sub.add_argument("--overclock", type=float, default=1.0,
+                         help="cycle-time shrink factor")
+        sub.add_argument("--predictor", default="tep",
+                         choices=["tep", "mre", "tvp"],
+                         help="violation predictor design")
+        sub.add_argument("--interval", type=int, default=500,
+                         metavar="CYCLES",
+                         help="metrics window size in cycles")
+        sub.add_argument("--storm", action="store_true",
+                         help="run under the default fault storm")
+        sub.add_argument("--profile", action="store_true",
+                         help="also print the simulator self-profile")
+        sub.add_argument("--out", default=None, metavar="FILE",
+                         help="output path (default: trace.json / "
+                              "events.jsonl / metrics.csv|json)")
+    run.add_argument("--format", choices=["perfetto", "jsonl"],
+                     default="perfetto", help="trace export format")
+    run.add_argument("--event-capacity", type=int, default=65536,
+                     help="event ring-buffer capacity (oldest evicted)")
+    metrics.add_argument("--format", choices=["csv", "json"], default="csv",
+                         help="metrics export format")
+    return parser
+
+
+def _trace_main(argv):
+    args = _trace_parser().parse_args(argv)
+    code = _validate_benchmarks([args.benchmark])
+    if code is None:
+        code = _validate_schemes([args.scheme])
+    if code is not None:
+        return code
+    from repro.harness.runner import RunSpec, run_one
+    from repro.telemetry import TelemetryConfig
+
+    storm = None
+    if args.storm:
+        from repro.faults.storm import default_storm
+
+        storm = default_storm()
+    config = TelemetryConfig(
+        metrics=True,
+        interval=args.interval,
+        events=args.verb == "run",
+        event_capacity=getattr(args, "event_capacity", 65536),
+        profile=args.profile,
+    )
+    spec = RunSpec(
+        args.benchmark, args.scheme, args.vdd, args.instructions,
+        args.warmup, args.seed, predictor=args.predictor,
+        overclock=args.overclock, storm=storm, telemetry=config,
+    )
+    result = run_one(spec)
+    telem = result.telemetry
+    print(f"{spec!r}")
+    print(
+        f"  {result.stats.committed} committed in {result.stats.cycles} "
+        f"cycles (ipc {result.ipc:.3f}, fault_rate {result.fault_rate:.4f})"
+    )
+    if args.verb == "run":
+        print(
+            f"  events: {telem.events_emitted} emitted, "
+            f"{telem.events_dropped} dropped, counts "
+            f"{dict(sorted(telem.event_counts.items()))}"
+        )
+        if args.format == "perfetto":
+            from repro.telemetry import validate_trace, write_perfetto
+
+            path = args.out or "trace.json"
+            trace = write_perfetto(
+                path, telem.events, series=telem.metrics,
+                name=f"{args.benchmark}/{args.scheme}",
+            )
+            problems = validate_trace(trace)
+            if problems:
+                for problem in problems:
+                    print(f"invalid trace: {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"[wrote {path}: {len(trace['traceEvents'])} trace events; "
+                "open in https://ui.perfetto.dev]"
+            )
+        else:
+            from repro.telemetry import write_jsonl
+
+            path = args.out or "events.jsonl"
+            write_jsonl(telem.events, path)
+            print(f"[wrote {path}: {len(telem.events)} events]")
+    else:
+        series = telem.metrics
+        print(f"  metrics: {len(series)} windows of {series.interval} cycles")
+        summary = series.summary()
+        for name in ("ipc", "fault_rate", "replay_rate"):
+            entry = summary[name]
+            print(
+                f"    {name:12s} mean {entry['mean']:.4f} "
+                f"[{entry['min']:.4f}..{entry['max']:.4f}]"
+            )
+        path = args.out or f"metrics.{args.format}"
+        payload = (
+            series.to_csv() if args.format == "csv" else series.to_json()
+        )
+        with open(path, "w") as fh:
+            fh.write(payload)
+            if not payload.endswith("\n"):
+                fh.write("\n")
+        print(f"[wrote {path}]")
+    if args.profile and telem.profile is not None:
+        profile = telem.profile
+        print(f"  self-profile: {profile['wall_seconds']:.3f}s wall")
+        for label, entry in profile["stages"].items():
+            print(
+                f"    {label:12s} {entry['seconds']:.3f}s "
+                f"({entry['calls']} calls)"
+            )
+        print(f"    {'other':12s} {profile['other_seconds']:.3f}s")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # verify subcommand
 # ----------------------------------------------------------------------
 def _verify_parser():
@@ -384,6 +534,12 @@ def _add_spec_options(parser):
     parser.add_argument("--predictor", default="tep",
                         choices=["tep", "mre", "tvp"],
                         help="violation predictor design")
+    parser.add_argument(
+        "--telemetry-interval", type=int, default=0, metavar="CYCLES",
+        help="collect cycle-windowed interval metrics on every scheme "
+             "run at this window size and aggregate them in the report "
+             "(0 = off)",
+    )
 
 
 def _add_exec_options(parser):
@@ -456,6 +612,7 @@ def _campaign_spec(args):
         batch_size=args.batch,
         targets=targets,
         predictor=args.predictor,
+        telemetry_interval=args.telemetry_interval,
     )
 
 
@@ -542,6 +699,8 @@ def main(argv=None):
         return _campaign_main(argv[1:])
     if argv[:1] == ["verify"]:
         return _verify_main(argv[1:])
+    if argv[:1] == ["trace"]:
+        return _trace_main(argv[1:])
     args = _build_parser().parse_args(argv)
     code = _validate_benchmarks(args.benchmarks)
     if code is not None:

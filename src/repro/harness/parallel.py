@@ -273,3 +273,26 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None):
                 if keys[j] == key:
                     results[j] = result
     return results
+
+
+def collect_series(results):
+    """Interval-metrics series of a batch, pooled into one mean timeline.
+
+    Results ride their telemetry through the pool and the cache (a
+    :class:`~repro.harness.runner.SimResult` carries its
+    ``TelemetryResult`` as plain data), so pooling after ``run_many`` is
+    pure aggregation: every result whose spec enabled metrics
+    contributes its series to a :meth:`~repro.telemetry.metrics.
+    MetricsSeries.merge` (windows aligned by index, averaged pointwise).
+    Returns ``None`` when no result carries a series.
+    """
+    from repro.telemetry.metrics import MetricsSeries
+
+    series = [
+        result.telemetry.metrics
+        for result in results
+        if result is not None
+        and getattr(result, "telemetry", None) is not None
+        and result.telemetry.metrics is not None
+    ]
+    return MetricsSeries.merge(series)

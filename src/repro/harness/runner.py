@@ -36,7 +36,8 @@ class RunSpec:
     def __init__(self, benchmark, scheme=SchemeKind.FAULT_FREE,
                  vdd=VDD_NOMINAL, n_instructions=20000, warmup=4000, seed=1,
                  config=None, tep_config=None, predictor="tep",
-                 overclock=1.0, storm=None, verify=False, corruption=None):
+                 overclock=1.0, storm=None, verify=False, corruption=None,
+                 telemetry=None):
         self.benchmark = benchmark
         self.scheme = scheme
         self.vdd = vdd
@@ -59,6 +60,14 @@ class RunSpec:
         #: optional dict form of a test-only
         #: :class:`~repro.verify.chaos.CorruptionHook` (implies verify)
         self.corruption = corruption
+        #: optional :class:`~repro.telemetry.config.TelemetryConfig` (or
+        #: its dict form) — interval metrics, event tracing, and
+        #: self-profiling recorded over the measured window
+        if telemetry is not None and not hasattr(telemetry, "canonical"):
+            from repro.telemetry.config import TelemetryConfig
+
+            telemetry = TelemetryConfig.from_dict(telemetry)
+        self.telemetry = telemetry
         #: directory for repro bundles on failure — an execution detail,
         #: deliberately NOT part of :meth:`canonical`
         self.repro_dir = None
@@ -99,6 +108,10 @@ class RunSpec:
             tuple(sorted(self.corruption.items()))
             if self.corruption else None
         )
+        telemetry = (
+            self.telemetry.canonical() if self.telemetry is not None
+            else None
+        )
         return (
             self.benchmark,
             getattr(self.scheme, "value", self.scheme),
@@ -113,6 +126,7 @@ class RunSpec:
             storm,
             bool(self.verify),
             corruption,
+            telemetry,
         )
 
     def key(self):
@@ -134,13 +148,20 @@ class RunSpec:
 
 
 class SimResult:
-    """Outcome of one run: statistics, energy, and derived metrics."""
+    """Outcome of one run: statistics, energy, and derived metrics.
 
-    def __init__(self, spec, stats, energy, cache_stats):
+    ``telemetry`` carries the run's :class:`~repro.telemetry.
+    TelemetryResult` when its spec asked for any (metrics series, event
+    recording, self-profile); it is plain picklable data and rides the
+    result through multiprocessing fan-out and the on-disk cache.
+    """
+
+    def __init__(self, spec, stats, energy, cache_stats, telemetry=None):
         self.spec = spec
         self.stats = stats
         self.energy = energy
         self.cache_stats = cache_stats
+        self.telemetry = telemetry
 
     @property
     def ipc(self):
@@ -327,12 +348,22 @@ def run_one(spec):
         core.hierarchy.reset_stats()
         core.lsq.cam_searches = 0
         core.lsq.forwards = 0
+    collector = None
+    if getattr(spec, "telemetry", None) is not None:
+        from repro.telemetry import attach_telemetry
+
+        # attach after warmup so the series/events cover exactly the
+        # measured window, mirroring the stats reset above
+        collector = attach_telemetry(core, spec.telemetry)
     stats = core.run(spec.n_instructions)
     stats.storm_faults = getattr(core.injector, "storm_faults", 0)
     energy = EnergyModel().evaluate(
         stats, core.hierarchy.stats(), spec.vdd, core.scheme.uses_tep
     )
-    return SimResult(spec, stats, energy, core.hierarchy.stats())
+    telemetry = collector.finalize(core) if collector is not None else None
+    return SimResult(
+        spec, stats, energy, core.hierarchy.stats(), telemetry=telemetry
+    )
 
 
 def run_pair(benchmark, scheme, vdd, n_instructions=20000, warmup=4000,

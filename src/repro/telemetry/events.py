@@ -1,0 +1,107 @@
+"""Structured event tracing: a bounded ring-buffer event bus.
+
+The pipeline emits one event per *mechanism activation* — a timing
+violation detected, a TEP prediction or training update, a VTE pad, a
+slot freeze, an EP stall, a replay, a squash batch, a safety-net
+recovery, a watchdog trip, and each retired instruction — each tagged
+with its cycle and a small JSON-safe payload. Emission is opt-in: with
+no bus attached the hook sites cost one attribute check.
+
+Recording is a ``deque(maxlen=capacity)`` ring, so a run can never grow
+without bound; overflow evicts the *oldest* events and counts them in
+``dropped`` (surfaced by every exporter header — a trace that lost its
+head says so). Subscribers (e.g. :class:`~repro.uarch.pipetrace.
+PipeTracer`) receive every event of their name synchronously, before any
+eviction, so analysis built on subscriptions is exact even when the ring
+is small.
+
+Event taxonomy (stable names, documented in docs/observability.md):
+
+=================== ====================================================
+``fault``           actual violation detected (stage, tolerated?)
+``tep_predict``     TEP predicted a faulty stage at decode
+``tep_train``       TEP trained on an observed outcome
+``vte_pad``         VTE inserted the extra cycle for a predicted fault
+``slot_freeze``     issue slot frozen behind a predicted-faulty inst
+``ep_stall``        whole-pipeline Error Padding stall scheduled
+``inorder_stall``   front-end stall for a predicted in-order fault
+``safety_net``      detect-and-replay safety net absorbed a wild fault
+``replay``          Razor-style flush recovery began (squash count)
+``selective``       Razor-I in-place re-execution of one stage
+``memdep``          load/store ordering violation squash
+``watchdog``        hang watchdog fired (terminal)
+``retire``          one instruction committed (full stage timing)
+=================== ====================================================
+"""
+
+import json
+from collections import deque
+
+EVENT_NAMES = (
+    "fault", "tep_predict", "tep_train", "vte_pad", "slot_freeze",
+    "ep_stall", "inorder_stall", "safety_net", "replay", "selective",
+    "memdep", "watchdog", "retire",
+)
+
+
+class EventBus:
+    """Bounded recorder + dispatcher of ``(cycle, name, payload)`` events."""
+
+    __slots__ = ("capacity", "emitted", "dropped", "_ring", "_subs")
+
+    def __init__(self, capacity=65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.emitted = 0
+        self.dropped = 0
+        self._ring = deque(maxlen=self.capacity)
+        self._subs = {}
+
+    def emit(self, cycle, name, **payload):
+        """Record one event and dispatch it to subscribers of ``name``."""
+        self.emitted += 1
+        ring = self._ring
+        if len(ring) == self.capacity:
+            self.dropped += 1
+        ring.append((cycle, name, payload))
+        subs = self._subs.get(name)
+        if subs:
+            for fn in subs:
+                fn(cycle, name, payload)
+
+    def subscribe(self, name, fn):
+        """Call ``fn(cycle, name, payload)`` for every ``name`` event."""
+        self._subs.setdefault(name, []).append(fn)
+
+    def events(self):
+        """Snapshot of the recorded ring, oldest first."""
+        return list(self._ring)
+
+    def counts(self):
+        """``{event name: occurrences}`` over the recorded ring."""
+        out = {}
+        for _cycle, name, _payload in self._ring:
+            out[name] = out.get(name, 0) + 1
+        return out
+
+
+def events_to_jsonl(events):
+    """One JSON object per line: ``{"ts": cycle, "ev": name, ...payload}``.
+
+    Deterministic (sorted keys, compact separators) so two identical
+    runs export byte-identical files.
+    """
+    lines = []
+    for cycle, name, payload in events:
+        record = {"ts": cycle, "ev": name}
+        record.update(payload)
+        lines.append(json.dumps(record, sort_keys=True,
+                                separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(events, path):
+    """Write :func:`events_to_jsonl` output to ``path``."""
+    with open(path, "w") as fh:
+        fh.write(events_to_jsonl(events))

@@ -1,0 +1,257 @@
+"""Cycle-windowed metrics: counter/gauge registry, sampler, time series.
+
+The paper's evaluation is built from *rates over windows* (TEP accuracy,
+per-stage violation counts, overhead transients) that end-of-run scalars
+cannot show. :class:`IntervalSampler` snapshots a core every N cycles and
+appends one row per window to a :class:`MetricsSeries`:
+
+* **counters** are monotonic sources (SimStats attributes) read as
+  per-window deltas, so every row is self-contained;
+* **gauges** are instantaneous reads (ROB/LSQ occupancy at the sample
+  point);
+* **derived** columns are pure functions of the window (IPC, fault rate,
+  TEP hit rate) computed from the deltas — deterministic because their
+  inputs are integer counters.
+
+A :class:`MetricsSeries` is JSON/CSV-exportable and mergeable across
+campaign points (:meth:`MetricsSeries.merge` averages aligned windows),
+so multi-seed studies can plot a mean timeline with no extra machinery.
+"""
+
+import json
+
+
+class MetricsRegistry:
+    """Declares what a sampler records: counters, gauges, derived columns.
+
+    ``counter(name, read)`` registers a monotonic source sampled as a
+    per-window delta; ``gauge(name, read)`` an instantaneous read; and
+    ``derived(name, fn)`` a function of the window dict (which maps every
+    counter/gauge name plus ``"cycles"`` to its value for the window).
+    """
+
+    def __init__(self):
+        self.counters = []
+        self.gauges = []
+        self.derived_cols = []
+
+    def counter(self, name, read):
+        self.counters.append((name, read))
+        return self
+
+    def gauge(self, name, read):
+        self.gauges.append((name, read))
+        return self
+
+    def derived(self, name, fn):
+        self.derived_cols.append((name, fn))
+        return self
+
+    def columns(self):
+        """Column names in row order: cycle, cycles, counters, gauges, derived."""
+        return (
+            ["cycle", "cycles"]
+            + [name for name, _ in self.counters]
+            + [name for name, _ in self.gauges]
+            + [name for name, _ in self.derived_cols]
+        )
+
+
+def _ratio(num, den):
+    return num / den if den else 0.0
+
+
+def default_registry():
+    """The standard pipeline registry (see docs/observability.md)."""
+    reg = MetricsRegistry()
+    s = lambda attr: (lambda core: getattr(core.stats, attr))  # noqa: E731
+    reg.counter("committed", s("committed"))
+    reg.counter("issued", s("issued"))
+    reg.counter("faults", s("faults_total"))
+    reg.counter("faults_predicted", s("faults_predicted"))
+    reg.counter("false_predictions", s("false_predictions"))
+    reg.counter("replays", s("replays"))
+    reg.counter("safety_net_replays", s("safety_net_replays"))
+    reg.counter("squashed", s("squashed"))
+    reg.counter("ep_stalls", s("ep_stalls"))
+    reg.counter("inorder_stalls", s("inorder_stalls"))
+    reg.counter("iq_occ_accum", s("iq_occupancy_accum"))
+    reg.gauge("rob_occ", lambda core: len(core.rob))
+    reg.gauge("lsq_occ", lambda core: len(core.lsq))
+    reg.derived("ipc", lambda w: _ratio(w["committed"], w["cycles"]))
+    reg.derived("iq_occ", lambda w: _ratio(w["iq_occ_accum"], w["cycles"]))
+    reg.derived("fault_rate", lambda w: _ratio(w["faults"], w["committed"]))
+    reg.derived("replay_rate", lambda w: _ratio(w["replays"], w["committed"]))
+    reg.derived(
+        "stall_rate",
+        lambda w: _ratio(w["ep_stalls"] + w["inorder_stalls"], w["cycles"]),
+    )
+    reg.derived(
+        "tep_hit_rate", lambda w: _ratio(w["faults_predicted"], w["faults"])
+    )
+    reg.derived(
+        "tep_false_rate",
+        lambda w: _ratio(w["false_predictions"], w["committed"]),
+    )
+    return reg
+
+
+class MetricsSeries:
+    """A compact column-named time series of interval samples.
+
+    ``rows`` is a list of equal-length value lists aligned with
+    ``columns``; ``interval`` is the nominal window size in cycles (the
+    final row may cover a shorter tail window — its ``cycles`` column
+    says how many cycles it actually spans).
+    """
+
+    def __init__(self, interval, columns, rows=None, n_merged=1):
+        self.interval = int(interval)
+        self.columns = list(columns)
+        self.rows = list(rows) if rows is not None else []
+        #: how many series were averaged into this one (1 = a raw run)
+        self.n_merged = int(n_merged)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def column(self, name):
+        """All values of one column, in window order."""
+        i = self.columns.index(name)
+        return [row[i] for row in self.rows]
+
+    # ------------------------------------------------------------------
+    def to_dict(self):
+        """JSON-safe form; inverse of :meth:`from_dict`."""
+        return {
+            "interval": self.interval,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "n_merged": self.n_merged,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["interval"], data["columns"], data["rows"],
+                   data.get("n_merged", 1))
+
+    def to_json(self):
+        """Deterministic JSON text (sorted keys, no whitespace drift)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def to_csv(self):
+        """Plot-ready CSV text with a header row."""
+        lines = [",".join(self.columns)]
+        for row in self.rows:
+            lines.append(",".join(
+                repr(v) if isinstance(v, float) else str(v) for v in row
+            ))
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    def summary(self, names=("ipc", "fault_rate", "replay_rate")):
+        """Per-column (min, mean, max) aggregates for report surfacing."""
+        out = {"windows": len(self.rows), "interval": self.interval}
+        for name in names:
+            if name not in self.columns or not self.rows:
+                continue
+            values = self.column(name)
+            out[name] = {
+                "min": min(values),
+                "mean": sum(values) / len(values),
+                "max": max(values),
+            }
+        return out
+
+    @classmethod
+    def merge(cls, series_list):
+        """Average several aligned series into one (campaign pooling).
+
+        Series are aligned by window index and truncated to the shortest;
+        every numeric column is averaged pointwise except ``cycle`` /
+        ``cycles``, which are taken from the first series (identical
+        schedules — differing schedules still merge, on the first one's
+        axis). The result's ``n_merged`` records the pool size.
+        """
+        series_list = [s for s in series_list if s is not None and len(s)]
+        if not series_list:
+            return None
+        first = series_list[0]
+        n_rows = min(len(s) for s in series_list)
+        passthrough = {"cycle", "cycles"}
+        rows = []
+        for i in range(n_rows):
+            row = []
+            for j, name in enumerate(first.columns):
+                if name in passthrough:
+                    row.append(first.rows[i][j])
+                else:
+                    row.append(
+                        sum(s.rows[i][j] for s in series_list)
+                        / len(series_list)
+                    )
+            rows.append(row)
+        total = sum(s.n_merged for s in series_list)
+        return cls(first.interval, first.columns, rows, n_merged=total)
+
+
+class IntervalSampler:
+    """Snapshots a core's registry every ``interval`` cycles.
+
+    The pipeline's run loop consults ``next_cycle`` once per cycle (a
+    single integer comparison against +inf when no sampler is attached)
+    and calls :meth:`sample` when due. :meth:`finalize` flushes the
+    partial tail window so short transients at run end are not lost.
+    """
+
+    def __init__(self, interval=500, registry=None):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.interval = int(interval)
+        self.registry = registry if registry is not None else default_registry()
+        self.series = None
+        self.next_cycle = 0
+        self._prev = None
+        self._prev_cycles = 0
+
+    def attach(self, core):
+        """Bind to ``core`` from its current cycle (post-warmup start)."""
+        self.series = MetricsSeries(self.interval, self.registry.columns())
+        self._prev = [read(core) for _, read in self.registry.counters]
+        self._prev_cycles = core.stats.cycles
+        self.next_cycle = core.cycle + self.interval
+        core.telemetry_sampler = self
+        return self
+
+    def sample(self, core, cycle):
+        """Record one window ending at ``cycle``; returns the next due cycle."""
+        stats_cycles = core.stats.cycles
+        d_cycles = stats_cycles - self._prev_cycles
+        registry = self.registry
+        current = [read(core) for _, read in registry.counters]
+        window = {"cycles": d_cycles}
+        row = [cycle, d_cycles]
+        for (name, _), now, before in zip(
+            registry.counters, current, self._prev
+        ):
+            delta = now - before
+            window[name] = delta
+            row.append(delta)
+        for name, read in registry.gauges:
+            value = read(core)
+            window[name] = value
+            row.append(value)
+        for name, fn in registry.derived_cols:
+            row.append(fn(window))
+        self.series.rows.append(row)
+        self._prev = current
+        self._prev_cycles = stats_cycles
+        self.next_cycle = cycle + self.interval
+        return self.next_cycle
+
+    def finalize(self, core):
+        """Flush the partial tail window; returns the finished series."""
+        if core.stats.cycles > self._prev_cycles:
+            self.sample(core, core.cycle)
+        return self.series

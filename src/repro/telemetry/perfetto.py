@@ -1,0 +1,185 @@
+"""Chrome/Perfetto ``trace_event`` export of telemetry.
+
+Converts an event-bus recording (plus an optional interval-metrics
+series) into the JSON object format consumed by ``ui.perfetto.dev`` and
+``chrome://tracing``: a ``{"traceEvents": [...]}`` document where one
+simulated cycle maps to one microsecond of trace time.
+
+Track layout:
+
+* tids 1–4 (``fetch``/``dispatch``/``issue``/``writeback``): per-stage
+  duration slices built from ``retire`` events, so every committed
+  instruction shows its walk through the pipeline (gem5-O3PipeView
+  style, but zoomable). Faulty instructions are colored distinctly via
+  ``cname``.
+* tid 10 (``mechanisms``): instant events for predictions, pads,
+  freezes, and stalls.
+* tid 11 (``recovery``): instant events for faults, replays, squashes,
+  safety-net recoveries, and watchdog trips.
+* counter tracks (``ph: "C"``): one per metrics column (IPC, occupancy,
+  fault/replay rates), so transients line up with the slices above.
+
+:func:`validate_trace` is the schema check used by tests and the CI
+telemetry-smoke job.
+"""
+
+import json
+
+PID = 1
+
+_STAGE_TRACKS = (
+    # (tid, track name, start field, end field) of the per-stage slices
+    (1, "fetch", "fetch", "dispatch"),
+    (2, "dispatch", "dispatch", "issue"),
+    (3, "issue", "issue", "complete"),
+    (4, "writeback", "complete", "commit"),
+)
+
+_MECHANISM_EVENTS = ("tep_predict", "tep_train", "vte_pad", "slot_freeze",
+                     "ep_stall", "inorder_stall")
+_RECOVERY_EVENTS = ("fault", "safety_net", "replay", "selective", "memdep",
+                    "watchdog")
+
+_COUNTER_COLUMNS = ("ipc", "iq_occ", "rob_occ", "lsq_occ", "fault_rate",
+                    "replay_rate", "stall_rate", "tep_hit_rate")
+
+
+def _metadata(name):
+    events = [{
+        "ph": "M", "pid": PID, "tid": 0, "name": "process_name",
+        "args": {"name": name},
+    }]
+    for tid, track, _start, _end in _STAGE_TRACKS:
+        events.append({
+            "ph": "M", "pid": PID, "tid": tid, "name": "thread_name",
+            "args": {"name": f"stage:{track}"},
+        })
+    events.append({
+        "ph": "M", "pid": PID, "tid": 10, "name": "thread_name",
+        "args": {"name": "mechanisms"},
+    })
+    events.append({
+        "ph": "M", "pid": PID, "tid": 11, "name": "thread_name",
+        "args": {"name": "recovery"},
+    })
+    return events
+
+
+def _retire_slices(cycle, payload):
+    label = f"{payload.get('op', '?')} {payload.get('pc', 0):#x}"
+    args = {"seq": payload.get("seq")}
+    faulty = payload.get("faulty")
+    out = []
+    for tid, _track, start_field, end_field in _STAGE_TRACKS:
+        start = payload.get(start_field, -1)
+        end = payload.get(end_field, -1)
+        if end_field == "commit":
+            end = cycle
+        if start is None or end is None or start < 0 or end < start:
+            continue
+        slice_event = {
+            "ph": "X", "pid": PID, "tid": tid, "name": label,
+            "ts": start, "dur": end - start, "args": args,
+        }
+        if faulty:
+            slice_event["cname"] = "terrible"
+        elif payload.get("predicted"):
+            slice_event["cname"] = "bad"
+        out.append(slice_event)
+    return out
+
+
+def to_perfetto(events, series=None, name="repro-sim"):
+    """Build the ``trace_event`` JSON object for a telemetry recording.
+
+    ``events`` is a list of ``(cycle, name, payload)`` tuples (an
+    :meth:`~repro.telemetry.events.EventBus.events` snapshot); ``series``
+    an optional :class:`~repro.telemetry.metrics.MetricsSeries` rendered
+    as counter tracks.
+    """
+    trace = _metadata(name)
+    counts = {}
+    for cycle, ev_name, payload in events:
+        counts[ev_name] = counts.get(ev_name, 0) + 1
+        if ev_name == "retire":
+            trace.extend(_retire_slices(cycle, payload))
+        elif ev_name in _MECHANISM_EVENTS or ev_name in _RECOVERY_EVENTS:
+            tid = 10 if ev_name in _MECHANISM_EVENTS else 11
+            args = {
+                k: v for k, v in payload.items()
+                if isinstance(v, (int, float, str, bool)) or v is None
+            }
+            trace.append({
+                "ph": "i", "pid": PID, "tid": tid, "name": ev_name,
+                "ts": cycle, "s": "t", "args": args,
+            })
+    if series is not None and len(series):
+        for column in _COUNTER_COLUMNS:
+            if column not in series.columns:
+                continue
+            idx = series.columns.index(column)
+            cycle_idx = series.columns.index("cycle")
+            for row in series.rows:
+                trace.append({
+                    "ph": "C", "pid": PID, "tid": 0, "name": column,
+                    "ts": row[cycle_idx], "args": {column: row[idx]},
+                })
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "time_unit": "1 trace us = 1 core cycle",
+            "event_counts": counts,
+        },
+    }
+
+
+def write_perfetto(path, events, series=None, name="repro-sim"):
+    """Serialize :func:`to_perfetto` to ``path`` (deterministic JSON)."""
+    trace = to_perfetto(events, series=series, name=name)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, sort_keys=True, separators=(",", ":"))
+        fh.write("\n")
+    return trace
+
+
+_REQUIRED_KEYS = {"ph", "pid", "tid", "name"}
+_TS_REQUIRED = {"X", "i", "C"}
+
+
+def validate_trace(trace):
+    """Return a list of schema problems (empty = loads in Perfetto).
+
+    Checks the subset of the ``trace_event`` format this exporter emits:
+    the ``traceEvents`` envelope, required keys per phase, numeric
+    non-negative timestamps, and ``dur`` on complete events.
+    """
+    problems = []
+    if not isinstance(trace, dict):
+        return ["top level is not a JSON object"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing traceEvents list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i} is not an object")
+            continue
+        missing = _REQUIRED_KEYS - set(event)
+        if missing:
+            problems.append(f"event {i} missing keys {sorted(missing)}")
+            continue
+        ph = event["ph"]
+        if ph in _TS_REQUIRED:
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i} ({ph}) has bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i} (X) has bad dur {dur!r}")
+        if ph == "C" and not isinstance(event.get("args"), dict):
+            problems.append(f"event {i} (C) has no args")
+    return problems

@@ -154,6 +154,12 @@ class OoOCore:
         #: optional hook called with each retired DynInst, in commit
         #: order (used by the lockstep checker and the pipetrace viewer)
         self.commit_listener = None
+        #: opt-in telemetry (repro.telemetry): a structured EventBus and
+        #: a cycle-windowed IntervalSampler. Disabled (None) they cost
+        #: one attribute check at each rare hook site and one integer
+        #: compare per cycle in the run loop.
+        self.ebus = None
+        self.telemetry_sampler = None
 
         self.rename = RenameState(config.n_arch_regs, config.n_phys_regs)
         self.rob = ReorderBuffer(config.rob_size)
@@ -230,6 +236,12 @@ class OoOCore:
         progress_committed = stats.committed
         progress_cycle = self.cycle
         thermal = getattr(self.sensor, "thermal", None)
+        # interval-metrics sampling: one int-vs-inf compare per cycle
+        # when no sampler is attached (see repro.telemetry.metrics)
+        sampler = self.telemetry_sampler
+        sample_due = (
+            sampler.next_cycle if sampler is not None else float("inf")
+        )
         # bind bound methods and stable sub-objects once: the loop below
         # runs once per simulated cycle. Dict-valued state
         # (``_events``/``_ep_stalls``/``_wb_count``) is rebound wholesale
@@ -247,6 +259,8 @@ class OoOCore:
         depth = len(conveyor)
         while stats.committed < max_committed:
             cycle = self.cycle
+            if cycle >= sample_due:
+                sample_due = sampler.sample(self, cycle)
             if thermal is not None and not cycle & 127:
                 thermal.advance(128)
             if cycle > max_cycles:
@@ -332,6 +346,11 @@ class OoOCore:
     def _hang_error(self, reason, max_committed, stalled_cycles):
         committed = self.stats.committed
         occupancy = self.occupancy()
+        if self.ebus is not None:
+            self.ebus.emit(
+                self.cycle, "watchdog", reason=reason, committed=committed,
+                target=max_committed, stalled_cycles=stalled_cycles,
+            )
         return SimulationHangError(
             f"{reason}: no commit for {stalled_cycles} cycles at "
             f"cycle={self.cycle}, committed={committed}/{max_committed}, "
@@ -436,6 +455,7 @@ class OoOCore:
         store_access = self.hierarchy.access_data_latency
         train_tep = self._train_tep
         listener = self.commit_listener
+        ebus = self.ebus
         for inst in self.rob.commit_ready(self._width):
             rename_commit(inst)
             if inst.is_mem:
@@ -449,6 +469,15 @@ class OoOCore:
             train_tep(inst)
             if listener is not None:
                 listener(inst)
+            if ebus is not None:
+                ebus.emit(
+                    cycle, "retire", seq=inst.seq, pc=inst.pc,
+                    op=inst.op.name, fetch=inst.fetch_cycle,
+                    dispatch=inst.dispatch_cycle, issue=inst.issue_cycle,
+                    complete=inst.complete_cycle,
+                    faulty=inst.replayed or bool(inst.fault_stages),
+                    predicted=inst.pred_fault_stage is not None,
+                )
 
     def _train_tep(self, inst):
         """Train the predictor on the instruction's observed outcome."""
@@ -466,6 +495,17 @@ class OoOCore:
         elif inst.pred_fault_stage is not None:
             self.stats.false_predictions += 1
             self.tep.train(key, None, False)
+        else:
+            return
+        ebus = self.ebus
+        if ebus is not None:
+            ebus.emit(
+                self.cycle, "tep_train", seq=inst.seq, pc=inst.pc,
+                stage=(
+                    faulted_stage.name if faulted_stage is not None else None
+                ),
+                positive=faulted_stage is not None,
+            )
 
     @staticmethod
     def _earliest_fault_stage(inst):
@@ -522,6 +562,7 @@ class OoOCore:
         op = inst.op
         fu_ops = stats.fu_ops  # count_fu_op, inlined
         fu_ops[op] = fu_ops.get(op, 0) + 1
+        ebus = self.ebus
 
         # -- prediction handling ---------------------------------------
         pred_stage = inst.pred_fault_stage
@@ -530,6 +571,11 @@ class OoOCore:
             effects = vte_effects(pred_stage, op)
             if effects.stage is not None:
                 stats.padded_instructions += 1
+                if ebus is not None:
+                    ebus.emit(
+                        cycle, "vte_pad", seq=inst.seq, pc=inst.pc,
+                        stage=pred_stage.name,
+                    )
             rr_extra = effects.rr_extra
             ex_extra = effects.ex_extra
             mem_extra = effects.mem_extra
@@ -561,6 +607,11 @@ class OoOCore:
                     count_fault(stage, False)
                     stats.safety_net_replays += 1
                     safety_replay = True
+                    if ebus is not None:
+                        ebus.emit(cycle, "fault", seq=inst.seq, pc=inst.pc,
+                                  stage=stage.name, tolerated=False)
+                        ebus.emit(cycle, "safety_net", seq=inst.seq,
+                                  pc=inst.pc, reason="wild_mem")
                     continue
                 tolerated = stage == pred_stage and tolerates
                 if (tolerated and effects is not None
@@ -570,7 +621,13 @@ class OoOCore:
                     # never happened. Safety net: recover as unpredicted.
                     stats.safety_net_replays += 1
                     tolerated = False
+                    if ebus is not None:
+                        ebus.emit(cycle, "safety_net", seq=inst.seq,
+                                  pc=inst.pc, reason="unpadded")
                 count_fault(stage, tolerated)
+                if ebus is not None:
+                    ebus.emit(cycle, "fault", seq=inst.seq, pc=inst.pc,
+                              stage=stage.name, tolerated=tolerated)
                 if tolerated:
                     continue
                 if selective_mode:
@@ -585,6 +642,9 @@ class OoOCore:
             penalty = self._replay_recovery
             for stage in selective_stages:
                 stats.replays += 1
+                if ebus is not None:
+                    ebus.emit(cycle, "selective", seq=inst.seq, pc=inst.pc,
+                              stage=stage.name, penalty=penalty)
                 if stage in (PipeStage.ISSUE, PipeStage.REGREAD):
                     rr_extra += penalty
                 elif stage is PipeStage.EXECUTE:
@@ -650,6 +710,9 @@ class OoOCore:
         self.fus.issued[unit.kind] += 1
         if effects is not None and effects.freeze is not FreezeKind.NONE:
             stats.slot_freezes += 1
+            if ebus is not None:
+                ebus.emit(cycle, "slot_freeze", seq=inst.seq, pc=inst.pc,
+                          fu=unit.kind.name, kind=effects.freeze.name)
             if effects.freeze is FreezeKind.SLOT_ONE_CYCLE:
                 unit.next_issue = max(unit.next_issue, cycle + 2)
             elif effects.freeze is FreezeKind.UNTIL_COMPLETE:
@@ -676,6 +739,9 @@ class OoOCore:
                 self._ep_stalls[stall_cycle] = (
                     self._ep_stalls.get(stall_cycle, 0) + 1
                 )
+                if ebus is not None:
+                    ebus.emit(cycle, "ep_stall", seq=inst.seq, pc=inst.pc,
+                              stage=pred_stage.name, at=stall_cycle)
 
         # -- recovery scheduling ---------------------------------------------
         for stage in selective_stages:
@@ -728,6 +794,11 @@ class OoOCore:
         oldest = min(victims, key=lambda i: i.seq)
         self.memdep.train_violation(oldest.pc, store_inst.pc)
         self.stats.memdep_violations += 1
+        if self.ebus is not None:
+            self.ebus.emit(
+                self.cycle, "memdep", seq=oldest.seq, load_pc=oldest.pc,
+                store_pc=store_inst.pc,
+            )
         if oldest.commit_cycle < 0 and not oldest.squashed:
             self._schedule(max(cycle, self.cycle + 1), _EV_REPLAY, oldest)
 
@@ -780,6 +851,11 @@ class OoOCore:
         self._blocking_branch = None
         self._fetch_resume_at = self.cycle + self.config.replay_recovery
         self._dispatch_hold_until = 0
+        if self.ebus is not None:
+            self.ebus.emit(
+                self.cycle, "replay", seq=inst.seq, pc=inst.pc,
+                squashed=len(squashed), refetched=len(requeue),
+            )
 
     # ==================================================================
     # front end
@@ -848,10 +924,14 @@ class OoOCore:
         """Stall/replay handling for faults outside the OoO engine (§2.2)."""
         pred = inst.pred_fault_stage
         uses_tep = self._uses_tep
+        ebus = self.ebus
         if pred is not None and uses_tep and pred in _INORDER_STALL_STAGES:
             # the faulty in-order stage takes two cycles behind a stall signal
             self._dispatch_hold_until = self.cycle + 2
             self.stats.inorder_stalls += 1
+            if ebus is not None:
+                ebus.emit(self.cycle, "inorder_stall", seq=inst.seq,
+                          pc=inst.pc, stage=pred.name)
         mask = inst.fault_stages
         if not mask:
             return
@@ -863,6 +943,9 @@ class OoOCore:
                     and stage in _INORDER_STALL_STAGES
                 )
                 self.stats.count_fault(stage, tolerated)
+                if ebus is not None:
+                    ebus.emit(self.cycle, "fault", seq=inst.seq, pc=inst.pc,
+                              stage=stage.name, tolerated=tolerated)
                 if not tolerated:
                     self._schedule(self.cycle + 1, _EV_REPLAY, inst)
                     break
@@ -950,19 +1033,23 @@ class OoOCore:
         if lookup is not None:
             prediction, key = lookup(inst.pc, self.bp.ghr)
             inst.tep_key = key
-            if prediction is not None:
-                inst.pred_fault_stage = prediction.stage
-                inst.pred_critical = prediction.critical
-            return
-        tep = self.tep
-        ghr = self.bp.ghr
-        prediction = tep.predict(inst.pc, ghr)
+        else:
+            tep = self.tep
+            ghr = self.bp.ghr
+            prediction = tep.predict(inst.pc, ghr)
+            inst.tep_key = (
+                prediction.key if prediction is not None
+                else tep.key_for(inst.pc, ghr)
+            )
         if prediction is not None:
             inst.pred_fault_stage = prediction.stage
             inst.pred_critical = prediction.critical
-            inst.tep_key = prediction.key
-        else:
-            inst.tep_key = tep.key_for(inst.pc, ghr)
+            if self.ebus is not None:
+                self.ebus.emit(
+                    self.cycle, "tep_predict", seq=inst.seq, pc=inst.pc,
+                    stage=prediction.stage.name,
+                    critical=prediction.critical,
+                )
 
     # ==================================================================
     def _drained(self):

@@ -82,21 +82,55 @@ class SimStats:
         return self.iq_occupancy_accum / self.cycles if self.cycles else 0.0
 
     def as_dict(self):
-        """Flat dict of the headline numbers (for reports and tests)."""
+        """Flat dict of every counter the run collected (JSON-safe keys).
+
+        Enum-keyed maps (``stage_faults``, ``fu_ops``) are flattened to
+        name-keyed dicts in enum order, so two equal runs produce equal
+        dicts and exports never carry enum objects.
+        """
         return {
             "cycles": self.cycles,
             "committed": self.committed,
+            "fetched": self.fetched,
+            "dispatched": self.dispatched,
+            "issued": self.issued,
             "ipc": self.ipc,
             "fault_rate": self.fault_rate,
             "faults_total": self.faults_total,
             "faults_predicted": self.faults_predicted,
             "faults_unpredicted": self.faults_unpredicted,
             "false_predictions": self.false_predictions,
+            "stage_faults": {
+                stage.name: count
+                for stage, count in sorted(
+                    self.stage_faults.items(), key=lambda kv: int(kv[0])
+                )
+            },
             "replays": self.replays,
             "safety_net_replays": self.safety_net_replays,
             "storm_faults": self.storm_faults,
             "ep_stalls": self.ep_stalls,
             "slot_freezes": self.slot_freezes,
+            "padded_instructions": self.padded_instructions,
+            "inorder_stalls": self.inorder_stalls,
+            "memdep_violations": self.memdep_violations,
+            "wrong_path_fetched": self.wrong_path_fetched,
             "squashed": self.squashed,
+            "branches": self.branches,
+            "branch_mispredicts": self.branch_mispredicts,
             "mispredict_rate": self.mispredict_rate,
+            "avg_iq_occupancy": self.avg_iq_occupancy,
+            "fu_ops": {
+                op.name: count
+                for op, count in sorted(
+                    self.fu_ops.items(), key=lambda kv: int(kv[0])
+                )
+            },
+            "regreads": self.regreads,
+            "regwrites": self.regwrites,
+            "broadcasts": self.broadcasts,
+            "broadcast_occupancy": self.broadcast_occupancy,
+            "lsq_searches": self.lsq_searches,
+            "store_forwards": self.store_forwards,
+            "wb_writes": self.wb_writes,
         }

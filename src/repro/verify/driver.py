@@ -45,13 +45,23 @@ def run_verified(spec):
         core.hierarchy.reset_stats()
         core.lsq.cam_searches = 0
         core.lsq.forwards = 0
+    collector = None
+    if getattr(spec, "telemetry", None) is not None:
+        from repro.telemetry import attach_telemetry
+
+        # post-warmup, exactly as in the unverified driver: telemetry
+        # covers the measured window only
+        collector = attach_telemetry(core, spec.telemetry)
     stats = core.run(spec.n_instructions)
     report = checker.finalize()
     stats.storm_faults = getattr(core.injector, "storm_faults", 0)
     energy = EnergyModel().evaluate(
         stats, core.hierarchy.stats(), spec.vdd, core.scheme.uses_tep
     )
-    result = SimResult(spec, stats, energy, core.hierarchy.stats())
+    telemetry = collector.finalize(core) if collector is not None else None
+    result = SimResult(
+        spec, stats, energy, core.hierarchy.stats(), telemetry=telemetry
+    )
     result.verification = report
     return result
 

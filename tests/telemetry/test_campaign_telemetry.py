@@ -1,0 +1,68 @@
+"""Campaign integration: journaled summaries and report aggregation."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.campaign.report import build_report
+
+_FAST = dict(n_instructions=1200, warmup=300, seeds=[1, 2])
+
+
+def _spec(**kw):
+    knobs = dict(_FAST, telemetry_interval=200)
+    knobs.update(kw)
+    return CampaignSpec("telem", ["bzip2"], ["CDS"], **knobs)
+
+
+def test_spec_roundtrips_telemetry_interval():
+    spec = _spec()
+    again = CampaignSpec.from_dict(spec.to_dict())
+    assert again.telemetry_interval == 200
+    assert again.to_dict() == spec.to_dict()
+
+
+def test_pair_specs_attach_telemetry_to_scheme_run_only():
+    spec = _spec()
+    run_spec, base_spec = spec.pair_specs(spec.points()[0], 0)
+    assert run_spec.telemetry is not None
+    assert run_spec.telemetry.interval == 200
+    assert run_spec.telemetry.events is False
+    assert base_spec.telemetry is None  # baseline cache entries stay shared
+    off_run, _ = _spec(telemetry_interval=0).pair_specs(spec.points()[0], 0)
+    assert off_run.telemetry is None
+
+
+def test_campaign_journals_and_reports_telemetry(tmp_path):
+    report = run_campaign(tmp_path, spec=_spec(), cache=False)
+    point = report["points"][0]
+    telem = point["telemetry"]
+    assert telem["draws"] == 2
+    assert telem["interval"] == 200
+    for name in ("ipc", "fault_rate", "replay_rate"):
+        entry = telem[name]
+        assert entry["min"] <= entry["mean"] <= entry["max"]
+    # every journaled draw carries its own summary
+    with open(os.path.join(tmp_path, "journal.jsonl")) as fh:
+        events = [json.loads(line) for line in fh]
+    runs = [e for e in events if e.get("event") == "run"]
+    assert len(runs) == 2
+    assert all("telemetry" in r for r in runs)
+    # the markdown surfaces the pooled numbers
+    with open(os.path.join(tmp_path, "report.md")) as fh:
+        md = fh.read()
+    assert "Interval telemetry" in md
+    assert "bzip2/CDS" in md
+    # report rebuild from the journal is exact (resume-safe)
+    assert build_report(tmp_path) == report
+
+
+def test_campaign_without_telemetry_is_unchanged(tmp_path):
+    report = run_campaign(
+        tmp_path, spec=_spec(telemetry_interval=0), cache=False
+    )
+    assert "telemetry" not in report["points"][0]
+    with open(os.path.join(tmp_path, "report.md")) as fh:
+        assert "Interval telemetry" not in fh.read()

@@ -1,0 +1,62 @@
+"""Event bus: ring bounds, subscriptions, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.telemetry.events import EventBus, events_to_jsonl
+
+
+def test_bus_records_in_order():
+    bus = EventBus(capacity=16)
+    bus.emit(1, "fault", stage="EXECUTE")
+    bus.emit(2, "replay", seq=7)
+    assert bus.events() == [
+        (1, "fault", {"stage": "EXECUTE"}),
+        (2, "replay", {"seq": 7}),
+    ]
+    assert bus.emitted == 2
+    assert bus.dropped == 0
+    assert bus.counts() == {"fault": 1, "replay": 1}
+
+
+def test_ring_evicts_oldest_and_counts_drops():
+    bus = EventBus(capacity=3)
+    for cycle in range(5):
+        bus.emit(cycle, "retire", seq=cycle)
+    events = bus.events()
+    assert len(events) == 3
+    assert [c for c, _, _ in events] == [2, 3, 4]  # oldest evicted
+    assert bus.emitted == 5
+    assert bus.dropped == 2
+
+
+def test_subscribers_see_every_event_despite_eviction():
+    bus = EventBus(capacity=2)
+    seen = []
+    bus.subscribe("retire", lambda c, n, p: seen.append(p["seq"]))
+    for cycle in range(10):
+        bus.emit(cycle, "retire", seq=cycle)
+        bus.emit(cycle, "fault", stage="MEM")  # different name: not seen
+    assert seen == list(range(10))
+
+
+def test_bus_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        EventBus(capacity=0)
+
+
+def test_jsonl_export_is_deterministic_and_parseable():
+    bus = EventBus()
+    bus.emit(3, "fault", stage="EXECUTE", tolerated=True)
+    bus.emit(5, "retire", seq=1, pc=64)
+    text = events_to_jsonl(bus.events())
+    assert text == events_to_jsonl(bus.events())
+    lines = text.splitlines()
+    assert json.loads(lines[0]) == {
+        "ts": 3, "ev": "fault", "stage": "EXECUTE", "tolerated": True
+    }
+    assert json.loads(lines[1]) == {"ts": 5, "ev": "retire", "seq": 1,
+                                    "pc": 64}
+    assert text.endswith("\n")
+    assert events_to_jsonl([]) == ""

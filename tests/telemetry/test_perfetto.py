@@ -1,0 +1,75 @@
+"""Perfetto exporter: trace_event schema validity and track layout."""
+
+import json
+
+import pytest
+
+from repro.harness.runner import RunSpec, run_one
+from repro.telemetry import (
+    TelemetryConfig,
+    to_perfetto,
+    validate_trace,
+    write_perfetto,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    return run_one(RunSpec(
+        "bzip2", "CDS", 0.97, n_instructions=1200, warmup=300, seed=2,
+        telemetry=TelemetryConfig(metrics=True, interval=200, events=True),
+    ))
+
+
+def test_real_run_trace_validates_clean(traced_run):
+    telem = traced_run.telemetry
+    trace = to_perfetto(telem.events, series=telem.metrics)
+    assert validate_trace(trace) == []
+    # every retired instruction contributes at least one stage slice
+    slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) >= telem.event_counts["retire"]
+
+
+def test_trace_has_named_tracks_and_counters(traced_run):
+    telem = traced_run.telemetry
+    trace = to_perfetto(telem.events, series=telem.metrics)
+    names = {
+        e["args"]["name"] for e in trace["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+    assert {"stage:fetch", "stage:issue", "mechanisms", "recovery"} <= names
+    counters = {e["name"] for e in trace["traceEvents"] if e["ph"] == "C"}
+    assert "ipc" in counters and "fault_rate" in counters
+
+
+def test_faulty_instructions_are_colored(traced_run):
+    telem = traced_run.telemetry
+    trace = to_perfetto(telem.events)
+    cnames = {e.get("cname") for e in trace["traceEvents"]
+              if e["ph"] == "X"}
+    assert "terrible" in cnames  # CDS at 0.97 V does fault
+
+
+def test_write_perfetto_is_deterministic_json(tmp_path, traced_run):
+    telem = traced_run.telemetry
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    write_perfetto(a, telem.events, series=telem.metrics)
+    write_perfetto(b, telem.events, series=telem.metrics)
+    assert a.read_bytes() == b.read_bytes()
+    assert validate_trace(json.loads(a.read_text())) == []
+
+
+def test_validate_trace_catches_malformed_documents():
+    assert validate_trace([]) == ["top level is not a JSON object"]
+    assert validate_trace({}) == ["missing traceEvents list"]
+    assert validate_trace({"traceEvents": []}) == ["traceEvents is empty"]
+    bad_ts = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "n", "ts": -3, "dur": 1},
+    ]}
+    assert any("bad ts" in p for p in validate_trace(bad_ts))
+    no_dur = {"traceEvents": [
+        {"ph": "X", "pid": 1, "tid": 1, "name": "n", "ts": 0},
+    ]}
+    assert any("bad dur" in p for p in validate_trace(no_dur))
+    missing = {"traceEvents": [{"ph": "i", "ts": 0}]}
+    assert any("missing keys" in p for p in validate_trace(missing))

@@ -66,3 +66,21 @@ def test_max_records_cap():
     tracer = PipeTracer(core, max_records=10)
     core.run(100)
     assert len(tracer.records()) == 10
+
+
+def test_truncation_is_counted_and_surfaced():
+    core = make_core(make_linear_program())
+    tracer = PipeTracer(core, max_records=10)
+    stats = core.run(100)
+    assert tracer.dropped == stats.committed - 10
+    assert f"[{tracer.dropped} records dropped" in tracer.render()
+
+
+def test_untruncated_trace_reports_no_drops():
+    _, tracer = _traced_core(50)
+    assert tracer.dropped == 0
+    assert "dropped" not in tracer.render()
+
+
+def test_render_empty_still_reports_drops():
+    assert "5 records dropped" in render_records([], dropped=5)

@@ -68,6 +68,31 @@ def test_razor_replays_every_fault(grid_results, scheme):
         assert stats.replays >= stats.faults_unpredicted
 
 
+def test_as_dict_exports_every_counter():
+    result = run_one(RunSpec("astar", SchemeKind.CDS, 0.97, seed=3, **_FAST))
+    stats = result.stats
+    exported = stats.as_dict()
+    # every raw counter attribute appears (iq_occupancy_accum surfaces
+    # as the derived avg_iq_occupancy)
+    raw = {
+        name for name in vars(stats)
+        if name != "iq_occupancy_accum"
+    }
+    assert raw <= set(exported)
+    assert "avg_iq_occupancy" in exported
+    # enum-keyed maps flatten to JSON-safe name keys
+    assert exported["stage_faults"] == {
+        stage.name: count for stage, count in stats.stage_faults.items()
+    }
+    assert exported["fu_ops"] == {
+        op.name: count for op, count in stats.fu_ops.items()
+    }
+    assert sum(exported["fu_ops"].values()) == sum(stats.fu_ops.values())
+    import json
+
+    json.dumps(exported)  # the whole export is JSON-serializable
+
+
 def test_fault_free_run_has_no_faults():
     stats = run_one(
         RunSpec("astar", SchemeKind.FAULT_FREE, 0.97, seed=3, **_FAST)
