@@ -28,7 +28,7 @@ import time
 from repro.campaign.journal import Journal, read_manifest, write_manifest
 from repro.campaign.plan import CampaignSpec, extract_metrics
 from repro.campaign.stats import PointAccumulator
-from repro.harness.parallel import ResultCache, run_many
+from repro.harness.parallel import ResultCache, _prewarm_snapshots, run_many
 
 
 class CampaignError(RuntimeError):
@@ -56,6 +56,10 @@ def _pool_run(specs, jobs, store, timeout):
     if not todo:
         return results
     n_jobs = max(1, min(jobs or os.cpu_count() or 1, len(todo)))
+    # warm missing snapshot prefixes before dispatch: each single-spec
+    # apply_async below would otherwise re-warm the shared prefix in its
+    # own worker (the prewarm itself is outside the timeout budget)
+    _prewarm_snapshots([specs[i] for i in todo], n_jobs)
     budget = timeout * math.ceil(len(todo) / n_jobs)
     try:
         ctx = multiprocessing.get_context("fork")
@@ -122,10 +126,11 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
 
     ``acc`` may carry replayed draws (resume); sampling continues from
     index ``acc.n``. ``on_run(point, index, seed, values, counts,
-    telemetry)`` is called once per completed draw, in index order — the
-    journal hook. ``telemetry`` is the scheme run's interval-metrics
-    summary dict (``None`` unless the campaign set a telemetry
-    interval).
+    telemetry, snapshot_key=...)`` is called once per completed draw, in
+    index order — the journal hook. ``telemetry`` is the scheme run's
+    interval-metrics summary dict (``None`` unless the campaign set a
+    telemetry interval); ``snapshot_key`` is the warmup snapshot key the
+    scheme run forked from (``None`` when the draw ran cold).
 
     Returns ``(acc, reason, failure)``: ``reason`` is ``"ci"`` (targets
     met), ``"max_seeds"``, or ``"failed"`` when a verified run came back
@@ -161,12 +166,20 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
                     if telem is not None and telem.metrics is not None
                     else None
                 )
+                run_spec = pairs[offset][0]
+                snapshot_key = None
+                if getattr(run_spec, "snapshot_dir", None) is not None:
+                    from repro.snapshot import snapshot_eligible
+
+                    if snapshot_eligible(run_spec):
+                        snapshot_key = run_spec.warmup_key()
                 on_run(point, index, spec.seed_for(point, index),
-                       values, counts, summary)
+                       values, counts, summary, snapshot_key=snapshot_key)
 
 
 def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
-                 resume=False, timeout=None, retries=2, run_fn=None):
+                 resume=False, timeout=None, retries=2, run_fn=None,
+                 snapshots=True, snapshot_dir=None):
     """Execute (or resume) the campaign rooted at ``directory``.
 
     With ``spec`` given and no manifest present, the campaign is planned
@@ -177,6 +190,13 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
     ``run_fn`` overrides batch execution entirely (tests inject
     counters/fakes); by default :func:`make_run_fn` wires the batch
     engine with ``jobs``/``cache``/``timeout``/``retries``.
+
+    ``snapshots`` (default on) forks eligible runs from the warmup
+    snapshot cache at ``snapshot_dir`` — defaulting to the result cache's
+    root (``cache_dir``, ``REPRO_CACHE_DIR``, or ``./.sim_cache``) so one
+    prune covers both. The cache location is an execution detail: results
+    are bit-identical with snapshots on, off, or pointed elsewhere, and a
+    campaign resumes correctly across a snapshot-cache wipe.
 
     Returns the final report dict (also written to ``report.json`` /
     ``report.md``).
@@ -202,14 +222,31 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
         run_fn = make_run_fn(jobs, cache, cache_dir, timeout, retries)
     # verified/storm runs drop their repro bundles inside the campaign
     spec.repro_dir = os.path.join(directory, "bundles")
+    if snapshots:
+        from repro.harness.parallel import default_cache_root
 
-    def on_run(point, index, seed, values, counts, telemetry=None):
+        # share the result cache's root when caching (one prune covers
+        # both stores); an uncached campaign keeps its snapshots inside
+        # its own directory so nothing leaks outside it
+        default_root = (
+            (cache_dir or default_cache_root()) if cache
+            else os.path.join(directory, "snapshots")
+        )
+        spec.snapshot_dir = str(
+            snapshot_dir or os.environ.get("REPRO_SNAPSHOT_DIR")
+            or default_root
+        )
+
+    def on_run(point, index, seed, values, counts, telemetry=None,
+               snapshot_key=None):
         event = {
             "event": "run", "point": point.id, "index": index,
             "seed": seed, "metrics": values, "counts": counts,
         }
         if telemetry is not None:
             event["telemetry"] = telemetry
+        if snapshot_key is not None:
+            event["snapshot"] = snapshot_key
         journal.append(event)
 
     with journal:

@@ -147,13 +147,24 @@ class CampaignSpec:
         point. ``0`` (default) keeps runs telemetry-free. Baselines stay
         untouched either way so their cache entries are shared with
         non-telemetry campaigns.
+    draw_mode:
+        What varies between a point's draws. ``"fault"`` (default): every
+        draw shares one per-point warmup seed (:meth:`warmup_seed_for`)
+        and varies only ``measurement_seed`` — the draws sample fault
+        realizations over one program/machine realization, so all of them
+        fork from a single warmup snapshot and the fault-free baseline
+        collapses to one run per point. ``"program"`` (legacy): each draw
+        re-seeds everything (program, trace, warmup), sampling program
+        variation too. Explicit ``seeds`` force ``"program"`` — a seed
+        list enumerates whole-run seeds by definition.
     """
 
     def __init__(self, name, benchmarks, schemes, vdds=(0.97,),
                  n_instructions=6000, warmup=3000, master_seed=1,
                  seeds=None, min_seeds=3, max_seeds=12, batch_size=3,
                  targets=None, z=1.96, predictor="tep", overclock=1.0,
-                 verify=False, storm=None, telemetry_interval=0):
+                 verify=False, storm=None, telemetry_interval=0,
+                 draw_mode="fault"):
         self.name = name
         self.benchmarks = list(benchmarks)
         self.schemes = [
@@ -181,9 +192,18 @@ class CampaignSpec:
             storm = StormConfig.from_dict(storm)
         self.storm = storm
         self.telemetry_interval = max(0, int(telemetry_interval))
+        if draw_mode not in ("fault", "program"):
+            raise ValueError(
+                f"draw_mode must be 'fault' or 'program', got {draw_mode!r}"
+            )
+        #: explicit seed lists enumerate whole-run seeds: force legacy mode
+        self.draw_mode = "program" if self.seeds is not None else draw_mode
         #: where failed runs drop their repro bundles — execution detail
         #: set by the executor, not part of the manifest
         self.repro_dir = None
+        #: warmup snapshot cache directory (``None`` disables forking) —
+        #: execution detail set by the executor, not part of the manifest
+        self.snapshot_dir = None
 
     # ------------------------------------------------------------------
     def validate(self):
@@ -219,9 +239,28 @@ class CampaignSpec:
             return self.seeds[index]
         return derive_seed(self.master_seed, point.id, index)
 
+    def warmup_seed_for(self, point):
+        """The per-point warmup seed shared by all ``"fault"``-mode draws."""
+        return derive_seed(self.master_seed, point.id, "warmup")
+
     def pair_specs(self, point, index):
-        """(scheme RunSpec, fault-free baseline RunSpec) for one draw."""
-        seed = self.seed_for(point, index)
+        """(scheme RunSpec, fault-free baseline RunSpec) for one draw.
+
+        In ``"fault"`` draw mode every draw of a point carries the same
+        ``seed`` (so program, trace, and warmup are one shared
+        realization — one snapshot) and a per-draw ``measurement_seed``
+        (independent fault realizations over the measured window). The
+        baseline's measured window is deterministic given the trace, so
+        it carries no measurement seed at all: all indices produce the
+        *same* baseline spec, which the batch engine and result cache
+        collapse to a single simulation per point.
+        """
+        if self.draw_mode == "fault":
+            seed = self.warmup_seed_for(point)
+            measurement_seed = self.seed_for(point, index)
+        else:
+            seed = self.seed_for(point, index)
+            measurement_seed = None
         common = dict(
             vdd=point.vdd, n_instructions=self.n_instructions,
             warmup=self.warmup, seed=seed, predictor=self.predictor,
@@ -236,10 +275,11 @@ class CampaignSpec:
             )
         run_spec = RunSpec(
             point.benchmark, point.scheme, storm=self.storm,
-            telemetry=telemetry, **common
+            telemetry=telemetry, measurement_seed=measurement_seed, **common
         )
         base_spec = RunSpec(point.benchmark, SchemeKind.FAULT_FREE, **common)
         run_spec.repro_dir = base_spec.repro_dir = self.repro_dir
+        run_spec.snapshot_dir = base_spec.snapshot_dir = self.snapshot_dir
         return (run_spec, base_spec)
 
     # ------------------------------------------------------------------
@@ -264,12 +304,19 @@ class CampaignSpec:
             "verify": self.verify,
             "storm": self.storm.to_dict() if self.storm is not None else None,
             "telemetry_interval": self.telemetry_interval,
+            "draw_mode": self.draw_mode,
         }
 
     @classmethod
     def from_dict(cls, data):
-        """Rebuild a spec from its manifest form."""
+        """Rebuild a spec from its manifest form.
+
+        Manifests written before ``draw_mode`` existed enumerate whole-run
+        seeds, so a missing key means the legacy ``"program"`` semantics —
+        resuming an old campaign must reproduce its original draws.
+        """
         data = dict(data)
+        data.setdefault("draw_mode", "program")
         explicit = data.pop("seeds", None)
         spec = cls(**data)
         if explicit is not None:

@@ -66,6 +66,12 @@ class VteEffects:
 
 _NO_EFFECTS = VteEffects(None)
 
+#: (stage, op) -> VteEffects. The decision is a pure function of a tiny
+#: domain (|PipeStage| x |OpClass| pairs), and the issue path asks for it
+#: on every predicted-faulty instruction, so results are interned: every
+#: caller shares one immutable VteEffects per pair.
+_EFFECTS_CACHE = {}
+
 
 def vte_effects(stage, op):
     """VTE scheduling effects for a prediction of a violation in ``stage``.
@@ -74,6 +80,15 @@ def vte_effects(stage, op):
     ``None``) yield no effects — the in-order engine is handled by stall
     signals, not by the scheduler (Section 2.2).
     """
+    cached = _EFFECTS_CACHE.get((stage, op))
+    if cached is not None:
+        return cached
+    effects = _compute_effects(stage, op)
+    _EFFECTS_CACHE[(stage, op)] = effects
+    return effects
+
+
+def _compute_effects(stage, op):
     if stage is None or not PipeStage(stage).in_ooo_engine:
         return _NO_EFFECTS
 

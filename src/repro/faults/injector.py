@@ -192,6 +192,17 @@ class FaultInjector:
                 )
         return self._pc_timing
 
+    def reseed(self, seed):
+        """Restart the per-instance stream (measurement-boundary reseed).
+
+        The PC timing assignment (:meth:`assign`) is untouched — it is
+        warmup state shared by every measurement draw; only the stream
+        deciding which dynamic instances fault is redrawn, so campaign
+        draws differing in ``measurement_seed`` sample independent fault
+        realizations over one warmed machine.
+        """
+        self._rng = random.Random(seed)
+
     def assignment_for(self, pc):
         """Return the :class:`_PcTiming` of ``pc`` or ``None`` if SAFE."""
         return self._pc_timing.get(pc)

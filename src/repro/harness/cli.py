@@ -553,6 +553,13 @@ def _add_exec_options(parser):
                         help="per-run timeout in seconds (default: none)")
     parser.add_argument("--retries", type=int, default=2,
                         help="bounded retries for failed/hung batches")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="disable warmup snapshot forking (always "
+                             "re-simulate warmups)")
+    parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="warmup snapshot cache location (default: "
+                             "$REPRO_SNAPSHOT_DIR, the result cache root, "
+                             "or <dir>/snapshots when --no-cache)")
 
 
 def _campaign_parser():
@@ -677,7 +684,8 @@ def _campaign_main(argv):
             args.dir, spec=spec, jobs=args.jobs,
             cache=not args.no_cache, cache_dir=args.cache_dir,
             resume=args.verb == "resume", timeout=args.timeout,
-            retries=args.retries,
+            retries=args.retries, snapshots=not args.no_snapshot,
+            snapshot_dir=args.snapshot_dir,
         )
     except (CampaignError, ValueError, FileNotFoundError) as exc:
         print(str(exc), file=sys.stderr)

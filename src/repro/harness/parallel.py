@@ -26,6 +26,7 @@ import os
 import pickle
 import sys
 
+from repro.harness.diskcache import BlobStore
 from repro.harness.runner import run_one
 
 #: cache-format version; bump to orphan every existing cache entry.
@@ -63,26 +64,34 @@ def model_version():
     return _version_cache
 
 
-class ResultCache:
+def default_cache_root():
+    """Default cache root: ``$REPRO_CACHE_DIR`` or ``./.sim_cache``."""
+    return os.environ.get("REPRO_CACHE_DIR") or os.path.join(
+        os.getcwd(), ".sim_cache"
+    )
+
+
+class ResultCache(BlobStore):
     """Content-addressed store of pickled :class:`SimResult` objects.
 
-    Layout: ``<root>/<model_version>/<spec_key>.pkl``. Loads and stores
-    are best-effort — a corrupt or unreadable entry is treated as a miss
-    and overwritten, never raised to the caller.
+    Layout: ``<root>/<model_version>/<spec_key>.pkl`` (the store/prune
+    mechanics live in :class:`~repro.harness.diskcache.BlobStore`, shared
+    with the snapshot cache). Loads and stores are best-effort — a
+    corrupt or unreadable entry is treated as a miss and overwritten,
+    never raised to the caller.
     """
+
+    suffix = ".pkl"
 
     def __init__(self, root=None):
         if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR") or os.path.join(
-                os.getcwd(), ".sim_cache"
-            )
-        self.root = str(root)
-        self.version = model_version()
+            root = default_cache_root()
+        super().__init__(root, model_version())
         self.hits = 0
         self.misses = 0
 
     def _path(self, spec):
-        return os.path.join(self.root, self.version, spec.key() + ".pkl")
+        return self.path_for(spec.key())
 
     def load(self, spec):
         """The cached result for ``spec``, or ``None`` on a miss.
@@ -92,105 +101,29 @@ class ResultCache:
         as a miss: a bad cache file must cost one recompute, never a
         crashed batch.
         """
-        path = self._path(spec)
-        try:
-            with open(path, "rb") as fh:
-                result = pickle.load(fh)
-        except OSError:
+        key = spec.key()
+        payload = self.read_bytes(key)
+        if payload is None:
             self.misses += 1
             return None
+        try:
+            result = pickle.loads(payload)
         except Exception as exc:  # noqa: BLE001 — any corrupt entry
             self.misses += 1
             print(
                 f"[cache] discarding unreadable entry "
-                f"{os.path.basename(path)}: {exc!r}",
+                f"{key + self.suffix}: {exc!r}",
                 file=sys.stderr,
             )
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
+            self.remove(key)
             return None
         self.hits += 1
         return result
 
-    _tmp_counter = 0
-
     def store(self, spec, result):
-        """Persist ``result`` under ``spec``'s content address.
-
-        Write-then-atomic-rename, with a per-(process, call) unique temp
-        name, so concurrent processes sharing the cache directory can
-        never observe (or clobber each other with) a half-written
-        entry. If another process prunes the version directory between
-        our ``makedirs`` and ``replace`` (a ``FileNotFoundError``), the
-        write is retried once into a recreated directory.
-        """
-        path = self._path(spec)
+        """Persist ``result`` under ``spec``'s content address."""
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        for attempt in (0, 1):
-            ResultCache._tmp_counter += 1
-            tmp = "%s.tmp.%d.%d" % (
-                path, os.getpid(), ResultCache._tmp_counter
-            )
-            try:
-                os.makedirs(os.path.dirname(path), exist_ok=True)
-                with open(tmp, "wb") as fh:
-                    fh.write(payload)
-                os.replace(tmp, path)  # atomic: concurrent writers both win
-                return
-            except FileNotFoundError:
-                # version dir vanished under us (concurrent prune_stale)
-                if attempt == 0:
-                    continue
-                return
-            except OSError:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                return
-
-    def prune_stale(self):
-        """Delete result directories from older model versions.
-
-        Safe under concurrent processes: each stale version directory is
-        first renamed aside (atomic, so a concurrent writer either lands
-        its entry before the rename — and it is deleted with the rest —
-        or recreates the directory afresh via :meth:`store`'s retry),
-        then removed; directories that vanish mid-prune (another process
-        pruning the same root) are skipped silently.
-        """
-        try:
-            versions = os.listdir(self.root)
-        except OSError:
-            return
-        import shutil
-
-        for version in versions:
-            if version == self.version or version.startswith(".trash-"):
-                continue
-            path = os.path.join(self.root, version)
-            if not os.path.isdir(path):
-                continue
-            trash = os.path.join(
-                self.root, ".trash-%s-%d" % (version, os.getpid())
-            )
-            try:
-                os.rename(path, trash)
-            except OSError:  # already pruned/renamed by a peer
-                continue
-            shutil.rmtree(trash, ignore_errors=True)
-        # sweep trash left behind by peers killed mid-prune
-        try:
-            leftovers = os.listdir(self.root)
-        except OSError:
-            return
-        for name in leftovers:
-            if name.startswith(".trash-"):
-                shutil.rmtree(
-                    os.path.join(self.root, name), ignore_errors=True
-                )
+        self.write_bytes(spec.key(), payload)
 
 
 def _worker(spec):
@@ -214,7 +147,51 @@ def _resolve_jobs(jobs, n_pending):
     return max(1, min(jobs, n_pending))
 
 
-def run_many(specs, jobs=1, cache=False, cache_dir=None):
+def _ensure_snapshot_worker(spec):
+    # module-level so it pickles under every multiprocessing start method
+    from repro.snapshot import ensure_snapshot
+
+    ensure_snapshot(spec, spec.snapshot_dir)
+
+
+def _prewarm_snapshots(specs, n_jobs):
+    """Warm each unique warmup prefix of ``specs`` once, storing snapshots.
+
+    Without this pre-pass, parallel cache misses sharing one warmup
+    prefix would each re-simulate the warmup from cycle 0 — the snapshot
+    store only dedupes after the first write lands. Missing prefixes are
+    warmed once (in parallel when the batch itself is parallel) so the
+    fan-out that follows forks every draw from a warmed snapshot.
+    """
+    from repro.snapshot import SnapshotCache, ensure_snapshot, snapshot_eligible
+
+    groups = {}  # (dir, warmup_key) -> first spec with that prefix
+    for spec in specs:
+        directory = getattr(spec, "snapshot_dir", None)
+        if directory is None or not snapshot_eligible(spec):
+            continue
+        groups.setdefault((str(directory), spec.warmup_key()), spec)
+    todo = [
+        spec for (directory, key), spec in groups.items()
+        if not SnapshotCache(directory).has(key)
+    ]
+    if not todo:
+        return
+    if min(n_jobs, len(todo)) > 1:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(min(n_jobs, len(todo))) as pool:
+            pool.map(_ensure_snapshot_worker, todo)
+    else:
+        for spec in todo:
+            ensure_snapshot(spec, spec.snapshot_dir)
+
+
+def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
     """Run a batch of specs; results in the same order as ``specs``.
 
     ``jobs``: worker processes for the cache misses. ``1`` (the default)
@@ -223,6 +200,12 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None):
     (rooted at ``cache_dir``, the ``REPRO_CACHE_DIR`` environment
     variable, or ``./.sim_cache``). An existing :class:`ResultCache` may
     be passed directly as ``cache``.
+
+    ``snapshot_dir``: when set, stamp it onto every spec as the warmup
+    snapshot cache location (specs already carrying a ``snapshot_dir``
+    keep theirs). Each unique warmup prefix of the batch is then warmed
+    exactly once and every eligible run forks from its snapshot — see
+    :mod:`repro.snapshot`.
 
     Identical specs in one batch are simulated once and share the result.
     """
@@ -233,6 +216,10 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None):
         store = ResultCache(cache_dir)
     else:
         store = None
+    if snapshot_dir is not None:
+        for spec in specs:
+            if getattr(spec, "snapshot_dir", None) is None:
+                spec.snapshot_dir = str(snapshot_dir)
 
     keys = [spec.key() for spec in specs]
     results = [None] * len(specs)
@@ -251,6 +238,7 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None):
     if pending:
         todo = [specs[i] for i in pending.values()]
         n_jobs = _resolve_jobs(jobs, len(todo))
+        _prewarm_snapshots(todo, n_jobs)
         if n_jobs > 1:
             import multiprocessing
 

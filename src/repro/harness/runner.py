@@ -37,7 +37,7 @@ class RunSpec:
                  vdd=VDD_NOMINAL, n_instructions=20000, warmup=4000, seed=1,
                  config=None, tep_config=None, predictor="tep",
                  overclock=1.0, storm=None, verify=False, corruption=None,
-                 telemetry=None):
+                 telemetry=None, measurement_seed=None):
         self.benchmark = benchmark
         self.scheme = scheme
         self.vdd = vdd
@@ -68,17 +68,33 @@ class RunSpec:
 
             telemetry = TelemetryConfig.from_dict(telemetry)
         self.telemetry = telemetry
+        #: when set, the measurement window draws its fault-side RNG
+        #: streams (injector, storm wrappers) from this seed instead of
+        #: continuing the warmup streams. The warmup then depends only on
+        #: :meth:`warmup_canonical`, so one warmed snapshot is shared by
+        #: every draw differing only in measurement seed / storm /
+        #: telemetry. ``None`` (default) keeps the legacy single-stream
+        #: behavior bit-for-bit.
+        self.measurement_seed = measurement_seed
         #: directory for repro bundles on failure — an execution detail,
         #: deliberately NOT part of :meth:`canonical`
         self.repro_dir = None
+        #: warmup snapshot cache directory (see :mod:`repro.snapshot`) —
+        #: an execution detail like ``repro_dir``: forking from a cached
+        #: snapshot is bit-identical to a cold run, so the cache location
+        #: must never influence :meth:`canonical`
+        self.snapshot_dir = None
 
-    def canonical(self):
-        """A nested tuple of primitives that fully determines this run.
+    def warmup_canonical(self):
+        """The prefix of :meth:`canonical` that determines the warmup.
 
-        Two specs with equal canonical forms produce bit-identical
-        simulations; the form feeds :meth:`key` and is stable across
-        processes (no ``id()``, no hash randomization, no float repr
-        ambiguity — floats are carried as ``repr`` strings).
+        Everything the simulation state depends on *up to the warmup
+        boundary*: program identity and dynamic window (``n_instructions``
+        shapes the injector's PC-frequency estimate, so it belongs here),
+        machine configuration, predictor design, and the warmup-phase RNG
+        roots. Two specs with equal warmup prefixes reach bit-identical
+        post-warmup machine state — this is the snapshot-cache key
+        (:meth:`warmup_key`).
         """
         config = self.config
         if config is not None:
@@ -103,15 +119,6 @@ class RunSpec:
                 tep_config.n_entries, tep_config.tag_bits,
                 tep_config.counter_bits, tep_config.history_bits,
             )
-        storm = self.storm.canonical() if self.storm is not None else None
-        corruption = (
-            tuple(sorted(self.corruption.items()))
-            if self.corruption else None
-        )
-        telemetry = (
-            self.telemetry.canonical() if self.telemetry is not None
-            else None
-        )
         return (
             self.benchmark,
             getattr(self.scheme, "value", self.scheme),
@@ -123,11 +130,45 @@ class RunSpec:
             tep_config,
             self.predictor,
             repr(self.overclock),
+        )
+
+    def measurement_canonical(self):
+        """The suffix of :meth:`canonical`: measurement-window-only fields.
+
+        Everything here first takes effect at the warmup→measurement
+        boundary (storm wrapping and fault-stream reseeding happen there,
+        telemetry attaches there, verification changes no machine state),
+        so specs differing only in this suffix share one warmup snapshot.
+        """
+        storm = self.storm.canonical() if self.storm is not None else None
+        corruption = (
+            tuple(sorted(self.corruption.items()))
+            if self.corruption else None
+        )
+        telemetry = (
+            self.telemetry.canonical() if self.telemetry is not None
+            else None
+        )
+        return (
+            self.measurement_seed,
             storm,
             bool(self.verify),
             corruption,
             telemetry,
         )
+
+    def canonical(self):
+        """A nested tuple of primitives that fully determines this run.
+
+        Two specs with equal canonical forms produce bit-identical
+        simulations; the form feeds :meth:`key` and is stable across
+        processes (no ``id()``, no hash randomization, no float repr
+        ambiguity — floats are carried as ``repr`` strings). It is the
+        exact concatenation of :meth:`warmup_canonical` and
+        :meth:`measurement_canonical`; a partition test pins that every
+        spec field lands in exactly one half.
+        """
+        return self.warmup_canonical() + self.measurement_canonical()
 
     def key(self):
         """Deterministic content hash of the spec (hex digest).
@@ -138,6 +179,19 @@ class RunSpec:
         import hashlib
 
         return hashlib.sha256(repr(self.canonical()).encode()).hexdigest()
+
+    def warmup_key(self):
+        """Content hash of the warmup prefix: the snapshot-cache address.
+
+        Every spec sharing this key reaches bit-identical post-warmup
+        state, so one warmed snapshot serves all of them (see
+        :mod:`repro.snapshot`).
+        """
+        import hashlib
+
+        return hashlib.sha256(
+            repr(self.warmup_canonical()).encode()
+        ).hexdigest()
 
     def __repr__(self):
         scheme = getattr(self.scheme, "name", self.scheme)
@@ -268,20 +322,10 @@ def build_core(spec):
         else:
             tep = make_predictor(spec.predictor)
     sensor = VoltageSensor(spec.vdd, overclocked=spec.overclock > 1.0)
-    storm = getattr(spec, "storm", None)
-    if storm is not None:
-        # storm wrapping must precede core construction: the core latches
-        # its sensor gate and TEP lookup method in __init__
-        from repro.faults.storm import ChaoticTEP, FlakySensor, StormInjector
-
-        injector = StormInjector(injector, storm, seed=spec.seed + 401)
-        if storm.sensor_flap > 0.0:
-            sensor = FlakySensor(sensor, storm.sensor_flap,
-                                 seed=spec.seed + 402)
-        if tep is not None and (storm.tep_drop > 0.0
-                                or storm.tep_fabricate > 0.0):
-            tep = ChaoticTEP(tep, storm.tep_drop, storm.tep_fabricate,
-                             seed=spec.seed + 403)
+    # storm wrapping happens at the warmup→measurement boundary
+    # (begin_measurement), not here: the storm is a measured-window
+    # stressor, so a storm draw can fork from a storm-free warmup
+    # snapshot and the warmup stays a pure function of warmup_canonical()
     config = spec.config or CoreConfig.core1()
     core = OoOCore(
         config, trace, hierarchy, scheme,
@@ -328,33 +372,69 @@ def prime_caches(program, hierarchy, line_bytes=64):
     hierarchy.reset_stats()
 
 
-def run_one(spec):
-    """Run one simulation point and return its :class:`SimResult`.
+def warm_core(spec):
+    """Build and warm a core through ``spec``'s warmup prefix (cold path).
 
-    Specs with ``verify`` (or a ``corruption`` hook) run under the
-    lockstep golden-model checker and raise
-    :class:`~repro.verify.lockstep.DivergenceError` on any architectural
-    divergence — see :func:`repro.verify.driver.run_verified`.
+    The returned core sits exactly at the warmup boundary: caches primed,
+    ``spec.warmup`` instructions retired, no measurement-window effects
+    (storm, telemetry, fault-stream reseed) applied yet. Its state is a
+    pure function of ``spec.warmup_canonical()`` — this is what the
+    snapshot cache captures.
     """
-    if getattr(spec, "verify", False) or getattr(spec, "corruption", None):
-        from repro.verify.driver import run_verified
-
-        return run_verified(spec)
     core = build_core(spec)
     prime_caches(core.program, core.hierarchy)
     if spec.warmup:
         core.run(spec.warmup)
-        core.stats = SimStats()
-        core.hierarchy.reset_stats()
-        core.lsq.cam_searches = 0
-        core.lsq.forwards = 0
+    return core
+
+
+def begin_measurement(core, spec):
+    """Transition a warmed core to the measured window; return collector.
+
+    Shared by the cold path, the snapshot-fork path, and the verified
+    driver, so the boundary semantics cannot drift between them:
+
+    * measurement counters reset (stats, cache stats, LSQ counters);
+    * with ``spec.measurement_seed`` set, the injector's per-instance
+      stream restarts from it (warmup consumed the ``spec.seed`` stream);
+    * storm wrapping is applied *here* — the storm stresses the measured
+      window only, and its generators derive from the measurement seed
+      when one is set — and the core re-latches its per-fetch gates;
+    * telemetry attaches last, covering exactly the measured window.
+    """
+    core.stats = SimStats()
+    core.hierarchy.reset_stats()
+    core.lsq.cam_searches = 0
+    core.lsq.forwards = 0
+    mseed = getattr(spec, "measurement_seed", None)
+    if mseed is not None and core.injector is not None:
+        core.injector.reseed(mseed + 301)
+    storm = getattr(spec, "storm", None)
+    if storm is not None:
+        from repro.faults.storm import ChaoticTEP, FlakySensor, StormInjector
+
+        sseed = mseed if mseed is not None else spec.seed
+        core.injector = StormInjector(core.injector, storm,
+                                      seed=sseed + 401)
+        if storm.sensor_flap > 0.0:
+            core.sensor = FlakySensor(core.sensor, storm.sensor_flap,
+                                      seed=sseed + 402)
+        if core.tep is not None and (storm.tep_drop > 0.0
+                                     or storm.tep_fabricate > 0.0):
+            core.tep = ChaoticTEP(core.tep, storm.tep_drop,
+                                  storm.tep_fabricate, seed=sseed + 403)
+        core.rebind_mechanisms()
     collector = None
     if getattr(spec, "telemetry", None) is not None:
         from repro.telemetry import attach_telemetry
 
-        # attach after warmup so the series/events cover exactly the
-        # measured window, mirroring the stats reset above
         collector = attach_telemetry(core, spec.telemetry)
+    return collector
+
+
+def measure(core, spec):
+    """Measure a warmed core and package the :class:`SimResult`."""
+    collector = begin_measurement(core, spec)
     stats = core.run(spec.n_instructions)
     stats.storm_faults = getattr(core.injector, "storm_faults", 0)
     energy = EnergyModel().evaluate(
@@ -364,6 +444,32 @@ def run_one(spec):
     return SimResult(
         spec, stats, energy, core.hierarchy.stats(), telemetry=telemetry
     )
+
+
+def run_one(spec):
+    """Run one simulation point and return its :class:`SimResult`.
+
+    Specs with ``verify`` (or a ``corruption`` hook) run under the
+    lockstep golden-model checker and raise
+    :class:`~repro.verify.lockstep.DivergenceError` on any architectural
+    divergence — see :func:`repro.verify.driver.run_verified`.
+
+    With ``spec.snapshot_dir`` set (and the spec snapshot-eligible), the
+    warmup is forked from the content-addressed snapshot cache instead of
+    re-simulated — bit-identical to the cold path by construction, and
+    pinned so by the fork-vs-cold digest tests.
+    """
+    if getattr(spec, "verify", False) or getattr(spec, "corruption", None):
+        from repro.verify.driver import run_verified
+
+        return run_verified(spec)
+    snapshot_dir = getattr(spec, "snapshot_dir", None)
+    if snapshot_dir is not None:
+        from repro.snapshot import snapshot_eligible, warmed_core
+
+        if snapshot_eligible(spec):
+            return measure(warmed_core(spec, snapshot_dir), spec)
+    return measure(warm_core(spec), spec)
 
 
 def run_pair(benchmark, scheme, vdd, n_instructions=20000, warmup=4000,

@@ -10,6 +10,11 @@ address, branch outcome, fault prediction and fault outcome).
 
 from repro.isa.opcodes import OP_FU_KIND, OP_LATENCY, OpClass
 
+#: sentinel wake cycle meaning "not yet computed" — matches
+#: :data:`repro.uarch.regfile.INFINITE` so an entry whose sources are
+#: still unready caches "infinitely far" and re-probes next cycle.
+_WAKE_UNKNOWN = 1 << 60
+
 
 class StaticInst:
     """A static instruction at a fixed program counter.
@@ -161,6 +166,13 @@ class DynInst:
         "timestamp",
         "dispatch_order",
         "version",
+        # cached earliest issue cycle (issue_queue.ready_entries probe
+        # cache); _WAKE_UNKNOWN until all sources have finite ready cycles
+        "wake",
+        # loads only: cached memory-disambiguation gate cycle (latest
+        # older-store resolve cycle, LoadStoreQueue.older_stores_gate);
+        # _WAKE_UNKNOWN until every older store address is known
+        "mem_gate",
     )
 
     def __init__(self, seq, static, mem_addr=0, taken=False, mispredicted=False):
@@ -198,6 +210,8 @@ class DynInst:
         self.timestamp = 0
         self.dispatch_order = 0
         self.version = 0
+        self.wake = _WAKE_UNKNOWN
+        self.mem_gate = _WAKE_UNKNOWN
 
     def faults_in(self, stage):
         """Return True when this instance violates timing in ``stage``."""
@@ -238,6 +252,8 @@ class DynInst:
         self.squashed = False
         self.in_iq = False
         self.refetched = True
+        self.wake = _WAKE_UNKNOWN
+        self.mem_gate = _WAKE_UNKNOWN
         self.version += 1  # invalidates events scheduled for the old pass
 
     def __repr__(self):

@@ -1,0 +1,33 @@
+"""Warmup snapshot/fork: amortize one warmup across many measurements.
+
+A simulation's warmup phase is a pure function of the *warmup prefix* of
+its spec (:meth:`~repro.harness.runner.RunSpec.warmup_canonical`): the
+program, machine configuration, supply point, and warmup-phase RNG roots.
+Everything that distinguishes measurement draws of a campaign point —
+``measurement_seed``, storm stressors, telemetry — first takes effect at
+the warmup→measurement boundary (:func:`~repro.harness.runner.
+begin_measurement`). So the warmed machine state can be captured once,
+content-addressed by :meth:`~repro.harness.runner.RunSpec.warmup_key`,
+and every draw forked from it instead of re-simulating the warmup.
+
+Forking is bit-identical to a cold run by construction (the capture is a
+full deep snapshot of the core, trace generator included), and pinned so
+by the fork-vs-cold digest tests. Snapshots share the result cache's
+versioned :class:`~repro.harness.diskcache.BlobStore` mechanics: any
+source change retires them wholesale; corrupt blobs cost one cold
+recompute, never a crash.
+"""
+
+from repro.snapshot.cache import SnapshotCache
+from repro.snapshot.fork import ensure_snapshot, snapshot_eligible, warmed_core
+from repro.snapshot.state import SnapshotError, capture_core, restore_core
+
+__all__ = [
+    "SnapshotCache",
+    "SnapshotError",
+    "capture_core",
+    "ensure_snapshot",
+    "restore_core",
+    "snapshot_eligible",
+    "warmed_core",
+]

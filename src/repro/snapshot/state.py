@@ -1,0 +1,103 @@
+"""Deep capture/restore of a warmed core.
+
+The capture is a plain pickle of the whole :class:`~repro.uarch.pipeline.
+OoOCore`: trace generator position, caches, predictor tables, rename
+state, in-flight structures — everything a continued run reads. The
+simulator keeps all of that picklable (bound-method latches pickle by
+reference; RNGs carry their state), so restore-and-continue is
+bit-identical to never having stopped.
+
+One object is externalized: the :class:`~repro.isa.program.Program` is
+content-immutable (``build_core`` already shares one cached instance per
+``(benchmark, seed)`` across *all* cold runs; the only write to it,
+``StaticInst.exec_count``, is an aggregate profile counter nothing
+result-bearing reads). Pickling it into every blob would roughly double
+blob size and — worse — per-fork unpickle time, so the blob stores a
+``("program", benchmark, seed)`` persistent id instead and restore
+resolves it through the same program cache cold builds use. A typical
+post-warmup blob is ~100 kilobytes.
+"""
+
+import io
+import pickle
+
+from repro.isa.program import Program
+
+
+class SnapshotError(RuntimeError):
+    """A core cannot be captured, or a blob is not a valid snapshot."""
+
+
+def capture_core(core, spec=None):
+    """Serialize a warmed core to bytes.
+
+    Refuses cores with observers attached (telemetry, lockstep commit
+    listener) or a storm-wrapped injector: those are measured-window
+    state, and a snapshot taken past the measurement boundary would leak
+    one draw's effects into every fork. The warmup paths never attach
+    them, so hitting this is a caller bug, not an I/O condition.
+
+    When ``spec`` is given, the program graph is written as a persistent
+    id rather than inline (see the module docstring); the blob then
+    requires :func:`restore_core` to rebuild it from the program cache.
+    """
+    if core.ebus is not None or core.telemetry_sampler is not None:
+        raise SnapshotError(
+            "refusing to snapshot a core with telemetry attached"
+        )
+    if core.commit_listener is not None:
+        raise SnapshotError(
+            "refusing to snapshot a core with a commit listener"
+        )
+    if getattr(core.injector, "storm_faults", None) is not None:
+        raise SnapshotError(
+            "refusing to snapshot a storm-wrapped core"
+        )
+    if spec is None:
+        return pickle.dumps(core, protocol=pickle.HIGHEST_PROTOCOL)
+    buf = io.BytesIO()
+    pickler = pickle.Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL)
+    benchmark, seed = spec.benchmark, spec.seed
+
+    def persistent_id(obj):
+        if isinstance(obj, Program):
+            return ("program", benchmark, seed)
+        return None
+
+    pickler.persistent_id = persistent_id
+    pickler.dump(core)
+    return buf.getvalue()
+
+
+def _resolve_program(pid):
+    if not (isinstance(pid, tuple) and len(pid) == 3 and pid[0] == "program"):
+        raise SnapshotError(f"unknown persistent id in snapshot: {pid!r}")
+    from repro.harness.runner import _cached_program
+    from repro.workloads.profiles import get_profile
+
+    _, benchmark, seed = pid
+    return _cached_program(get_profile(benchmark), seed)
+
+
+def restore_core(blob):
+    """Deserialize a captured core; raise :class:`SnapshotError` if invalid.
+
+    Corruption surfaces here as whatever ``pickle`` raises (or as a
+    wrong-type payload); callers treat any failure as a cache miss and
+    fall back to a cold warmup (:func:`repro.snapshot.fork.warmed_core`).
+    """
+    from repro.uarch.pipeline import OoOCore
+
+    try:
+        unpickler = pickle.Unpickler(io.BytesIO(blob))
+        unpickler.persistent_load = _resolve_program
+        core = unpickler.load()
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        raise SnapshotError(f"unreadable snapshot blob: {exc!r}") from exc
+    if not isinstance(core, OoOCore):
+        raise SnapshotError(
+            f"snapshot blob decoded to {type(core).__name__}, not OoOCore"
+        )
+    return core

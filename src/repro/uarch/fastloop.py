@@ -1,0 +1,135 @@
+"""Specialized cycle loop for the dominant clean-run configurations.
+
+:func:`run_fast` is a drop-in replacement for the while-loop inside
+:meth:`~repro.uarch.pipeline.OoOCore.run`, valid only when every
+per-cycle conditional it deletes is statically inert for the whole run:
+
+* no interval sampler and no event bus attached (telemetry off),
+* no commit listener (lockstep checking off),
+* no thermal model on the sensor (no 128-cycle temperature advance),
+* the injector is not storm-wrapped (chaos modes keep the pure loop).
+
+Those conditions cover the throughput-critical campaign configurations
+(fault-free baselines and the ABS/TEP measurement runs); everything else
+— verification, storms, telemetry — falls back to the pure loop, whose
+behavior is the reference. Whole-pipeline stalls (EP padding, selective
+recovery bubbles) are NOT an exclusion: the stall branch is mirrored
+exactly, and because :meth:`_consume_ep_stall` is the only caller of
+``_shift_in_flight`` (which rebinds the event dictionaries wholesale),
+the loop re-hoists its ``_events``/``_wb_count`` handles right after
+every consumed stall. The fast loop must remain *bit-identical* to the
+pure loop for eligible runs: it deletes only checks proven inert above
+and accumulates ``cycles``/``iq_occupancy_accum`` in locals (flushed on
+every exit path). ``REPRO_PURE_LOOP=1`` forces the pure loop everywhere,
+which is how the equivalence test pins the two paths against each other.
+"""
+
+import os
+
+
+def fast_eligible(core):
+    """True when ``core``'s next ``run`` may use :func:`run_fast`."""
+    if os.environ.get("REPRO_PURE_LOOP"):
+        return False
+    if core.telemetry_sampler is not None or core.ebus is not None:
+        return False
+    if core.commit_listener is not None:
+        return False
+    if getattr(core.sensor, "thermal", None) is not None:
+        return False
+    # storm-wrapped injectors (chaos mode) keep the reference loop
+    if getattr(core.injector, "storm_faults", None) is not None:
+        return False
+    return True
+
+
+def run_fast(core, max_committed, max_cycles, hang_cycles):
+    """Run ``core`` until ``max_committed`` retires, on the fast loop.
+
+    Mirrors the pure loop of :meth:`OoOCore.run` line for line, minus
+    the telemetry/thermal checks that :func:`fast_eligible` proved
+    inert; see the module docstring for the exact deletions.
+    """
+    stats = core.stats
+    progress_committed = stats.committed
+    progress_cycle = core.cycle
+    consume_ep_stall = core._consume_ep_stall
+    process_events = core._process_events
+    commit = core._commit
+    select = core._select
+    dispatch = core._dispatch
+    fetch = core._fetch
+    iq = core.iq
+    rob_entries = core.rob._entries  # deque, mutated in place only
+    refetch = core._refetch
+    conveyor = core._conveyor
+    depth = len(conveyor)
+    # hoisted handles; re-bound after every consumed stall, the only
+    # point where _shift_in_flight can rebind the dicts wholesale
+    events_pop = core._events.pop
+    wb_pop = core._wb_count.pop
+    cycles = 0
+    iq_occ = 0
+    cycle = core.cycle
+    try:
+        while stats.committed < max_committed:
+            if cycle > max_cycles:
+                raise core._hang_error(
+                    "cycle budget exhausted", max_committed,
+                    cycle - progress_cycle,
+                )
+            if not cycle & 1023:
+                committed = stats.committed
+                if committed != progress_committed:
+                    progress_committed = committed
+                    progress_cycle = cycle
+                elif cycle - progress_cycle >= hang_cycles:
+                    raise core._hang_error(
+                        "commit watchdog", max_committed,
+                        cycle - progress_cycle,
+                    )
+            if core._ep_stalls and consume_ep_stall():
+                events_pop = core._events.pop
+                wb_pop = core._wb_count.pop
+                cycles += 1
+                cycle += 1
+                core.cycle = cycle
+                continue
+            events = events_pop(cycle, None)
+            if events:
+                process_events(events)
+            if rob_entries and rob_entries[0].completed:
+                commit()
+            if iq.entries:
+                select()
+            if conveyor[-1]:
+                dispatch()
+            for i in range(depth - 1, 0, -1):
+                if not conveyor[i]:
+                    conveyor[i], conveyor[i - 1] = conveyor[i - 1], conveyor[i]
+            if (
+                not conveyor[0]
+                and core._blocking_branch is None
+                and cycle >= core._fetch_resume_at
+            ):
+                fetch(conveyor[0])
+            iq_occ += len(iq.entries)
+            wb_pop(cycle, None)
+            cycles += 1
+            cycle += 1
+            core.cycle = cycle
+            if (
+                core._done_fetching
+                and not refetch
+                and not rob_entries
+                and not any(conveyor)
+            ):
+                break
+    finally:
+        # locals flush on every exit path so a watchdog raise (or a
+        # caller catching it) still observes a consistent SimStats
+        stats.cycles += cycles
+        stats.iq_occupancy_accum += iq_occ
+    stats.lsq_searches = core.lsq.cam_searches
+    stats.store_forwards = core.lsq.forwards
+    return stats

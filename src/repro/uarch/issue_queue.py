@@ -8,6 +8,8 @@ ready-cycle scoreboard, which encodes (possibly fault-delayed) tag
 broadcast times.
 """
 
+from repro.uarch.regfile import INFINITE as _WAKE_UNKNOWN
+
 TIMESTAMP_BITS = 6
 TIMESTAMP_MASK = (1 << TIMESTAMP_BITS) - 1
 
@@ -85,40 +87,81 @@ class IssueQueue:
         address (conservative); a ``load_gate(inst)`` callable (e.g. a
         store-set predictor check) replaces that rule when provided.
 
-        The operand check is the scoreboard lookup of
-        :meth:`~repro.uarch.regfile.RenameState.srcs_ready`, inlined here
-        with the ready-cycle list hoisted: this scan runs once per cycle
-        over the whole window and dominates the scheduler's cost.
+        This scan runs once per cycle over the whole window and dominates
+        the scheduler's cost, so each entry caches its wake cycle: while
+        any source is unissued (scoreboard ``INFINITE``) the entry
+        re-probes the scoreboard every cycle exactly as before, but once
+        every source has a finite ready cycle their max can never change
+        while the entry stays live — a source register of a live entry
+        cannot be re-renamed (its free happens at the overwriter's commit,
+        which is younger), and squashing a producer squashes every younger
+        consumer out of the queue. The cached max turns the steady-state
+        per-entry check into one integer compare. The two invalidation
+        points are :meth:`DynInst.reset_for_refetch` (squash) and the EP
+        whole-pipeline stall shift, which rewrites the scoreboard's
+        absolute cycles (``OoOCore._shift_in_flight``).
         """
         ready = []
         append = ready.append
         ready_cycle = rename.ready_cycle
         for inst in self.entries:
-            # source check unrolled for the dominant 2/1/0-operand shapes
-            srcs = inst.phys_srcs
-            n = len(srcs)
-            if n == 2:
-                if ready_cycle[srcs[0]] > cycle or ready_cycle[srcs[1]] > cycle:
+            wake = inst.wake
+            if wake > cycle:
+                if wake != _WAKE_UNKNOWN:
                     continue
-            elif n == 1:
-                if ready_cycle[srcs[0]] > cycle:
-                    continue
-            elif n:
-                waiting = False
-                for p in srcs:
-                    if ready_cycle[p] > cycle:
-                        waiting = True
-                        break
-                if waiting:
-                    continue
+                # probe, unrolled for the dominant 2/1/0-operand shapes,
+                # preserving the early exit on the first waiting source
+                # (an unissued producer reads INFINITE and can't latch)
+                srcs = inst.phys_srcs
+                n = len(srcs)
+                if n == 2:
+                    a = ready_cycle[srcs[0]]
+                    if a > cycle:
+                        if a != _WAKE_UNKNOWN:
+                            b = ready_cycle[srcs[1]]
+                            if b != _WAKE_UNKNOWN:
+                                inst.wake = a if a > b else b
+                        continue
+                    b = ready_cycle[srcs[1]]
+                    if b > cycle:
+                        if b != _WAKE_UNKNOWN:
+                            inst.wake = b  # b > cycle >= a: b is the max
+                        continue
+                    inst.wake = a if a > b else b
+                elif n == 1:
+                    wake = ready_cycle[srcs[0]]
+                    if wake > cycle:
+                        if wake != _WAKE_UNKNOWN:
+                            inst.wake = wake
+                        continue
+                    inst.wake = wake
+                elif n:
+                    wake = max(ready_cycle[p] for p in srcs)
+                    if wake < _WAKE_UNKNOWN:
+                        inst.wake = wake
+                    if wake > cycle:
+                        continue
+                else:
+                    inst.wake = 0
             if inst.is_load:
                 if load_gate is not None:
                     if not load_gate(inst):
                         continue
-                elif lsq is not None and not lsq.older_stores_resolved(
-                    inst.seq, cycle
-                ):
-                    continue
+                elif lsq is not None:
+                    # conservative disambiguation, with the same caching
+                    # trick as ``wake``: while any older store address is
+                    # unknown the LSQ is re-scanned every cycle, but once
+                    # all are known their max resolve cycle can never
+                    # change for a live load (older_stores_gate documents
+                    # the invariant; reset_for_refetch invalidates)
+                    gate = inst.mem_gate
+                    if gate == _WAKE_UNKNOWN:
+                        gate = lsq.older_stores_gate(inst.seq)
+                        if gate is None:
+                            continue
+                        inst.mem_gate = gate
+                    if gate > cycle:
+                        continue
             append(inst)
         return ready
 

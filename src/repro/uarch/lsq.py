@@ -26,7 +26,7 @@ class LoadStoreQueue:
             raise ValueError("LSQ size must be positive")
         self.size = size
         self._entries = []  # program order (ascending seq)
-        self._n_stores = 0  # resident stores (fast-path short circuit)
+        self._stores = []   # store entries only, same order (hot scans)
         self.cam_searches = 0
         self.forwards = 0
 
@@ -42,9 +42,10 @@ class LoadStoreQueue:
         """Allocate an entry at dispatch (program order maintained)."""
         if self.full:
             raise RuntimeError("LSQ overflow")
-        self._entries.append(_LsqEntry(inst))
+        entry = _LsqEntry(inst)
+        self._entries.append(entry)
         if inst.is_store:
-            self._n_stores += 1
+            self._stores.append(entry)
 
     def resolve_address(self, inst, cycle):
         """Record that ``inst``'s address generation completes at ``cycle``."""
@@ -56,17 +57,36 @@ class LoadStoreQueue:
 
     def older_stores_resolved(self, seq, cycle):
         """True when all stores older than ``seq`` have known addresses."""
-        if not self._n_stores:
-            return True
-        for entry in self._entries:
-            inst = entry.inst
-            if inst.seq >= seq:
+        for entry in self._stores:
+            if entry.inst.seq >= seq:
                 break
-            if inst.is_store:
-                rc = entry.resolve_cycle
-                if rc is None or rc > cycle:
-                    return False
+            rc = entry.resolve_cycle
+            if rc is None or rc > cycle:
+                return False
         return True
+
+    def older_stores_gate(self, seq):
+        """Latest resolve cycle over stores older than ``seq``.
+
+        Returns ``None`` while any older store address is unknown.
+        Once every older store has a resolve cycle, their max is stable
+        for the rest of the load's residence — stores allocate in program
+        order (nothing older can arrive behind an in-queue load), a
+        squash that removes an older store removes the load too, and a
+        store retires only after its resolve cycle has passed — so the
+        scheduler caches it per load (``DynInst.mem_gate``) and the
+        steady-state disambiguation check is one integer compare.
+        """
+        gate = 0
+        for entry in self._stores:
+            if entry.inst.seq >= seq:
+                break
+            rc = entry.resolve_cycle
+            if rc is None:
+                return None
+            if rc > gate:
+                gate = rc
+        return gate
 
     def search_forward(self, load_inst, cycle):
         """CAM search: youngest older store matching the load's address.
@@ -75,16 +95,15 @@ class LoadStoreQueue:
         (counts as a forward); the search itself is always counted.
         """
         self.cam_searches += 1
-        if not self._n_stores:
+        if not self._stores:
             return False
         target = load_inst.mem_addr >> _MATCH_SHIFT
         match = False
-        for entry in self._entries:
+        for entry in self._stores:
             if entry.inst.seq >= load_inst.seq:
                 break
             if (
-                entry.inst.is_store
-                and entry.resolve_cycle is not None
+                entry.resolve_cycle is not None
                 and entry.resolve_cycle <= cycle
                 and (entry.inst.mem_addr >> _MATCH_SHIFT) == target
             ):
@@ -125,11 +144,11 @@ class LoadStoreQueue:
             if entry.inst is inst:
                 del self._entries[i]
                 if inst.is_store:
-                    self._n_stores -= 1
+                    self._stores.remove(entry)
                 return
         raise KeyError(f"instruction seq={inst.seq} not in LSQ")
 
     def squash_from(self, seq):
         """Drop all entries with sequence number >= ``seq``."""
-        self._entries = kept = [e for e in self._entries if e.inst.seq < seq]
-        self._n_stores = sum(1 for e in kept if e.inst.is_store)
+        self._entries = [e for e in self._entries if e.inst.seq < seq]
+        self._stores = [e for e in self._stores if e.inst.seq < seq]

@@ -11,9 +11,13 @@ returns a :class:`~repro.verify.bundle.RunFailure` result object that the
 campaign executor journals and skips past.
 """
 
-from repro.harness.runner import SimResult, build_core, prime_caches
+from repro.harness.runner import (
+    SimResult,
+    begin_measurement,
+    build_core,
+    prime_caches,
+)
 from repro.power.energy_model import EnergyModel
-from repro.uarch.stats import SimStats
 from repro.verify.chaos import CorruptionHook
 from repro.verify.golden import GoldenModel
 from repro.verify.lockstep import LockstepChecker
@@ -23,11 +27,14 @@ def run_verified(spec):
     """Run one point under the lockstep checker; return its SimResult.
 
     The golden model spans warmup *and* measurement (it checks every
-    commit, not just the measured window); only the stats reset at the
-    warmup boundary, exactly as in the unverified driver. The returned
-    result carries the checker's end-of-run report as ``.verification``.
-    Raises :class:`~repro.verify.lockstep.DivergenceError` on divergence
-    and :class:`~repro.uarch.pipeline.SimulationHangError` on a wedged
+    commit, not just the measured window — which is why verified runs are
+    never snapshot-forked); the warmup→measurement transition itself is
+    the shared :func:`~repro.harness.runner.begin_measurement`, so stat
+    resets, storm wrapping, fault-stream reseeding, and telemetry attach
+    behave identically to the unverified driver. The returned result
+    carries the checker's end-of-run report as ``.verification``. Raises
+    :class:`~repro.verify.lockstep.DivergenceError` on divergence and
+    :class:`~repro.uarch.pipeline.SimulationHangError` on a wedged
     machine.
     """
     core = build_core(spec)
@@ -41,17 +48,7 @@ def run_verified(spec):
     prime_caches(core.program, core.hierarchy)
     if spec.warmup:
         core.run(spec.warmup)
-        core.stats = SimStats()
-        core.hierarchy.reset_stats()
-        core.lsq.cam_searches = 0
-        core.lsq.forwards = 0
-    collector = None
-    if getattr(spec, "telemetry", None) is not None:
-        from repro.telemetry import attach_telemetry
-
-        # post-warmup, exactly as in the unverified driver: telemetry
-        # covers the measured window only
-        collector = attach_telemetry(core, spec.telemetry)
+    collector = begin_measurement(core, spec)
     stats = core.run(spec.n_instructions)
     report = checker.finalize()
     stats.storm_faults = getattr(core.injector, "storm_faults", 0)

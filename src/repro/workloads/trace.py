@@ -74,7 +74,7 @@ class TraceGenerator:
         else:
             mem_addr = 0
         static.exec_count += 1  # aggregate profile statistic only
-        inst = DynInst(self._seq, static, mem_addr=mem_addr, taken=taken)
+        inst = DynInst(self._seq, static, mem_addr, taken)
         self._seq += 1
         self.emitted += 1
         return inst

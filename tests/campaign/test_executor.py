@@ -167,7 +167,13 @@ class _FakeSim:
                 ))
             else:
                 self.pairs_run += 1
-                jitter = 0.01 * (_noise(spec.seed) - 0.5)  # sd ~ 0.003
+                # draw-to-draw variance rides the measurement seed in
+                # fault draw mode and the whole-run seed in program mode
+                draw_seed = (
+                    spec.measurement_seed
+                    if spec.measurement_seed is not None else spec.seed
+                )
+                jitter = 0.01 * (_noise(draw_seed) - 0.5)  # sd ~ 0.003
                 cycles = base_cycles * (1.10 + jitter)
                 results.append(_FakeResult(
                     cycles, 1.2, 0.9,

@@ -52,14 +52,34 @@ class TestGrid:
         point = GridPoint("astar", "cds", 0.97)
         assert point.scheme is SchemeKind.CDS
 
-    def test_pair_specs_share_seed(self):
-        spec = _spec()
+    def test_pair_specs_fault_mode_share_warmup_vary_measurement(self):
+        spec = _spec()  # draw_mode="fault" is the default
         point = spec.points()[0]
         run, baseline = spec.pair_specs(point, 3)
-        assert run.seed == baseline.seed == spec.seed_for(point, 3)
+        # one shared warmup realization per point: every draw (and the
+        # baseline) carries the same whole-run seed -> one snapshot
+        assert run.seed == baseline.seed == spec.warmup_seed_for(point)
+        assert run.measurement_seed == spec.seed_for(point, 3)
+        other, _ = spec.pair_specs(point, 4)
+        assert other.seed == run.seed
+        assert other.measurement_seed != run.measurement_seed
+        assert run.warmup_key() == other.warmup_key()
+        # the baseline's measured window is deterministic: all indices
+        # collapse to one spec (one simulation per point)
+        _, baseline4 = spec.pair_specs(point, 4)
+        assert baseline4.key() == baseline.key()
+        assert baseline.measurement_seed is None
         assert baseline.scheme is SchemeKind.FAULT_FREE
         assert run.scheme is SchemeKind.EP
         assert run.vdd == baseline.vdd == 0.97
+
+    def test_pair_specs_program_mode_share_seed(self):
+        spec = _spec(draw_mode="program")
+        point = spec.points()[0]
+        run, baseline = spec.pair_specs(point, 3)
+        assert run.seed == baseline.seed == spec.seed_for(point, 3)
+        assert run.measurement_seed is None
+        assert baseline.scheme is SchemeKind.FAULT_FREE
 
     def test_seed_streams_differ_between_points(self):
         spec = _spec()

@@ -1,0 +1,113 @@
+"""Campaign integration: fork-per-draw, journaled keys, wipe resilience."""
+
+import shutil
+
+import pytest
+
+from repro.campaign.executor import run_campaign
+from repro.campaign.journal import Journal
+from repro.campaign.plan import CampaignSpec
+
+
+def _spec(**kw):
+    kwargs = dict(
+        name="snap", benchmarks=["gcc"], schemes=["ABS"], vdds=[0.97],
+        n_instructions=1500, warmup=800, min_seeds=2, max_seeds=2,
+        batch_size=1, master_seed=3,
+    )
+    kwargs.update(kw)
+    return CampaignSpec(**kwargs)
+
+
+def _run_events(directory):
+    """All journaled run events, in append order."""
+    state = Journal(directory).replay()
+    events = []
+    for records in state.runs.values():
+        events.extend(records)
+    return events
+
+
+def test_campaign_journals_snapshot_keys(tmp_path):
+    campaign_dir = tmp_path / "c"
+    snap_dir = tmp_path / "snaps"
+    report = run_campaign(
+        campaign_dir, spec=_spec(), cache=False, snapshot_dir=str(snap_dir)
+    )
+    assert report["points"][0]["n"] == 2
+    runs = _run_events(campaign_dir)
+    assert len(runs) == 2
+    # every draw forked from the SAME warmup snapshot (fault draw mode)
+    keys = {e["snapshot"] for e in runs}
+    assert len(keys) == 1
+    point = _spec().points()[0]
+    assert keys == {_spec().pair_specs(point, 0)[0].warmup_key()}
+    assert list(snap_dir.glob("*/*.snap"))
+
+
+def test_campaign_resumes_across_snapshot_wipe(tmp_path):
+    """A wiped snapshot cache costs re-warms, never correctness."""
+    campaign_dir = tmp_path / "c"
+    snap_dir = tmp_path / "snaps"
+    spec = _spec()
+
+    class _Boom(RuntimeError):
+        pass
+
+    from repro.campaign.executor import make_run_fn
+
+    real_run_fn = make_run_fn(cache=False)
+    calls = []
+
+    def interrupted(specs):
+        if calls:
+            raise _Boom("die after the first batch")
+        calls.append(1)
+        return real_run_fn(specs)
+
+    with pytest.raises(_Boom):
+        run_campaign(
+            campaign_dir, spec=spec, cache=False, run_fn=interrupted,
+            snapshot_dir=str(snap_dir),
+        )
+    state = Journal(campaign_dir).replay()
+    assert state.total_runs == 1
+
+    # the snapshot cache disappears between sessions
+    shutil.rmtree(snap_dir)
+
+    report = run_campaign(
+        campaign_dir, resume=True, cache=False, run_fn=real_run_fn,
+        snapshot_dir=str(snap_dir),
+    )
+    assert report["points"][0]["n"] == 2
+    runs = _run_events(campaign_dir)
+    assert [e["index"] for e in runs] == [0, 1]
+    # the re-warm regenerated the snapshot at the same content address
+    assert len({e["snapshot"] for e in runs}) == 1
+
+    # a full no-wipe rerun of the same campaign produces identical draws
+    fresh_dir = tmp_path / "fresh"
+    run_campaign(
+        fresh_dir, spec=_spec(), cache=False, snapshot_dir=str(snap_dir)
+    )
+    fresh_runs = _run_events(fresh_dir)
+    assert [(e["index"], e["metrics"]) for e in fresh_runs] == [
+        (e["index"], e["metrics"]) for e in runs
+    ]
+
+
+def test_no_snapshot_flag_runs_cold_with_equal_results(tmp_path):
+    warm = run_campaign(
+        tmp_path / "warm", spec=_spec(), cache=False,
+        snapshot_dir=str(tmp_path / "snaps"),
+    )
+    cold = run_campaign(
+        tmp_path / "cold", spec=_spec(), cache=False, snapshots=False,
+    )
+    assert (
+        warm["points"][0]["metrics"] == cold["points"][0]["metrics"]
+    )
+    cold_runs = _run_events(tmp_path / "cold")
+    assert cold_runs and all("snapshot" not in e for e in cold_runs)
+    assert not list((tmp_path / "cold").glob("snapshots/**/*.snap"))

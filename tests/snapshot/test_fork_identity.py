@@ -1,0 +1,120 @@
+"""Fork-from-snapshot must be bit-identical to a cold run.
+
+This is the load-bearing property of the warmup cache: every stat, every
+telemetry sample, every energy number of a forked run must equal the
+cold run's exactly, across schemes, supplies, benchmarks, and the
+measurement-window stressors (storms, telemetry, measurement reseeds)
+that fork from a *clean* warmup.
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.storm import StormConfig
+from repro.harness.runner import RunSpec, run_one
+from repro.telemetry.config import TelemetryConfig
+
+
+def _digest(result):
+    """Everything observable about a result, as comparable plain data."""
+    parts = {
+        "stats": result.stats.as_dict(),
+        "cache": dict(result.cache_stats),
+        "energy": repr(result.energy.__dict__),
+    }
+    telemetry = getattr(result, "telemetry", None)
+    if telemetry is not None and telemetry.metrics is not None:
+        series = telemetry.metrics
+        parts["telemetry"] = repr(
+            [(name, list(values)) for name, values in
+             sorted(series.series.items())]
+            if hasattr(series, "series") else series.summary()
+        )
+    return parts
+
+
+def _run_pairs(spec_kwargs, tmp_path):
+    cold = run_one(RunSpec(**spec_kwargs))
+    forked_spec = RunSpec(**spec_kwargs)
+    forked_spec.snapshot_dir = str(tmp_path)
+    forked = run_one(forked_spec)
+    # second fork actually exercises the restore path (the first fork
+    # may have warmed cold and stored)
+    again_spec = RunSpec(**spec_kwargs)
+    again_spec.snapshot_dir = str(tmp_path)
+    again = run_one(again_spec)
+    return cold, forked, again
+
+
+GRID = [
+    dict(benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97),
+    dict(benchmark="astar", scheme=SchemeKind.CDS, vdd=1.04),
+    dict(benchmark="bzip2", scheme=SchemeKind.FAULT_FREE, vdd=1.10),
+    dict(benchmark="mcf", scheme=SchemeKind.RAZOR, vdd=0.97),
+    dict(benchmark="gcc", scheme=SchemeKind.EP, vdd=0.97),
+]
+
+
+@pytest.mark.parametrize(
+    "point", GRID, ids=[f"{g['benchmark']}-{g['scheme'].name}" for g in GRID]
+)
+def test_fork_equals_cold_across_grid(point, tmp_path):
+    kwargs = dict(point, n_instructions=2500, warmup=1200, seed=5)
+    cold, forked, again = _run_pairs(kwargs, tmp_path)
+    assert _digest(forked) == _digest(cold)
+    assert _digest(again) == _digest(cold)
+
+
+def test_fork_equals_cold_with_telemetry(tmp_path):
+    kwargs = dict(
+        benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97,
+        n_instructions=2500, warmup=1200, seed=5,
+        telemetry=TelemetryConfig(metrics=True, interval=250),
+    )
+    cold, forked, again = _run_pairs(kwargs, tmp_path)
+    assert _digest(forked) == _digest(cold)
+    assert _digest(again) == _digest(cold)
+    assert "telemetry" in _digest(cold)
+
+
+def test_storm_draw_forks_from_clean_warmup(tmp_path):
+    """A storm run and a clean run share one warmup snapshot."""
+    clean = dict(
+        benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97,
+        n_instructions=2500, warmup=1200, seed=5,
+    )
+    stormy = dict(clean, storm=StormConfig(sensor_flap=0.01))
+    assert RunSpec(**clean).warmup_key() == RunSpec(**stormy).warmup_key()
+
+    cold, forked, again = _run_pairs(stormy, tmp_path)
+    assert _digest(forked) == _digest(cold)
+    assert _digest(again) == _digest(cold)
+    # exactly one snapshot serves both flavors
+    clean_spec = RunSpec(**clean)
+    clean_spec.snapshot_dir = str(tmp_path)
+    clean_cold = run_one(RunSpec(**clean))
+    assert _digest(run_one(clean_spec)) == _digest(clean_cold)
+    snaps = list(tmp_path.glob("*/*.snap"))
+    assert len(snaps) == 1
+
+
+def test_measurement_seed_varies_faults_not_program(tmp_path):
+    base = dict(
+        benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97,
+        n_instructions=2500, warmup=1200, seed=5,
+    )
+    results = []
+    for mseed in (11, 12):
+        spec = RunSpec(**base, measurement_seed=mseed)
+        spec.snapshot_dir = str(tmp_path)
+        results.append(run_one(spec))
+    a, b = results
+    # same dynamic instruction stream (trace RNG is warmup-side) ...
+    assert a.stats.committed == b.stats.committed
+    assert a.stats.branches == b.stats.branches
+    # ... but independent fault realizations
+    assert a.stats.as_dict() != b.stats.as_dict()
+    # and both are bit-identical to their own cold runs
+    for mseed, forked in zip((11, 12), results):
+        cold = run_one(RunSpec(**base, measurement_seed=mseed))
+        assert _digest(forked) == _digest(cold)

@@ -1,0 +1,101 @@
+"""The fast cycle kernel must be bit-identical to the pure loop.
+
+``run_fast`` deletes per-cycle checks that are statically inert for the
+eligible configurations; this suite pins that the deletion is invisible:
+for every eligible point, a run with ``REPRO_PURE_LOOP=1`` (which forces
+the reference loop) and a normal run produce byte-equal stats, cache
+counters, and energy. It also pins the eligibility gate itself so a
+future feature that invalidates a hoist cannot silently keep the fast
+path.
+"""
+
+import pytest
+
+from repro.core.schemes import SchemeKind
+from repro.faults.storm import StormConfig
+from repro.harness.runner import RunSpec, build_core, run_one
+from repro.telemetry.config import TelemetryConfig
+from repro.uarch.fastloop import fast_eligible
+
+
+def _digest(result):
+    return {
+        "stats": result.stats.as_dict(),
+        "cache": dict(result.cache_stats),
+        "energy": repr(result.energy.__dict__),
+    }
+
+
+GRID = [
+    dict(benchmark="gcc", scheme=SchemeKind.FAULT_FREE, vdd=1.10),
+    dict(benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97),
+    dict(benchmark="astar", scheme=SchemeKind.CDS, vdd=1.04),
+    dict(benchmark="bzip2", scheme=SchemeKind.RAZOR, vdd=0.97),
+    dict(benchmark="mcf", scheme=SchemeKind.EP, vdd=0.97),
+]
+
+
+@pytest.mark.parametrize(
+    "point", GRID, ids=[f"{g['benchmark']}-{g['scheme'].name}" for g in GRID]
+)
+def test_fast_loop_matches_pure_loop(point, monkeypatch):
+    kwargs = dict(point, n_instructions=2500, warmup=1000, seed=7)
+    fast = run_one(RunSpec(**kwargs))
+    monkeypatch.setenv("REPRO_PURE_LOOP", "1")
+    pure = run_one(RunSpec(**kwargs))
+    assert _digest(fast) == _digest(pure)
+
+
+def test_fast_loop_matches_pure_loop_with_storm(monkeypatch):
+    kwargs = dict(
+        benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97,
+        n_instructions=2500, warmup=1000, seed=7,
+        storm=StormConfig(sensor_flap=0.01),
+    )
+    fast = run_one(RunSpec(**kwargs))
+    monkeypatch.setenv("REPRO_PURE_LOOP", "1")
+    pure = run_one(RunSpec(**kwargs))
+    assert _digest(fast) == _digest(pure)
+
+
+class TestEligibility:
+    def _core(self, **kw):
+        kwargs = dict(
+            benchmark="gcc", scheme=SchemeKind.ABS, vdd=0.97,
+            n_instructions=500, warmup=0, seed=7,
+        )
+        kwargs.update(kw)
+        return build_core(RunSpec(**kwargs))
+
+    def test_dominant_configs_take_the_fast_path(self):
+        assert fast_eligible(self._core())
+        assert fast_eligible(self._core(scheme=SchemeKind.FAULT_FREE))
+        # whole-pipeline stalls are mirrored, not excluded: EP and the
+        # selective-replay schemes stay on the fast path
+        assert fast_eligible(self._core(scheme=SchemeKind.EP))
+
+    def test_env_override_forces_pure(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PURE_LOOP", "1")
+        assert not fast_eligible(self._core())
+
+    def test_telemetry_forces_pure(self):
+        from repro.harness.runner import begin_measurement
+
+        spec = RunSpec(
+            "gcc", SchemeKind.ABS, 0.97, n_instructions=500, warmup=0,
+            seed=7, telemetry=TelemetryConfig(metrics=True, interval=100),
+        )
+        core = build_core(spec)
+        begin_measurement(core, spec)
+        assert not fast_eligible(core)
+
+    def test_storm_wrap_forces_pure(self):
+        from repro.harness.runner import begin_measurement
+
+        spec = RunSpec(
+            "gcc", SchemeKind.ABS, 0.97, n_instructions=500, warmup=0,
+            seed=7, storm=StormConfig(burst_rate=0.001),
+        )
+        core = build_core(spec)
+        begin_measurement(core, spec)
+        assert not fast_eligible(core)
