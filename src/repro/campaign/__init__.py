@@ -17,11 +17,17 @@ Layers
     Normal and Wilson interval math plus the per-point accumulator.
 :mod:`repro.campaign.journal`
     Crash-safe campaign directory: manifest + append-only JSONL journal.
+:mod:`repro.campaign.scheduler`
+    The draw-level batch iterator + stopping rule one grid point is
+    measured through — driven synchronously by the executor and leased
+    from by the fleet coordinator (:mod:`repro.fleet`).
 :mod:`repro.campaign.executor`
     The sequential executor with confidence-driven stopping, per-run
     timeout, and bounded retry.
 :mod:`repro.campaign.report`
     JSON + Markdown report builder.
+:mod:`repro.campaign.status`
+    Per-point progress/CI status of a live or killed campaign.
 
 See ``docs/campaigns.md`` for the on-disk layout and a worked resume
 example.
@@ -31,7 +37,9 @@ from repro.campaign.executor import CampaignError, measure_point, run_campaign
 from repro.campaign.journal import Journal, read_manifest, write_manifest
 from repro.campaign.plan import CampaignSpec, GridPoint, derive_seed
 from repro.campaign.report import build_report, write_reports
+from repro.campaign.scheduler import PointScheduler
 from repro.campaign.stats import PointAccumulator
+from repro.campaign.status import build_status, render_status
 
 __all__ = [
     "CampaignError",
@@ -39,10 +47,13 @@ __all__ = [
     "GridPoint",
     "Journal",
     "PointAccumulator",
+    "PointScheduler",
     "build_report",
+    "build_status",
     "derive_seed",
     "measure_point",
     "read_manifest",
+    "render_status",
     "run_campaign",
     "write_manifest",
     "write_reports",

@@ -25,10 +25,16 @@ import math
 import os
 import time
 
-from repro.campaign.journal import Journal, read_manifest, write_manifest
+from repro.campaign.journal import (
+    Journal,
+    read_manifest,
+    run_event,
+    write_manifest,
+)
 from repro.campaign.plan import CampaignSpec, extract_metrics
+from repro.campaign.scheduler import PointScheduler, failure_record
 from repro.campaign.stats import PointAccumulator
-from repro.harness.parallel import ResultCache, _prewarm_snapshots, run_many
+from repro.harness.parallel import ResultCache, prewarm_snapshots, run_many
 
 
 class CampaignError(RuntimeError):
@@ -59,7 +65,7 @@ def _pool_run(specs, jobs, store, timeout):
     # warm missing snapshot prefixes before dispatch: each single-spec
     # apply_async below would otherwise re-warm the shared prefix in its
     # own worker (the prewarm itself is outside the timeout budget)
-    _prewarm_snapshots([specs[i] for i in todo], n_jobs)
+    prewarm_snapshots([specs[i] for i in todo], n_jobs)
     budget = timeout * math.ceil(len(todo) / n_jobs)
     try:
         ctx = multiprocessing.get_context("fork")
@@ -121,16 +127,43 @@ def make_run_fn(jobs=1, cache=True, cache_dir=None, timeout=None, retries=2):
     return run_fn
 
 
+def draw_metadata(run_spec, result):
+    """``(telemetry_summary, snapshot_key)`` journaled with one draw.
+
+    ``telemetry_summary`` is the scheme run's interval-metrics summary
+    dict (``None`` unless the campaign set a telemetry interval);
+    ``snapshot_key`` is the warmup snapshot key the run forked from
+    (``None`` when the draw ran cold). Shared by the single-pool journal
+    hook and fleet workers so both journal identical ``run`` events.
+    """
+    telem = getattr(result, "telemetry", None)
+    summary = (
+        telem.metrics.summary()
+        if telem is not None and telem.metrics is not None
+        else None
+    )
+    snapshot_key = None
+    if getattr(run_spec, "snapshot_dir", None) is not None:
+        from repro.snapshot import snapshot_eligible
+
+        if snapshot_eligible(run_spec):
+            snapshot_key = run_spec.warmup_key()
+    return summary, snapshot_key
+
+
 def measure_point(spec, point, run_fn, acc=None, on_run=None):
     """Measure one grid point until its stopping rule fires.
 
     ``acc`` may carry replayed draws (resume); sampling continues from
     index ``acc.n``. ``on_run(point, index, seed, values, counts,
     telemetry, snapshot_key=...)`` is called once per completed draw, in
-    index order — the journal hook. ``telemetry`` is the scheme run's
-    interval-metrics summary dict (``None`` unless the campaign set a
-    telemetry interval); ``snapshot_key`` is the warmup snapshot key the
-    scheme run forked from (``None`` when the draw ran cold).
+    index order — the journal hook (see :func:`draw_metadata` for the
+    last two arguments).
+
+    The batching and stopping decisions live in
+    :class:`~repro.campaign.scheduler.PointScheduler` — the same object
+    the fleet coordinator leases draws from, so a distributed campaign
+    stops every point after exactly the draws a single-pool one runs.
 
     Returns ``(acc, reason, failure)``: ``reason`` is ``"ci"`` (targets
     met), ``"max_seeds"``, or ``"failed"`` when a verified run came back
@@ -138,41 +171,28 @@ def measure_point(spec, point, run_fn, acc=None, on_run=None):
     (with its repro-bundle path) rides along and draws already pushed
     stay in ``acc``; ``failure`` is ``None`` otherwise.
     """
-    if acc is None:
-        acc = PointAccumulator(z=spec.z)
+    scheduler = PointScheduler(spec, point, acc)
     while True:
-        if acc.n >= spec.min_seeds and acc.converged(spec.targets):
-            return acc, "ci", None
-        if acc.n >= spec.max_seeds:
-            return acc, "max_seeds", None
-        indices = range(
-            acc.n,
-            min(acc.n + spec.batch_size, spec.max_seeds),
-        )
+        indices = scheduler.next_batch()
+        if indices is None:
+            return scheduler.acc, scheduler.stopped, scheduler.failure
         pairs = [spec.pair_specs(point, i) for i in indices]
         flat = [run_spec for pair in pairs for run_spec in pair]
         results = run_fn(flat)
         for offset, index in enumerate(indices):
             result, baseline = results[2 * offset], results[2 * offset + 1]
-            for candidate in (result, baseline):
-                if getattr(candidate, "is_failure", False):
-                    return acc, "failed", candidate
+            failed = next(
+                (c for c in (result, baseline)
+                 if getattr(c, "is_failure", False)),
+                None,
+            )
+            if failed is not None:
+                scheduler.fail(failed)
+                return scheduler.acc, "failed", failed
             values, counts = extract_metrics(result, baseline)
-            acc.push(values, counts)
+            scheduler.record(index, values, counts)
             if on_run is not None:
-                telem = getattr(result, "telemetry", None)
-                summary = (
-                    telem.metrics.summary()
-                    if telem is not None and telem.metrics is not None
-                    else None
-                )
-                run_spec = pairs[offset][0]
-                snapshot_key = None
-                if getattr(run_spec, "snapshot_dir", None) is not None:
-                    from repro.snapshot import snapshot_eligible
-
-                    if snapshot_eligible(run_spec):
-                        snapshot_key = run_spec.warmup_key()
+                summary, snapshot_key = draw_metadata(pairs[offset][0], result)
                 on_run(point, index, spec.seed_for(point, index),
                        values, counts, summary, snapshot_key=snapshot_key)
 
@@ -210,6 +230,10 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
     manifest = read_manifest(directory)
     spec = CampaignSpec.from_dict(manifest["spec"])
     journal = Journal(directory)
+    if resume:
+        # a kill mid-append leaves a torn trailing record; truncate it
+        # before appending or the next event would concatenate onto it
+        journal.repair()
     state = journal.replay()
     if state.done:
         return write_reports(directory)
@@ -239,15 +263,9 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
 
     def on_run(point, index, seed, values, counts, telemetry=None,
                snapshot_key=None):
-        event = {
-            "event": "run", "point": point.id, "index": index,
-            "seed": seed, "metrics": values, "counts": counts,
-        }
-        if telemetry is not None:
-            event["telemetry"] = telemetry
-        if snapshot_key is not None:
-            event["snapshot"] = snapshot_key
-        journal.append(event)
+        journal.append(run_event(
+            point.id, index, seed, values, counts, telemetry, snapshot_key
+        ))
 
     with journal:
         for point in spec.points():
@@ -268,11 +286,7 @@ def run_campaign(directory, spec=None, jobs=1, cache=True, cache_dir=None,
                 # the point is journaled as completed-but-failed (resume
                 # skips it; the campaign continues past it) with enough
                 # to find and replay the repro bundle
-                event["failure"] = {
-                    "kind": failure.kind,
-                    "spec": repr(failure.spec),
-                    "bundle": failure.bundle_path,
-                }
+                event["failure"] = failure_record(failure)
             journal.append(event)
         journal.append({"event": "done"})
     return write_reports(directory)

@@ -19,12 +19,44 @@ and continue partial points from their recorded draw count.
 
 import json
 import os
+import sys
 
 MANIFEST_NAME = "manifest.json"
 JOURNAL_NAME = "journal.jsonl"
 
 #: manifest/journal format version; bump on incompatible layout changes.
 FORMAT = 1
+
+
+def run_event(point_id, index, seed, values, counts, telemetry=None,
+              snapshot=None):
+    """The journal ``run`` event of one completed seed draw.
+
+    Single source of truth for the event shape: the single-pool executor
+    journals these directly and fleet workers stream the *same* dicts
+    over the wire, so a merged fleet journal is byte-identical to a
+    single-pool one (both serialize with ``json.dumps(sort_keys=True)``).
+    """
+    event = {
+        "event": "run", "point": point_id, "index": index,
+        "seed": seed, "metrics": values, "counts": counts,
+    }
+    if telemetry is not None:
+        event["telemetry"] = telemetry
+    if snapshot is not None:
+        event["snapshot"] = snapshot
+    return event
+
+
+def point_event(point_id, n, stopped, summary, failure=None):
+    """The journal ``point`` completion event of one grid point."""
+    event = {
+        "event": "point", "point": point_id, "n": n,
+        "stopped": stopped, "summary": summary,
+    }
+    if failure is not None:
+        event["failure"] = failure
+    return event
 
 
 def write_manifest(directory, spec, extra=None):
@@ -85,11 +117,15 @@ class JournalState:
 
 
 class Journal:
-    """Append-only JSONL event log of one campaign directory."""
+    """Append-only JSONL event log of one campaign directory.
 
-    def __init__(self, directory):
+    ``name`` overrides the journal filename — fleet coordinators keep one
+    journal per shard (``shards/<worker>.jsonl``) with the same mechanics.
+    """
+
+    def __init__(self, directory, name=JOURNAL_NAME):
         self.directory = str(directory)
-        self.path = os.path.join(self.directory, JOURNAL_NAME)
+        self.path = os.path.join(self.directory, name)
         self._fh = None
 
     def append(self, event):
@@ -105,6 +141,45 @@ class Journal:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    def repair(self):
+        """Truncate a torn trailing record (a crash mid-append) in place.
+
+        A kill during :meth:`append` can leave a partial final line with
+        no newline. :meth:`replay` already tolerates it, but *appending*
+        after one would concatenate the next event onto the torn bytes,
+        silently losing that event on the next replay. Resume paths call
+        this first: a complete-but-unterminated final record gets its
+        newline (it parsed, so it is safe to keep); an undecodable tail
+        is logged and truncated — the draw it described re-executes
+        deterministically from its journaled-elsewhere seed stream.
+
+        Returns the number of bytes dropped (0 when the tail is clean).
+        """
+        try:
+            fh = open(self.path, "rb+")
+        except FileNotFoundError:
+            return 0
+        with fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return 0
+            cut = data.rfind(b"\n") + 1  # 0 when the whole file is one tail
+            tail = data[cut:]
+            try:
+                json.loads(tail.decode())
+            except (UnicodeDecodeError, ValueError):
+                fh.truncate(cut)
+                print(
+                    f"[journal] truncated torn trailing record "
+                    f"({len(tail)} bytes) in {self.path}",
+                    file=sys.stderr,
+                )
+                return len(tail)
+            # the record survived the crash intact — just never got its
+            # line terminator; complete it rather than re-executing
+            fh.write(b"\n")
+            return 0
 
     def __enter__(self):
         return self

@@ -1,0 +1,536 @@
+"""Fleet coordinator: lease campaign draws to workers, own the stopping.
+
+The coordinator is the only process that decides anything statistical.
+It expands the :class:`~repro.campaign.plan.CampaignSpec` grid into
+:class:`~repro.campaign.scheduler.PointScheduler` objects — the same
+batch iterator the single-pool executor drives — and leases each
+scheduler's pending draw indices to whichever worker asks. Workers only
+execute: they stream back one journal ``run`` event per completed draw,
+and the coordinator appends it to that worker's shard journal, feeds the
+scheduler, and fires the stopping rule at exactly the batch boundaries a
+single-pool run would. A completed fleet campaign therefore merges
+(:mod:`repro.fleet.merge`) into a journal — and report — byte-identical
+to ``campaign run`` of the same spec.
+
+Robustness invariants:
+
+* **Exactly-once accounting** — a draw index enters a point's
+  accumulator at most once (scheduler gate); re-executed draws after a
+  lease reassignment are deterministic duplicates and are dropped.
+* **Worker death** — a closed connection or an expired heartbeat
+  revokes the worker's leases; the unrecorded indices are re-leased.
+  Entries already journaled from the dead worker are kept.
+* **Coordinator death** — every accepted entry was already fsynced to a
+  shard journal; a restarted coordinator replays shards (+ the lease
+  ledger for lease numbering) and continues, identical to single-pool
+  ``campaign resume``.
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from repro.campaign.journal import (
+    Journal,
+    read_manifest,
+    write_manifest,
+)
+from repro.campaign.plan import CampaignSpec
+from repro.campaign.scheduler import PointScheduler
+from repro.campaign.status import status_from_state
+from repro.fleet.ledger import LeaseLedger
+from repro.fleet.merge import (
+    COORDINATOR_SHARD,
+    merge_journals,
+    replay_shards,
+    shard_dir,
+    shard_path,
+)
+from repro.fleet.protocol import ProtocolError, read_message, send_message
+
+ENDPOINT_NAME = "coordinator.json"
+
+#: shard names come off the wire; anything fancier than this is either a
+#: bug or an attempted path escape, and is rejected at hello time
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-"
+)
+
+
+def valid_worker_name(name):
+    return (
+        isinstance(name, str)
+        and 0 < len(name) <= 64
+        and not name.startswith(".")
+        and not name.startswith("_")
+        and set(name) <= _NAME_OK
+    )
+
+
+def read_endpoint(directory):
+    """The ``{host, port, pid}`` a serving coordinator advertised."""
+    with open(os.path.join(str(directory), ENDPOINT_NAME)) as fh:
+        return json.load(fh)
+
+
+class FleetError(RuntimeError):
+    """The fleet service could not start or proceed."""
+
+
+class FleetCoordinator:
+    """One campaign's coordinator service (asyncio TCP)."""
+
+    def __init__(self, directory, spec=None, host="127.0.0.1", port=0,
+                 heartbeat_timeout=15.0, wait_delay=0.5, linger=1.0,
+                 resume=False, cache=True, cache_dir=None, snapshots=True,
+                 snapshot_dir=None):
+        self.directory = str(directory)
+        self.host = host
+        self.port = port  # 0 = ephemeral; rebound to the real port on serve
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.wait_delay = float(wait_delay)
+        self.linger = float(linger)
+        self.resume = resume
+        self.cache = bool(cache)
+        self.cache_dir = cache_dir
+        self.snapshots = bool(snapshots)
+        self.snapshot_dir = snapshot_dir
+        self._given_spec = spec
+        #: set once the server socket is bound and the endpoint file is
+        #: written — `fleet run` awaits it before spawning workers
+        self.ready = asyncio.Event()
+        self._done = asyncio.Event()
+        self._finished = False
+        self._report = None
+        self._schedulers = {}  # point id -> PointScheduler (open points)
+        self._points = {}  # point id -> GridPoint
+        self._completed = {}  # point id -> replayed/created point event
+        self._order = []  # point ids in grid order
+        self._leases = {}  # lease id -> {point, indices(set), worker}
+        self._point_lease = {}  # point id -> active lease id
+        self._next_lease = 1
+        self._worker_last = {}  # worker -> monotonic last-seen
+        self._worker_conn = {}  # worker -> owning connection id
+        self._worker_point = {}  # worker -> last leased point (locality)
+        self._writers = {}  # worker -> writer (proactive shutdown)
+        self._shards = {}  # worker -> shard Journal
+        self._conn_seq = 0
+
+    # ------------------------------------------------------------------
+    # state (re)construction
+    # ------------------------------------------------------------------
+    def _prepare(self):
+        spec = self._given_spec
+        if spec is not None:
+            spec.validate()
+            write_manifest(self.directory, spec)
+        manifest = read_manifest(self.directory)
+        self.spec = CampaignSpec.from_dict(manifest["spec"])
+        self.model_version = manifest["model_version"]
+        self.repro_dir = os.path.join(self.directory, "bundles")
+        if self.snapshots:
+            from repro.harness.parallel import default_cache_root
+
+            default_root = (
+                (self.cache_dir or default_cache_root()) if self.cache
+                else os.path.join(self.directory, "snapshots")
+            )
+            self.worker_snapshot_dir = str(
+                self.snapshot_dir or os.environ.get("REPRO_SNAPSHOT_DIR")
+                or default_root
+            )
+        else:
+            self.worker_snapshot_dir = None
+
+        base_journal = Journal(self.directory)
+        if self.resume:
+            base_journal.repair()
+            for path in self._existing_shards():
+                Journal(os.path.dirname(path),
+                        os.path.basename(path)).repair()
+        base = base_journal.replay()
+        state = replay_shards(self.directory, base=base)
+        if state.n_events and not self.resume:
+            raise FleetError(
+                f"{self.directory} already has journaled progress; "
+                "pass resume (CLI: --resume) to continue it"
+            )
+        self._ledger = LeaseLedger(self.directory)
+        self._next_lease = self._ledger.replay()["max_lease"] + 1
+
+        self._completed = dict(state.completed)
+        for point in self.spec.points():
+            self._order.append(point.id)
+            self._points[point.id] = point
+            if point.id in self._completed:
+                continue
+            scheduler = PointScheduler(self.spec, point)
+            self._replay_point(scheduler, state.runs.get(point.id, []))
+            self._schedulers[point.id] = scheduler
+        self._coord_journal = self._shard_journal(COORDINATOR_SHARD)
+        if state.done:
+            self._finished = True
+        return state
+
+    def _existing_shards(self):
+        from repro.fleet.merge import list_shards
+
+        return list_shards(self.directory)
+
+    @staticmethod
+    def _replay_point(scheduler, records):
+        """Feed journaled draws back into a fresh scheduler.
+
+        Full batches replay and close; a partially-journaled batch stays
+        in flight with its missing indices pending (they re-lease).
+        """
+        by_index = {r["index"]: r for r in records}
+        while not scheduler.done:
+            if scheduler.next_batch() is None:
+                break
+            missing = [i for i in scheduler.pending() if i not in by_index]
+            for i in list(scheduler.pending()):
+                record = by_index.get(i)
+                if record is not None:
+                    scheduler.record(i, record["metrics"], record["counts"])
+            if missing:
+                break
+
+    def _shard_journal(self, name):
+        journal = self._shards.get(name)
+        if journal is None:
+            journal = Journal(shard_dir(self.directory), f"{name}.jsonl")
+            self._shards[name] = journal
+        return journal
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    async def serve(self):
+        """Run the campaign to completion; returns the report dict.
+
+        Binds, writes ``coordinator.json`` (host/port/pid — how workers
+        started with ``--dir`` find the socket), serves until every grid
+        point's stopping rule fired, then merges the shard journals and
+        writes the canonical report. Lingers briefly so connected
+        workers hear ``shutdown`` instead of a reset connection.
+        """
+        try:
+            self._prepare()
+        except BaseException:
+            # a startup failure must still release fleet_run's barrier —
+            # it awaits `ready` before checking whether serve() died
+            self.ready.set()
+            raise
+        if self._finished:
+            # resuming an already-complete campaign: just (re)merge
+            self._finalize_outputs()
+            self.ready.set()
+            return self._report
+        server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self._write_endpoint()
+        reaper = asyncio.create_task(self._reap_expired())
+        self.ready.set()
+        try:
+            # every point may already be journaled complete (resume of a
+            # campaign killed between last entry and its point event)
+            self._sweep_finished()
+            await self._done.wait()
+            self._finalize_outputs()
+            await asyncio.sleep(self.linger)
+        finally:
+            reaper.cancel()
+            server.close()
+            await server.wait_closed()
+            for journal in self._shards.values():
+                journal.close()
+            self._ledger.close()
+        return self._report
+
+    def _write_endpoint(self):
+        path = os.path.join(self.directory, ENDPOINT_NAME)
+        os.makedirs(self.directory, exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "w") as fh:
+            json.dump(
+                {"host": self.host, "port": self.port, "pid": os.getpid()},
+                fh, sort_keys=True,
+            )
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def _finalize_outputs(self):
+        from repro.campaign.report import write_reports
+
+        merge_journals(self.directory)
+        self._report = write_reports(self.directory)
+
+    async def _reap_expired(self):
+        interval = max(0.05, self.heartbeat_timeout / 4.0)
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for name, last in list(self._worker_last.items()):
+                if now - last > self.heartbeat_timeout:
+                    self._drop_worker(name, "heartbeat timeout")
+
+    def _drop_worker(self, name, reason):
+        self._revoke_leases(name, reason)
+        self._worker_last.pop(name, None)
+        self._worker_conn.pop(name, None)
+        self._writers.pop(name, None)
+
+    def _revoke_leases(self, name, reason):
+        """Return ``name``'s leased indices to their schedulers' pools."""
+        for lease_id, lease in list(self._leases.items()):
+            if lease["worker"] == name:
+                self._ledger.revoked(lease_id, reason)
+                del self._leases[lease_id]
+                self._point_lease.pop(lease["point"], None)
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer):
+        self._conn_seq += 1
+        conn_id = self._conn_seq
+        name = None
+        try:
+            while True:
+                message = await read_message(reader)
+                kind = message.get("type")
+                if name is not None:
+                    self._worker_last[name] = time.monotonic()
+                if kind == "hello":
+                    name = await self._handle_hello(message, writer, conn_id)
+                    if name is None:
+                        return
+                elif kind == "status":
+                    await send_message(
+                        writer, {"type": "status", "status": self.status()}
+                    )
+                elif kind == "heartbeat":
+                    pass
+                elif name is None:
+                    await send_message(writer, {
+                        "type": "error",
+                        "reason": f"{kind!r} before hello",
+                    })
+                    return
+                elif kind == "request":
+                    await send_message(writer, self._grant(name))
+                elif kind == "entry":
+                    self._handle_entry(name, message)
+                elif kind == "failure":
+                    self._handle_failure(message)
+                elif kind == "lease_done":
+                    self._release_lease(message.get("lease"), completed=True)
+        except (ConnectionResetError, ProtocolError, OSError):
+            pass
+        finally:
+            if name is not None and self._worker_conn.get(name) == conn_id:
+                self._drop_worker(name, "disconnected")
+            writer.close()
+
+    async def _handle_hello(self, message, writer, conn_id):
+        name = message.get("worker")
+        if not valid_worker_name(name):
+            await send_message(writer, {
+                "type": "error",
+                "reason": f"invalid worker name {name!r}",
+            })
+            return None
+        version = message.get("model_version")
+        if version != self.model_version:
+            await send_message(writer, {
+                "type": "error",
+                "reason": (
+                    f"model version mismatch: campaign is "
+                    f"{self.model_version}, worker runs {version} — "
+                    "deploy matching sources before joining the fleet"
+                ),
+            })
+            return None
+        # a worker that reconnects holds no lease state any more; return
+        # leases from its previous connection to the pool right away
+        self._revoke_leases(name, "reconnected")
+        self._worker_last[name] = time.monotonic()
+        self._worker_conn[name] = conn_id
+        self._writers[name] = writer
+        await send_message(writer, {
+            "type": "config",
+            "spec": self.spec.to_dict(),
+            "directory": self.directory,
+            "repro_dir": self.repro_dir,
+            "snapshot_dir": self.worker_snapshot_dir,
+            "cache": self.cache,
+            "cache_dir": self.cache_dir,
+            "heartbeat": max(0.1, self.heartbeat_timeout / 3.0),
+        })
+        return name
+
+    # ------------------------------------------------------------------
+    # leasing
+    # ------------------------------------------------------------------
+    def _grant(self, worker):
+        """A lease / wait / shutdown reply for a work request."""
+        if self._finished:
+            return {"type": "shutdown"}
+        preferred = self._worker_point.get(worker)
+        order = self._order
+        if preferred in self._schedulers:
+            order = [preferred] + [p for p in order if p != preferred]
+        for point_id in order:
+            scheduler = self._schedulers.get(point_id)
+            if (
+                scheduler is None
+                or scheduler.done
+                or point_id in self._point_lease
+            ):
+                continue
+            if scheduler.next_batch() is None:
+                self._finalize_point(point_id)
+                if self._finished:
+                    return {"type": "shutdown"}
+                continue
+            indices = scheduler.pending()
+            lease_id = self._next_lease
+            self._next_lease += 1
+            self._leases[lease_id] = {
+                "point": point_id, "indices": set(indices), "worker": worker,
+            }
+            self._point_lease[point_id] = lease_id
+            self._worker_point[worker] = point_id
+            self._ledger.granted(lease_id, point_id, indices, worker)
+            point = self._points[point_id]
+            return {
+                "type": "lease",
+                "lease": lease_id,
+                "point": {
+                    "benchmark": point.benchmark,
+                    "scheme": point.scheme.name,
+                    "vdd": point.vdd,
+                },
+                "indices": indices,
+            }
+        return {"type": "wait", "delay": self.wait_delay}
+
+    def _release_lease(self, lease_id, completed, reason="released"):
+        lease = self._leases.pop(lease_id, None)
+        if lease is None:
+            return
+        self._point_lease.pop(lease["point"], None)
+        if completed:
+            self._ledger.completed(lease_id)
+        else:
+            self._ledger.revoked(lease_id, reason)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def _handle_entry(self, worker, message):
+        entry = message.get("entry") or {}
+        point_id = entry.get("point")
+        scheduler = self._schedulers.get(point_id)
+        if scheduler is None:
+            return  # stale entry for an already-finalized point
+        accepted = scheduler.record(
+            entry["index"], entry["metrics"], entry["counts"]
+        )
+        if not accepted:
+            return  # duplicate from a revoked lease: exactly-once gate
+        self._shard_journal(worker).append(entry)
+        lease_id = self._point_lease.get(point_id)
+        if lease_id is not None:
+            lease = self._leases[lease_id]
+            lease["indices"].discard(entry["index"])
+            if not lease["indices"]:
+                self._release_lease(lease_id, completed=True)
+        if scheduler.next_batch() is None and scheduler.done:
+            self._finalize_point(point_id)
+
+    def _handle_failure(self, message):
+        point_id = message.get("point")
+        scheduler = self._schedulers.get(point_id)
+        if scheduler is None or scheduler.done:
+            return
+        scheduler.fail(message.get("failure") or {})
+        lease_id = self._point_lease.get(point_id)
+        if lease_id is not None:
+            self._release_lease(lease_id, completed=False,
+                                reason="point failed")
+        self._finalize_point(point_id)
+
+    def _finalize_point(self, point_id):
+        scheduler = self._schedulers.get(point_id)
+        if scheduler is None or point_id in self._completed:
+            return
+        event = scheduler.completion_event()
+        self._coord_journal.append(event)
+        self._completed[point_id] = event
+        del self._schedulers[point_id]
+        lease_id = self._point_lease.get(point_id)
+        if lease_id is not None:
+            self._release_lease(lease_id, completed=False,
+                                reason="point finalized")
+        if not self._schedulers:
+            self._finish()
+
+    def _sweep_finished(self):
+        """Finalize points whose stopping rule already fired on replay."""
+        for point_id in list(self._schedulers):
+            scheduler = self._schedulers[point_id]
+            if scheduler.next_batch() is None and scheduler.done:
+                self._finalize_point(point_id)
+        if not self._schedulers and not self._finished:
+            self._finish()
+
+    def _finish(self):
+        if self._finished:
+            return
+        self._finished = True
+        self._coord_journal.append({"event": "done"})
+        self._done.set()
+        # proactively shut connected workers down; they may be deep in a
+        # wait backoff and would otherwise find a closed socket
+        for name, writer in list(self._writers.items()):
+            try:
+                from repro.fleet.protocol import encode
+
+                writer.write(encode({"type": "shutdown"}))
+            except (ConnectionResetError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    def status(self):
+        """Live status dict (same shape as ``campaign status`` + fleet)."""
+        state = replay_shards(
+            self.directory, base=Journal(self.directory).replay()
+        )
+        status = status_from_state(self.spec, state)
+        status["complete"] = self._finished
+        now = time.monotonic()
+        status["workers"] = {
+            name: {"last_seen_s": round(now - last, 3)}
+            for name, last in sorted(self._worker_last.items())
+        }
+        status["leases"] = [
+            {
+                "lease": lease_id,
+                "point": lease["point"],
+                "worker": lease["worker"],
+                "pending": sorted(lease["indices"]),
+            }
+            for lease_id, lease in sorted(self._leases.items())
+        ]
+        return status
+
+
+def serve_fleet(directory, spec=None, **kwargs):
+    """Run a coordinator to campaign completion (blocking wrapper)."""
+    coordinator = FleetCoordinator(directory, spec=spec, **kwargs)
+    return asyncio.run(coordinator.serve())

@@ -1,0 +1,85 @@
+"""Lease ledger: append-only record of the coordinator's dispatch state.
+
+The shard journals are the source of truth for *completed* draws; the
+ledger records what was *in flight* — which draw indices were leased to
+which worker, and how each lease ended (completed, revoked on heartbeat
+expiry, or orphaned by a coordinator crash). A restarted coordinator
+replays it to continue lease numbering and to log the leases that died
+with it; ``fleet status`` and the fault-path tests read it to audit the
+reassignment story (every revoked lease's indices must reappear under a
+later lease or in the journal).
+"""
+
+import json
+import os
+
+LEDGER_NAME = "leases.jsonl"
+
+
+class LeaseLedger:
+    """Append-only JSONL ledger under a fleet campaign directory."""
+
+    def __init__(self, directory):
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, LEDGER_NAME)
+        self._fh = None
+
+    def append(self, record):
+        if self._fh is None:
+            os.makedirs(self.directory, exist_ok=True)
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    def granted(self, lease_id, point_id, indices, worker):
+        self.append({
+            "event": "lease", "lease": lease_id, "point": point_id,
+            "indices": list(indices), "worker": worker,
+        })
+
+    def completed(self, lease_id):
+        self.append({"event": "complete", "lease": lease_id})
+
+    def revoked(self, lease_id, reason):
+        self.append({"event": "revoke", "lease": lease_id, "reason": reason})
+
+    # ------------------------------------------------------------------
+    def replay(self):
+        """{"max_lease": int, "open": {lease_id: grant-record}}.
+
+        ``open`` holds leases with neither a ``complete`` nor a
+        ``revoke`` record — in flight at the last coordinator death.
+        Torn trailing lines are ignored (the ledger is advisory; the
+        shard journals carry the ground truth).
+        """
+        max_lease = 0
+        open_leases = {}
+        try:
+            fh = open(self.path)
+        except FileNotFoundError:
+            return {"max_lease": 0, "open": {}}
+        with fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                lease_id = record.get("lease")
+                if not isinstance(lease_id, int):
+                    continue
+                max_lease = max(max_lease, lease_id)
+                if record.get("event") == "lease":
+                    open_leases[lease_id] = record
+                else:
+                    open_leases.pop(lease_id, None)
+        return {"max_lease": max_lease, "open": open_leases}

@@ -1,0 +1,110 @@
+"""Length-prefixed JSON wire protocol of the campaign fleet.
+
+Every message is one JSON object framed as a 4-byte big-endian payload
+length followed by the UTF-8 payload. Framing (not newline-delimiting)
+keeps the stream robust to payloads containing anything JSON can carry —
+telemetry summaries, repro-bundle paths, full campaign specs — and
+makes partial reads detectable: a connection that dies mid-frame raises
+instead of yielding a torn message.
+
+Message shapes (``"type"`` discriminates):
+
+worker -> coordinator
+    ``hello``       {worker, model_version}
+    ``request``     ask for a lease (the reply is ``lease``, ``wait``,
+                    or ``shutdown``)
+    ``entry``       {lease, entry} — one journal ``run`` event, verbatim
+    ``failure``     {lease, point, index, failure} — a RunFailure draw
+    ``lease_done``  {lease}
+    ``heartbeat``   {} — liveness (any message also refreshes the clock)
+    ``status``      ask for the coordinator's live status dict
+
+coordinator -> worker
+    ``config``      {spec, directory, repro_dir, snapshot_dir, ...}
+    ``lease``       {lease, point: {benchmark, scheme, vdd}, indices}
+    ``wait``        {delay} — no work right now, retry after ``delay``
+    ``shutdown``    campaign complete, disconnect
+    ``status``      {status} — reply to a ``status`` ask
+    ``error``       {reason} — protocol/compatibility rejection
+"""
+
+import asyncio
+import json
+
+#: frame-size ceiling; a campaign message is a few KB, so anything near
+#: this is a corrupted or hostile stream, not a big telemetry summary
+MAX_FRAME = 8 * 1024 * 1024
+
+_HEADER = 4
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid protocol frame."""
+
+
+def encode(message):
+    """One wire frame (bytes) for ``message`` (a JSON-safe dict)."""
+    payload = json.dumps(message, sort_keys=True).encode()
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"message of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME}-byte frame ceiling"
+        )
+    return len(payload).to_bytes(_HEADER, "big") + payload
+
+
+def decode_frames(buffer):
+    """Split ``buffer`` (bytes) into (messages, remainder) — test helper."""
+    messages = []
+    offset = 0
+    while len(buffer) - offset >= _HEADER:
+        length = int.from_bytes(buffer[offset:offset + _HEADER], "big")
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame of {length} bytes exceeds ceiling")
+        if len(buffer) - offset - _HEADER < length:
+            break
+        start = offset + _HEADER
+        messages.append(json.loads(buffer[start:start + length]))
+        offset = start + length
+    return messages, buffer[offset:]
+
+
+async def send_message(writer, message, lock=None):
+    """Frame and send ``message`` on an asyncio stream writer.
+
+    ``lock`` (an :class:`asyncio.Lock`) serializes senders when several
+    tasks share one connection (a worker's heartbeat task vs its draw
+    streamer); each frame is a single ``write`` call either way, so
+    frames can never interleave mid-message.
+    """
+    frame = encode(message)
+    if lock is None:
+        writer.write(frame)
+        await writer.drain()
+        return
+    async with lock:
+        writer.write(frame)
+        await writer.drain()
+
+
+async def read_message(reader):
+    """Read one framed message; raises on EOF mid-frame or bad frames."""
+    try:
+        header = await reader.readexactly(_HEADER)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise ConnectionResetError("connection closed") from None
+        raise ProtocolError("connection died mid-frame header") from None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds ceiling")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError(
+            f"connection died mid-frame ({length}-byte payload)"
+        ) from None
+    try:
+        return json.loads(payload)
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame payload: {exc}") from None

@@ -1,0 +1,162 @@
+"""Local fleet runner: one coordinator plus N worker subprocesses.
+
+:func:`fleet_run` is the one-command path (`fleet run` on the CLI): it
+serves the coordinator in-process on an ephemeral localhost port, spawns
+``workers`` worker subprocesses pointed at it, and returns the final
+report — the distributed twin of :func:`repro.campaign.executor.
+run_campaign`, producing a byte-identical ``journal.jsonl`` and
+``report.json``. It is also what the throughput benchmark and the CI
+fleet-smoke job drive.
+
+Workers are real subprocesses (``python -m repro.harness.cli fleet
+worker``), not threads, so the fault-tolerance paths exercised in tests
+— SIGKILL mid-lease, heartbeat expiry — are the same paths a multi-host
+fleet exercises.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+
+from repro.fleet.coordinator import FleetCoordinator
+
+
+def query_status(host, port, timeout=5.0):
+    """Ask a live coordinator for its status dict (blocking)."""
+    from repro.fleet.protocol import read_message, send_message
+
+    async def _query():
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        try:
+            await send_message(writer, {"type": "status"})
+            reply = await asyncio.wait_for(read_message(reader), timeout)
+        finally:
+            writer.close()
+        if reply.get("type") != "status":
+            raise RuntimeError(
+                f"coordinator replied {reply.get('type')!r} to a status ask"
+            )
+        return reply["status"]
+
+    return asyncio.run(_query())
+
+
+def offline_status(directory):
+    """Status of a fleet directory from its journals (no coordinator).
+
+    Folds the merged journal (if any) with the shard journals, so it is
+    correct for a live-but-unreachable, killed, or finished fleet — the
+    same ``campaign status`` shape, fed by :func:`replay_shards`.
+    """
+    from repro.campaign.journal import Journal, read_manifest
+    from repro.campaign.plan import CampaignSpec
+    from repro.campaign.status import status_from_state
+    from repro.fleet.merge import replay_shards
+
+    spec = CampaignSpec.from_dict(read_manifest(directory)["spec"])
+    state = replay_shards(directory, base=Journal(directory).replay())
+    return status_from_state(spec, state)
+
+
+def worker_command(host, port, name, cache=True, cache_dir=None,
+                   snapshots=True, snapshot_dir=None):
+    """argv for one worker subprocess joining ``host:port`` as ``name``."""
+    cmd = [
+        sys.executable, "-m", "repro.harness.cli", "fleet", "worker",
+        "--connect", f"{host}:{port}", "--name", name,
+    ]
+    if not cache:
+        cmd.append("--no-cache")
+    elif cache_dir:
+        cmd += ["--cache-dir", str(cache_dir)]
+    if not snapshots:
+        cmd.append("--no-snapshot")
+    elif snapshot_dir:
+        cmd += ["--snapshot-dir", str(snapshot_dir)]
+    return cmd
+
+
+def worker_env():
+    """Subprocess environment with ``repro`` importable from this tree."""
+    import repro
+
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__
+    )))
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root if not existing
+        else src_root + os.pathsep + existing
+    )
+    return env
+
+
+def spawn_worker(host, port, name, **kwargs):
+    """Start one local worker subprocess (stdout/stderr inherited)."""
+    return subprocess.Popen(
+        worker_command(host, port, name, **kwargs), env=worker_env()
+    )
+
+
+def reap_workers(procs, grace=10.0):
+    """Collect worker subprocesses, escalating to terminate/kill."""
+    codes = []
+    for proc in procs:
+        try:
+            codes.append(proc.wait(timeout=grace))
+            continue
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+        try:
+            codes.append(proc.wait(timeout=2.0))
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            codes.append(proc.wait())
+    return codes
+
+
+def fleet_run(directory, spec=None, workers=2, host="127.0.0.1", port=0,
+              resume=False, cache=True, cache_dir=None, snapshots=True,
+              snapshot_dir=None, heartbeat_timeout=15.0, linger=1.0):
+    """Run (or resume) a campaign on a local fleet; returns the report.
+
+    ``workers`` local worker subprocesses execute the draws; the
+    in-process coordinator owns leasing, journaling, and stopping. The
+    campaign directory afterwards contains the same canonical
+    ``journal.jsonl`` / ``report.json`` a single-pool run writes, plus
+    ``shards/`` and ``leases.jsonl`` for audit.
+    """
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    async def _main():
+        coordinator = FleetCoordinator(
+            directory, spec=spec, host=host, port=port, resume=resume,
+            cache=cache, cache_dir=cache_dir, snapshots=snapshots,
+            snapshot_dir=snapshot_dir, heartbeat_timeout=heartbeat_timeout,
+            linger=linger,
+        )
+        serve_task = asyncio.create_task(coordinator.serve())
+        await coordinator.ready.wait()
+        procs = []
+        if not serve_task.done():  # already-complete campaigns skip workers
+            procs = [
+                spawn_worker(
+                    coordinator.host, coordinator.port, f"worker{i}",
+                    cache=cache, cache_dir=cache_dir, snapshots=snapshots,
+                    snapshot_dir=snapshot_dir,
+                )
+                for i in range(workers)
+            ]
+        try:
+            report = await serve_task
+        finally:
+            await asyncio.to_thread(reap_workers, procs)
+        return report
+
+    return asyncio.run(_main())

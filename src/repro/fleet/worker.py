@@ -1,0 +1,245 @@
+"""Fleet worker: execute leased draws, stream journal entries back.
+
+A worker is deliberately stateless about the campaign: it connects,
+identifies itself (name + model version — the coordinator rejects a
+version skew that would silently mix incompatible simulations), receives
+the full :class:`~repro.campaign.plan.CampaignSpec` in the ``config``
+reply, and then loops *request → lease → execute → stream*. Each leased
+draw runs through the stock batch engine (:func:`repro.harness.parallel.
+run_many`): the first draw of a leased point warms its pipeline snapshot
+once, every later draw forks from it. Completed draws are streamed back
+as verbatim journal ``run`` events — the coordinator appends them to
+this worker's shard journal — and a :class:`~repro.verify.bundle.
+RunFailure` draw turns into a ``failure`` message carrying the failure
+record (its repro bundle stays on the worker's filesystem at the path
+the record names).
+
+A heartbeat task keeps the lease alive during long draws; if the worker
+dies instead, the coordinator re-leases its unfinished indices and the
+deterministic seed stream makes any overlap a harmless bit-identical
+duplicate.
+"""
+
+import asyncio
+import os
+import socket
+
+from repro.campaign.executor import draw_metadata
+from repro.campaign.journal import run_event
+from repro.campaign.plan import CampaignSpec, GridPoint, extract_metrics
+from repro.campaign.scheduler import failure_record
+from repro.fleet.protocol import ProtocolError, read_message, send_message
+
+DEFAULT_RECONNECT_ATTEMPTS = 5
+DEFAULT_RECONNECT_DELAY = 0.5
+
+
+class WorkerError(RuntimeError):
+    """The coordinator rejected this worker (bad name, version skew...)."""
+
+
+def default_worker_name():
+    host = "".join(
+        c if c.isalnum() or c in "._-" else "-" for c in socket.gethostname()
+    ) or "worker"
+    return f"{host}-{os.getpid()}"
+
+
+class FleetWorker:
+    """One worker process's connection/execution loop."""
+
+    def __init__(self, host, port, name=None, cache=True, cache_dir=None,
+                 snapshots=True, snapshot_dir=None,
+                 reconnect_attempts=DEFAULT_RECONNECT_ATTEMPTS,
+                 reconnect_delay=DEFAULT_RECONNECT_DELAY):
+        self.host = host
+        self.port = int(port)
+        self.name = name or default_worker_name()
+        self.cache = bool(cache)
+        self.cache_dir = cache_dir
+        self.snapshots = bool(snapshots)
+        self.snapshot_dir = snapshot_dir
+        self.reconnect_attempts = int(reconnect_attempts)
+        self.reconnect_delay = float(reconnect_delay)
+        self.spec = None
+        self._store = None
+        self._baseline_memo = (None, None)  # (spec key, result) w/o cache
+        self.draws_done = 0
+
+    # ------------------------------------------------------------------
+    async def run(self):
+        """Serve until the coordinator says shutdown. Returns exit code.
+
+        Connection errors reconnect with a bounded retry budget; the
+        budget resets whenever a session makes progress (a lease
+        executed), so a long campaign survives any number of transient
+        drops but a dead coordinator is given up on promptly.
+        """
+        attempts = 0
+        while True:
+            draws_before = self.draws_done
+            try:
+                await self._session()
+                return 0
+            except WorkerError as exc:
+                print(f"[fleet-worker {self.name}] rejected: {exc}",
+                      flush=True)
+                return 2
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                if self.draws_done > draws_before:
+                    attempts = 0
+                attempts += 1
+                if attempts > self.reconnect_attempts:
+                    print(
+                        f"[fleet-worker {self.name}] giving up after "
+                        f"{attempts} failed connections: {exc}",
+                        flush=True,
+                    )
+                    return 1
+                await asyncio.sleep(self.reconnect_delay)
+
+    async def _session(self):
+        from repro.harness.parallel import model_version
+
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        lock = asyncio.Lock()
+        heartbeat_task = None
+        try:
+            await send_message(writer, {
+                "type": "hello",
+                "worker": self.name,
+                "model_version": model_version(),
+            }, lock)
+            config = await read_message(reader)
+            if config.get("type") == "error":
+                raise WorkerError(config.get("reason", "rejected"))
+            if config.get("type") != "config":
+                raise ProtocolError(
+                    f"expected config, got {config.get('type')!r}"
+                )
+            self._configure(config)
+            heartbeat_task = asyncio.create_task(
+                self._heartbeat(writer, lock, config.get("heartbeat", 2.0))
+            )
+            while True:
+                await send_message(writer, {"type": "request"}, lock)
+                reply = await read_message(reader)
+                kind = reply.get("type")
+                if kind == "lease":
+                    await self._execute_lease(reply, writer, lock)
+                elif kind == "wait":
+                    await asyncio.sleep(float(reply.get("delay", 0.5)))
+                elif kind == "shutdown":
+                    return
+                elif kind == "error":
+                    raise WorkerError(reply.get("reason", "rejected"))
+        finally:
+            if heartbeat_task is not None:
+                heartbeat_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _heartbeat(self, writer, lock, interval):
+        interval = max(0.1, float(interval))
+        while True:
+            await asyncio.sleep(interval)
+            await send_message(writer, {"type": "heartbeat"}, lock)
+
+    # ------------------------------------------------------------------
+    def _configure(self, config):
+        from repro.harness.parallel import ResultCache
+
+        self.spec = CampaignSpec.from_dict(config["spec"])
+        self.spec.repro_dir = config.get("repro_dir")
+        if self.snapshots:
+            snapshot_dir = self.snapshot_dir or config.get("snapshot_dir")
+            if snapshot_dir:
+                self.spec.snapshot_dir = str(snapshot_dir)
+        if self.cache and config.get("cache", True):
+            self._store = ResultCache(
+                self.cache_dir or config.get("cache_dir")
+            )
+        else:
+            self._store = None
+
+    async def _execute_lease(self, lease, writer, lock):
+        point = GridPoint(
+            lease["point"]["benchmark"],
+            lease["point"]["scheme"],
+            lease["point"]["vdd"],
+        )
+        lease_id = lease["lease"]
+        for index in lease["indices"]:
+            kind, payload = await asyncio.to_thread(
+                self._run_draw, point, index
+            )
+            if kind == "entry":
+                self.draws_done += 1
+                await send_message(writer, {
+                    "type": "entry", "lease": lease_id, "entry": payload,
+                }, lock)
+            else:
+                await send_message(writer, {
+                    "type": "failure", "lease": lease_id,
+                    "point": point.id, "index": index, "failure": payload,
+                }, lock)
+                return
+        await send_message(
+            writer, {"type": "lease_done", "lease": lease_id}, lock
+        )
+
+    def _run_draw(self, point, index):
+        """Execute one paired draw synchronously (worker thread).
+
+        Returns ``("entry", run-event-dict)`` or ``("failure",
+        failure-record-dict)``. The run event is constructed with the
+        exact helper the single-pool journal hook uses, so the bytes the
+        coordinator appends are the bytes ``campaign run`` would have
+        written.
+        """
+        from repro.harness.parallel import run_many
+
+        run_spec, base_spec = self.spec.pair_specs(point, index)
+        store = self._store if self._store is not None else False
+        result = run_many([run_spec], jobs=1, cache=store)[0]
+        baseline = self._run_baseline(base_spec, store)
+        failed = next(
+            (c for c in (result, baseline)
+             if getattr(c, "is_failure", False)),
+            None,
+        )
+        if failed is not None:
+            return "failure", failure_record(failed)
+        values, counts = extract_metrics(result, baseline)
+        telemetry, snapshot_key = draw_metadata(run_spec, result)
+        return "entry", run_event(
+            point.id, index, self.spec.seed_for(point, index),
+            values, counts, telemetry, snapshot_key,
+        )
+
+    def _run_baseline(self, base_spec, store):
+        """The paired fault-free run, memoized per point without a cache.
+
+        In fault draw mode every draw of a point shares one baseline
+        spec; with the result cache on, :func:`run_many` already makes
+        repeats free, and without it a one-slot memo avoids re-running a
+        deterministic simulation once per draw.
+        """
+        from repro.harness.parallel import run_many
+
+        key = base_spec.key()
+        if self._store is None and self._baseline_memo[0] == key:
+            return self._baseline_memo[1]
+        baseline = run_many([base_spec], jobs=1, cache=store)[0]
+        if self._store is None and not getattr(baseline, "is_failure", False):
+            self._baseline_memo = (key, baseline)
+        return baseline
+
+
+def run_worker(host, port, **kwargs):
+    """Blocking entry point: run one worker until shutdown or error."""
+    worker = FleetWorker(host, port, **kwargs)
+    return asyncio.run(worker.run())

@@ -69,6 +69,60 @@ def _validate_schemes(names):
     return None
 
 
+def _validate_telemetry_interval(interval):
+    """Exit code (or None) after eagerly checking --telemetry-interval.
+
+    A negative window would only blow up once the first simulation
+    builds its TelemetryConfig; reject it up front like bad benchmark
+    or scheme names.
+    """
+    if interval is None or interval >= 0:
+        return None
+    print(
+        f"--telemetry-interval must be >= 0 cycles (0 = off), "
+        f"got {interval}",
+        file=sys.stderr,
+    )
+    return 2
+
+
+def _validate_endpoint(host, port, allow_ephemeral=True):
+    """Exit code (or None) after eagerly checking a host/port pair."""
+    if not str(host).strip():
+        print(
+            "--host must be a non-empty host name or address "
+            "(e.g. 127.0.0.1)",
+            file=sys.stderr,
+        )
+        return 2
+    low = 0 if allow_ephemeral else 1
+    if not low <= port <= 65535:
+        hint = "0 (pick an ephemeral port) or 1..65535" if allow_ephemeral \
+            else "1..65535"
+        print(f"--port must be {hint}, got {port}", file=sys.stderr)
+        return 2
+    return None
+
+
+def _parse_connect(value):
+    """``(host, port)`` from a HOST:PORT string; ValueError with a hint."""
+    host, sep, port_text = value.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"--connect expects HOST:PORT (e.g. 127.0.0.1:7777), "
+            f"got {value!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"--connect port must be an integer, got {port_text!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(f"--connect port must be 1..65535, got {port}")
+    return host, port
+
+
 def _build_parser():
     parser = argparse.ArgumentParser(
         prog="repro-timing",
@@ -79,7 +133,9 @@ def _build_parser():
         epilog=(
             "Statistical campaigns (grids of seeds with confidence-driven "
             "stopping) live under the 'campaign' subcommand: "
-            "repro-timing campaign {plan,run,resume,report} --dir DIR ..."
+            "repro-timing campaign {plan,run,resume,report,status} --dir "
+            "DIR ... Distributed campaigns live under 'fleet': "
+            "repro-timing fleet {serve,worker,run,status} ..."
         ),
     )
     parser.add_argument(
@@ -586,6 +642,13 @@ def _campaign_parser():
     _add_exec_options(resume)
     report = verbs.add_parser("report", help="rebuild report.json/.md")
     report.add_argument("--dir", required=True, help="campaign directory")
+    status = verbs.add_parser(
+        "status",
+        help="per-point draw counts, CI half-widths, and stopping state",
+    )
+    status.add_argument("--dir", required=True, help="campaign directory")
+    status.add_argument("--json", action="store_true",
+                        help="print the status dict as JSON")
     return parser
 
 
@@ -646,8 +709,25 @@ def _campaign_main(argv):
         code = _validate_benchmarks(args.benchmarks)
         if code is None:
             code = _validate_schemes(args.schemes)
+        if code is None:
+            code = _validate_telemetry_interval(args.telemetry_interval)
         if code is not None:
             return code
+    if args.verb == "status":
+        import json
+
+        from repro.campaign import build_status, render_status
+
+        try:
+            status = build_status(args.dir)
+        except FileNotFoundError:
+            print(f"no campaign manifest in {args.dir}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+        else:
+            print(render_status(status))
+        return 0
     if args.verb == "plan":
         try:
             spec = _campaign_spec(args).validate()
@@ -695,6 +775,248 @@ def _campaign_main(argv):
     return 0
 
 
+# ----------------------------------------------------------------------
+# fleet subcommand
+# ----------------------------------------------------------------------
+def _add_fleet_cache_options(parser):
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache location")
+    parser.add_argument("--no-snapshot", action="store_true",
+                        help="disable warmup snapshot forking")
+    parser.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                        help="warmup snapshot cache location")
+
+
+def _fleet_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-timing fleet",
+        description=(
+            "Distributed campaigns: a coordinator leases seed draws to "
+            "workers over TCP, streams their journal entries into "
+            "per-worker shards, and merges a journal/report "
+            "byte-identical to a single-pool 'campaign run'. See "
+            "docs/campaigns.md ('Running on a fleet')."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    serve = verbs.add_parser(
+        "serve", help="run the coordinator for a campaign directory"
+    )
+    serve.add_argument("--dir", required=True, help="campaign directory")
+    _add_spec_options(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to listen on (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to listen on (default 0 = ephemeral; "
+                            "the bound port lands in coordinator.json)")
+    serve.add_argument("--resume", action="store_true",
+                       help="continue a campaign with journaled progress")
+    serve.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                       metavar="S",
+                       help="seconds of worker silence before its leases "
+                            "are revoked and re-leased (default 15)")
+    _add_fleet_cache_options(serve)
+    worker = verbs.add_parser(
+        "worker", help="join a coordinator and execute leased draws"
+    )
+    worker.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="coordinator endpoint")
+    worker.add_argument("--dir", default=None,
+                        help="campaign directory to read the coordinator "
+                             "endpoint from (alternative to --connect)")
+    worker.add_argument("--name", default=None,
+                        help="worker name (shard journal name; default "
+                             "<hostname>-<pid>)")
+    _add_fleet_cache_options(worker)
+    run = verbs.add_parser(
+        "run", help="coordinator + N local workers, one command"
+    )
+    run.add_argument("--dir", required=True, help="campaign directory")
+    _add_spec_options(run)
+    run.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="local worker subprocesses (default 2)")
+    run.add_argument("--host", default="127.0.0.1",
+                     help="address to listen on (default 127.0.0.1)")
+    run.add_argument("--port", type=int, default=0,
+                     help="port to listen on (default 0 = ephemeral)")
+    run.add_argument("--resume", action="store_true",
+                     help="continue a campaign with journaled progress")
+    run.add_argument("--heartbeat-timeout", type=float, default=15.0,
+                     metavar="S", help="worker-silence revocation timeout")
+    _add_fleet_cache_options(run)
+    status = verbs.add_parser(
+        "status", help="per-point progress of a fleet campaign"
+    )
+    status.add_argument("--dir", default=None,
+                        help="campaign directory (live query via its "
+                             "coordinator.json when possible, shard "
+                             "replay otherwise)")
+    status.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="ask a live coordinator directly")
+    status.add_argument("--json", action="store_true",
+                        help="print the status dict as JSON")
+    return parser
+
+
+def _fleet_endpoint(args):
+    """``(host, port)`` for worker/status verbs; ValueError with a hint."""
+    if args.connect:
+        return _parse_connect(args.connect)
+    if args.dir:
+        from repro.fleet import read_endpoint
+
+        try:
+            endpoint = read_endpoint(args.dir)
+        except FileNotFoundError:
+            raise ValueError(
+                f"no coordinator.json in {args.dir} — is a coordinator "
+                "serving this campaign? (or pass --connect HOST:PORT)"
+            ) from None
+        return endpoint["host"], endpoint["port"]
+    raise ValueError("pass --connect HOST:PORT or --dir DIR")
+
+
+def _render_fleet_extras(status):
+    lines = []
+    workers = status.get("workers")
+    if workers is not None:
+        shown = ", ".join(
+            f"{name} ({info['last_seen_s']}s ago)"
+            for name, info in workers.items()
+        ) or "none"
+        lines.append(f"  workers: {shown}")
+    leases = status.get("leases")
+    if leases is not None:
+        for lease in leases:
+            lines.append(
+                f"  lease {lease['lease']}: {lease['point']} "
+                f"-> {lease['worker']} ({len(lease['pending'])} pending)"
+            )
+    return "\n".join(lines)
+
+
+def _fleet_main(argv):
+    import json
+    import os
+
+    args = _fleet_parser().parse_args(argv)
+    if args.verb in ("serve", "run"):
+        code = _validate_benchmarks(args.benchmarks)
+        if code is None:
+            code = _validate_schemes(args.schemes)
+        if code is None:
+            code = _validate_telemetry_interval(args.telemetry_interval)
+        if code is None:
+            code = _validate_endpoint(args.host, args.port)
+        if code is not None:
+            return code
+    if args.verb == "run" and args.workers < 1:
+        print(f"--workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.verb == "worker" and args.name is not None:
+        from repro.fleet.coordinator import valid_worker_name
+
+        if not valid_worker_name(args.name):
+            print(
+                f"invalid worker name {args.name!r}: 1-64 characters "
+                "from [A-Za-z0-9._-], not starting with '.' or '_'",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.verb == "status":
+        from repro.fleet.service import offline_status, query_status
+
+        status = None
+        if args.connect or args.dir:
+            try:
+                host, port = _fleet_endpoint(args)
+                status = query_status(host, port)
+            except (ValueError, OSError, RuntimeError) as exc:
+                if args.connect or not args.dir:
+                    print(str(exc), file=sys.stderr)
+                    return 2
+        else:
+            print("pass --connect HOST:PORT or --dir DIR", file=sys.stderr)
+            return 2
+        if status is None:
+            try:
+                status = offline_status(args.dir)
+            except FileNotFoundError:
+                print(f"no campaign manifest in {args.dir}",
+                      file=sys.stderr)
+                return 2
+        if args.json:
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        from repro.campaign import render_status
+
+        print(render_status(status))
+        extras = _render_fleet_extras(status)
+        if extras:
+            print(extras)
+        return 0
+
+    if args.verb == "worker":
+        from repro.fleet import run_worker
+
+        try:
+            host, port = _fleet_endpoint(args)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        return run_worker(
+            host, port, name=args.name, cache=not args.no_cache,
+            cache_dir=args.cache_dir, snapshots=not args.no_snapshot,
+            snapshot_dir=args.snapshot_dir,
+        )
+
+    # serve / run
+    from repro.campaign import CampaignError, read_manifest
+    from repro.fleet import FleetError
+
+    spec = None
+    try:
+        read_manifest(args.dir)
+    except FileNotFoundError:
+        if args.resume:
+            print(f"no campaign manifest in {args.dir}", file=sys.stderr)
+            return 2
+        spec = _campaign_spec(args)
+    try:
+        if args.verb == "serve":
+            from repro.fleet import serve_fleet
+
+            report = serve_fleet(
+                args.dir, spec=spec, host=args.host, port=args.port,
+                resume=args.resume, cache=not args.no_cache,
+                cache_dir=args.cache_dir, snapshots=not args.no_snapshot,
+                snapshot_dir=args.snapshot_dir,
+                heartbeat_timeout=args.heartbeat_timeout,
+            )
+        else:
+            from repro.fleet import fleet_run
+
+            report = fleet_run(
+                args.dir, spec=spec, workers=args.workers, host=args.host,
+                port=args.port, resume=args.resume,
+                cache=not args.no_cache, cache_dir=args.cache_dir,
+                snapshots=not args.no_snapshot,
+                snapshot_dir=args.snapshot_dir,
+                heartbeat_timeout=args.heartbeat_timeout,
+            )
+    except (FleetError, CampaignError, ValueError,
+            FileNotFoundError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    _print_report_summary(report)
+    print(f"[wrote {os.path.join(args.dir, 'report.json')} and .md]")
+    return 0
+
+
 def main(argv=None):
     """CLI entry point."""
     if argv is None:
@@ -705,6 +1027,8 @@ def main(argv=None):
         return 0
     if argv[:1] == ["campaign"]:
         return _campaign_main(argv[1:])
+    if argv[:1] == ["fleet"]:
+        return _fleet_main(argv[1:])
     if argv[:1] == ["verify"]:
         return _verify_main(argv[1:])
     if argv[:1] == ["trace"]:

@@ -154,7 +154,7 @@ def _ensure_snapshot_worker(spec):
     ensure_snapshot(spec, spec.snapshot_dir)
 
 
-def _prewarm_snapshots(specs, n_jobs):
+def prewarm_snapshots(specs, n_jobs=1):
     """Warm each unique warmup prefix of ``specs`` once, storing snapshots.
 
     Without this pre-pass, parallel cache misses sharing one warmup
@@ -162,6 +162,10 @@ def _prewarm_snapshots(specs, n_jobs):
     store only dedupes after the first write lands. Missing prefixes are
     warmed once (in parallel when the batch itself is parallel) so the
     fan-out that follows forks every draw from a warmed snapshot.
+
+    Public because every execution tier reuses it: ``run_many`` batches,
+    the campaign executor's timeout pool, and fleet workers warming a
+    leased point once before streaming its draws.
     """
     from repro.snapshot import SnapshotCache, ensure_snapshot, snapshot_eligible
 
@@ -177,6 +181,7 @@ def _prewarm_snapshots(specs, n_jobs):
     ]
     if not todo:
         return
+    n_jobs = max(1, int(n_jobs))
     if min(n_jobs, len(todo)) > 1:
         import multiprocessing
 
@@ -189,6 +194,10 @@ def _prewarm_snapshots(specs, n_jobs):
     else:
         for spec in todo:
             ensure_snapshot(spec, spec.snapshot_dir)
+
+
+#: former private name, kept for callers that predate the public export
+_prewarm_snapshots = prewarm_snapshots
 
 
 def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
@@ -238,7 +247,7 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
     if pending:
         todo = [specs[i] for i in pending.values()]
         n_jobs = _resolve_jobs(jobs, len(todo))
-        _prewarm_snapshots(todo, n_jobs)
+        prewarm_snapshots(todo, n_jobs)
         if n_jobs > 1:
             import multiprocessing
 

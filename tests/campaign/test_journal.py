@@ -103,3 +103,84 @@ class TestJournal:
         with Journal(target) as journal:
             journal.append({"event": "done"})
         assert Journal(target).replay().done
+
+
+class TestRepair:
+    def test_truncates_torn_trailing_record(self, tmp_path, capsys):
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+        with open(Journal(tmp_path).path, "a") as fh:
+            fh.write('{"event": "run", "point": "p1", "ind')
+        journal = Journal(tmp_path)
+        dropped = journal.repair()
+        assert dropped > 0
+        assert "truncated torn trailing record" in capsys.readouterr().err
+        state = journal.replay()
+        assert state.n_torn == 0
+        assert len(state.runs["p1"]) == 1
+
+    def test_append_after_repair_yields_valid_journal(self, tmp_path):
+        """Regression: resume after a torn tail must not concatenate the
+        next event onto the partial line."""
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+        with open(Journal(tmp_path).path, "a") as fh:
+            fh.write('{"event": "run", "point": "p1", "ind')
+        journal = Journal(tmp_path)
+        journal.repair()
+        with journal:
+            journal.append(_run_event("p1", 1))
+        lines = open(journal.path).read().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+        state = Journal(tmp_path).replay()
+        assert [r["index"] for r in state.runs["p1"]] == [0, 1]
+
+    def test_complete_record_missing_newline_is_terminated(self, tmp_path):
+        """A kill between write and the newline flush loses no data."""
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+        with open(Journal(tmp_path).path, "a") as fh:
+            fh.write(json.dumps(_run_event("p1", 1)))  # no trailing \n
+        journal = Journal(tmp_path)
+        assert journal.repair() == 0
+        state = journal.replay()
+        assert [r["index"] for r in state.runs["p1"]] == [0, 1]
+        assert open(journal.path).read().endswith("\n")
+
+    def test_noop_on_clean_journal(self, tmp_path):
+        with Journal(tmp_path) as journal:
+            journal.append(_run_event("p1", 0))
+        before = open(Journal(tmp_path).path, "rb").read()
+        assert Journal(tmp_path).repair() == 0
+        assert open(Journal(tmp_path).path, "rb").read() == before
+
+    def test_noop_on_missing_journal(self, tmp_path):
+        assert Journal(tmp_path).repair() == 0
+
+    def test_resume_through_torn_tail(self, tmp_path):
+        """End to end: a campaign killed mid-append resumes cleanly."""
+        from repro.harness.cli import main
+
+        args = ["--dir", str(tmp_path), "--benchmarks", "astar",
+                "--schemes", "EP", "--instructions", "500", "--warmup",
+                "250", "--seeds-min", "2", "--seeds-max", "2", "--batch",
+                "2", "--no-cache"]
+        assert main(["campaign", "run"] + args) == 0
+        journal_path = Journal(tmp_path).path
+        clean = open(journal_path).read()
+        # drop the completion events and tear the last run record
+        lines = [
+            line for line in clean.splitlines()
+            if '"event": "run"' in line
+        ]
+        with open(journal_path, "w") as fh:
+            fh.write("\n".join(lines[:-1]) + "\n")
+            fh.write(lines[-1][: len(lines[-1]) // 2])
+        assert main(
+            ["campaign", "resume", "--dir", str(tmp_path), "--no-cache"]
+        ) == 0
+        state = Journal(tmp_path).replay()
+        assert state.done
+        assert state.n_torn == 0

@@ -1,0 +1,153 @@
+"""PointScheduler: batching, stopping parity, exactly-once accounting."""
+
+from repro.campaign.plan import CampaignSpec
+from repro.campaign.scheduler import PointScheduler, failure_record
+
+
+def _spec(min_seeds=2, max_seeds=6, batch=2, targets=None):
+    return CampaignSpec(
+        name="s", benchmarks=["astar"], schemes=["EP"],
+        n_instructions=500, warmup=250, min_seeds=min_seeds,
+        max_seeds=max_seeds, batch_size=batch, targets=targets,
+    )
+
+
+def _values(index, spread=0.0):
+    return (
+        {"perf_overhead": 0.1 + spread * index, "ed_overhead": 0.2,
+         "ipc": 1.0, "fault_rate": 0.01, "replay_rate": 0.0},
+        {"faults": 1, "replays": 0, "committed": 500},
+    )
+
+
+def _scheduler(**kwargs):
+    spec = _spec(**kwargs)
+    return PointScheduler(spec, spec.points()[0])
+
+
+class TestBatching:
+    def test_first_batch_starts_at_zero(self):
+        scheduler = _scheduler()
+        assert list(scheduler.next_batch()) == [0, 1]
+        assert scheduler.pending() == [0, 1]
+
+    def test_batch_reissued_until_complete(self):
+        scheduler = _scheduler()
+        scheduler.next_batch()
+        values, counts = _values(0)
+        assert scheduler.record(0, values, counts)
+        # still the same in-flight batch, index 1 pending
+        assert list(scheduler.next_batch()) == [0, 1]
+        assert scheduler.pending() == [1]
+
+    def test_accumulator_fed_only_at_batch_close(self):
+        scheduler = _scheduler()
+        scheduler.next_batch()
+        scheduler.record(1, *_values(1))
+        assert scheduler.acc.n == 0  # buffered, not pushed
+        scheduler.record(0, *_values(0))
+        assert scheduler.acc.n == 2  # whole batch pushed, in index order
+
+    def test_final_batch_clipped_to_max_seeds(self):
+        scheduler = _scheduler(min_seeds=3, max_seeds=3, batch=2,
+                               targets={"perf_overhead": 1e-9})
+        for i in scheduler.next_batch():
+            scheduler.record(i, *_values(i, spread=0.5))
+        assert list(scheduler.next_batch()) == [2]
+
+    def test_stops_at_max_seeds(self):
+        scheduler = _scheduler(min_seeds=2, max_seeds=4, batch=2,
+                               targets={"perf_overhead": 1e-12})
+        while True:
+            batch = scheduler.next_batch()
+            if batch is None:
+                break
+            for i in batch:
+                scheduler.record(i, *_values(i, spread=0.3))
+        assert scheduler.stopped == "max_seeds"
+        assert scheduler.acc.n == 4
+
+    def test_stops_on_ci_at_batch_boundary(self):
+        # identical draws -> zero variance -> converged after min_seeds
+        scheduler = _scheduler(min_seeds=2, max_seeds=10, batch=2)
+        for i in scheduler.next_batch():
+            scheduler.record(i, *_values(i))
+        assert scheduler.next_batch() is None
+        assert scheduler.stopped == "ci"
+        assert scheduler.done
+
+
+class TestExactlyOnce:
+    def test_duplicate_index_rejected(self):
+        scheduler = _scheduler()
+        scheduler.next_batch()
+        assert scheduler.record(0, *_values(0))
+        assert not scheduler.record(0, *_values(0))
+
+    def test_index_outside_batch_rejected(self):
+        scheduler = _scheduler()
+        scheduler.next_batch()
+        assert not scheduler.record(5, *_values(5))
+
+    def test_replayed_index_from_closed_batch_rejected(self):
+        """A revoked lease's late duplicate of a pushed draw is dropped."""
+        scheduler = _scheduler(min_seeds=4, max_seeds=4, batch=2,
+                               targets={"perf_overhead": 1e-12})
+        for i in scheduler.next_batch():
+            scheduler.record(i, *_values(i, spread=0.2))
+        scheduler.next_batch()  # opens [2, 3]
+        assert not scheduler.record(0, *_values(0, spread=0.2))
+        assert scheduler.acc.n == 2
+
+    def test_record_after_stop_rejected(self):
+        scheduler = _scheduler()
+        for i in scheduler.next_batch():
+            scheduler.record(i, *_values(i))
+        assert scheduler.next_batch() is None
+        assert not scheduler.record(2, *_values(2))
+
+
+class TestFailure:
+    def test_fail_keeps_contiguous_prefix(self):
+        """Draws before the failing index stay, like the serial executor."""
+        scheduler = _scheduler(min_seeds=4, max_seeds=4, batch=4)
+        scheduler.next_batch()
+        scheduler.record(0, *_values(0))
+        scheduler.record(1, *_values(1))
+        scheduler.record(3, *_values(3))  # index 2 failed; 3 buffered
+        scheduler.fail({"kind": "divergence", "spec": "...", "bundle": "b"})
+        assert scheduler.stopped == "failed"
+        assert scheduler.acc.n == 2  # 0 and 1 pushed; 3 dropped (gap at 2)
+
+    def test_completion_event_carries_failure(self):
+        scheduler = _scheduler()
+        failure = {"kind": "hang", "spec": "...", "bundle": "x.json"}
+        scheduler.fail(failure)
+        event = scheduler.completion_event()
+        assert event["event"] == "point"
+        assert event["stopped"] == "failed"
+        assert event["failure"] == failure
+        assert event["summary"] is None
+
+    def test_failure_record_shape(self):
+        class Boom:
+            kind = "divergence"
+            spec = "RunSpec(...)"
+            bundle_path = "/tmp/b.json"
+
+        record = failure_record(Boom())
+        assert set(record) == {"kind", "spec", "bundle"}
+        assert record["kind"] == "divergence"
+        assert record["bundle"] == "/tmp/b.json"
+
+
+class TestCompletionEvent:
+    def test_matches_executor_point_event_shape(self):
+        scheduler = _scheduler()
+        for i in scheduler.next_batch():
+            scheduler.record(i, *_values(i))
+        scheduler.next_batch()
+        event = scheduler.completion_event()
+        assert set(event) == {"event", "point", "n", "stopped", "summary"}
+        assert event["n"] == 2
+        assert event["stopped"] == "ci"

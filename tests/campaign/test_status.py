@@ -1,0 +1,116 @@
+"""`campaign status`: per-point progress from a replayed journal."""
+
+import json
+
+from repro.campaign.journal import Journal, write_manifest
+from repro.campaign.plan import CampaignSpec
+from repro.campaign.status import build_status, render_status
+from repro.harness.cli import main
+
+
+def _spec():
+    return CampaignSpec(
+        name="st", benchmarks=["astar"], schemes=["EP", "ABS"],
+        n_instructions=500, warmup=250, min_seeds=2, max_seeds=4,
+        batch_size=2,
+    )
+
+
+def _run(point, index):
+    return {
+        "event": "run", "point": point, "index": index, "seed": index,
+        "metrics": {"perf_overhead": 0.1, "ed_overhead": 0.2, "ipc": 1.0,
+                    "fault_rate": 0.01, "replay_rate": 0.0},
+        "counts": {"faults": 5, "replays": 0, "committed": 500},
+    }
+
+
+def _populate(directory, spec):
+    """First point completed (2 draws), second point mid-sampling."""
+    write_manifest(directory, spec)
+    first, second = (p.id for p in spec.points())
+    with Journal(directory) as journal:
+        journal.append(_run(first, 0))
+        journal.append(_run(first, 1))
+        journal.append({"event": "point", "point": first, "n": 2,
+                        "stopped": "ci", "summary": {}})
+        journal.append(_run(second, 0))
+    return first, second
+
+
+class TestBuildStatus:
+    def test_mixed_progress(self, tmp_path):
+        spec = _spec()
+        first, second = _populate(tmp_path, spec)
+        status = build_status(tmp_path)
+        assert status["campaign"] == "st"
+        assert not status["complete"]
+        assert status["points_done"] == 1
+        assert status["runs_total"] == 3
+        by_id = {p["point"]: p for p in status["points"]}
+        assert by_id[first]["state"] == "ci"
+        assert by_id[first]["stopped"] == "ci"
+        assert by_id[first]["n"] == 2
+        assert by_id[second]["state"] == "sampling"
+        assert by_id[second]["stopped"] is None
+        assert by_id[second]["n"] == 1
+
+    def test_pending_point(self, tmp_path):
+        spec = _spec()
+        write_manifest(tmp_path, spec)
+        status = build_status(tmp_path)
+        for point in status["points"]:
+            assert point["state"] == "pending"
+            assert point["n"] == 0
+
+    def test_single_draw_halfwidth_is_none(self, tmp_path):
+        """n=1 gives an infinite normal CI; shown as null, not inf."""
+        spec = _spec()
+        write_manifest(tmp_path, spec)
+        with Journal(tmp_path) as journal:
+            journal.append(_run(spec.points()[0].id, 0))
+        status = build_status(tmp_path)
+        entry = status["points"][0]["targets"]["perf_overhead"]
+        assert entry["halfwidth"] is None
+        assert not entry["met"]
+
+    def test_targets_carry_goal_and_met_flag(self, tmp_path):
+        spec = _spec()
+        _populate(tmp_path, spec)
+        status = build_status(tmp_path)
+        done = status["points"][0]["targets"]
+        # two identical draws -> zero-width perf CI -> target met
+        assert done["perf_overhead"]["met"]
+        assert done["perf_overhead"]["target"] == spec.targets[
+            "perf_overhead"
+        ]
+
+
+class TestRenderAndCli:
+    def test_render_mentions_every_point(self, tmp_path):
+        spec = _spec()
+        _populate(tmp_path, spec)
+        text = render_status(build_status(tmp_path))
+        for point in spec.points():
+            assert point.id in text
+        assert "1/2 points done" in text
+
+    def test_cli_status_text(self, tmp_path, capsys):
+        _populate(tmp_path, _spec())
+        assert main(["campaign", "status", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 points done" in out
+        assert "sampling" in out
+
+    def test_cli_status_json(self, tmp_path, capsys):
+        _populate(tmp_path, _spec())
+        assert main(
+            ["campaign", "status", "--dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["points_total"] == 2
+
+    def test_cli_status_without_manifest(self, tmp_path, capsys):
+        code = main(["campaign", "status", "--dir", str(tmp_path / "no")])
+        assert code == 2
+        assert "no campaign manifest" in capsys.readouterr().err

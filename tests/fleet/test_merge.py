@@ -1,0 +1,147 @@
+"""Shard replay, exactly-once dedup, and canonical byte-identical merge."""
+
+import json
+import os
+
+from repro.campaign.journal import Journal, write_manifest
+from repro.campaign.plan import CampaignSpec
+from repro.fleet.merge import (
+    list_shards,
+    merge_journals,
+    replay_shards,
+    shard_dir,
+    shard_path,
+)
+
+
+def _spec():
+    return CampaignSpec(
+        name="m", benchmarks=["astar"], schemes=["EP", "ABS"],
+        n_instructions=500, warmup=250, min_seeds=2, max_seeds=2,
+        batch_size=2,
+    )
+
+
+def _run(point, index):
+    return {
+        "event": "run", "point": point, "index": index, "seed": 100 + index,
+        "metrics": {"perf_overhead": 0.1 * (index + 1), "ipc": 1.0,
+                    "ed_overhead": 0.2, "fault_rate": 0.01,
+                    "replay_rate": 0.0},
+        "counts": {"faults": index, "replays": 0, "committed": 500},
+    }
+
+
+def _point(point, n=2):
+    return {"event": "point", "point": point, "n": n, "stopped": "ci",
+            "summary": {"mean": 0.15}}
+
+
+def _shard(directory, name, events):
+    journal = Journal(shard_dir(directory), f"{name}.jsonl")
+    with journal:
+        for event in events:
+            journal.append(event)
+
+
+class TestReplayShards:
+    def test_coordinator_shard_listed_first(self, tmp_path):
+        _shard(tmp_path, "aaa", [_run("p", 0)])
+        _shard(tmp_path, "_coordinator", [_point("p")])
+        assert list_shards(tmp_path)[0] == shard_path(
+            tmp_path, "_coordinator"
+        )
+
+    def test_duplicate_draws_deduplicated(self, tmp_path):
+        p = "astar/EP/0.97"
+        _shard(tmp_path, "w0", [_run(p, 0), _run(p, 1)])
+        _shard(tmp_path, "w1", [_run(p, 1), _run(p, 0)])  # reassigned lease
+        state = replay_shards(tmp_path)
+        assert [r["index"] for r in state.runs[p]] == [0, 1]
+        assert state.total_runs == 2
+
+    def test_runs_sorted_by_index(self, tmp_path):
+        p = "astar/EP/0.97"
+        _shard(tmp_path, "w0", [_run(p, 2), _run(p, 0), _run(p, 1)])
+        assert [r["index"] for r in replay_shards(tmp_path).runs[p]] == (
+            [0, 1, 2]
+        )
+
+    def test_base_state_wins_dedup(self, tmp_path):
+        p = "astar/EP/0.97"
+        base_dir = tmp_path / "base"
+        with Journal(base_dir) as journal:
+            base_record = _run(p, 0)
+            base_record["seed"] = 42  # distinguishable from the shard copy
+            journal.append(base_record)
+        _shard(tmp_path, "w0", [_run(p, 0), _run(p, 1)])
+        state = replay_shards(tmp_path, base=Journal(base_dir).replay())
+        assert state.runs[p][0]["seed"] == 42
+        assert state.total_runs == 2
+
+    def test_done_marker_survives(self, tmp_path):
+        _shard(tmp_path, "_coordinator", [{"event": "done"}])
+        assert replay_shards(tmp_path).done
+
+
+class TestMergeJournals:
+    def test_merge_matches_single_pool_bytes(self, tmp_path):
+        """Scattered shard entries merge to the exact single-pool journal."""
+        spec = _spec()
+        points = [p.id for p in spec.points()]
+        pool = tmp_path / "pool"
+        write_manifest(pool, spec)
+        with Journal(pool) as journal:
+            for point in points:
+                journal.append(_run(point, 0))
+                journal.append(_run(point, 1))
+                journal.append(_point(point))
+            journal.append({"event": "done"})
+
+        fleet = tmp_path / "fleet"
+        write_manifest(fleet, spec)
+        # interleaved arrival order across two workers + a duplicate
+        _shard(fleet, "w0", [
+            _run(points[0], 1), _run(points[1], 0),
+        ])
+        _shard(fleet, "w1", [
+            _run(points[1], 1), _run(points[0], 0), _run(points[0], 1),
+        ])
+        _shard(fleet, "_coordinator", [
+            _point(points[1]), _point(points[0]), {"event": "done"},
+        ])
+        merge_journals(fleet)
+        pool_bytes = (pool / "journal.jsonl").read_bytes()
+        fleet_bytes = (fleet / "journal.jsonl").read_bytes()
+        assert fleet_bytes == pool_bytes
+
+    def test_merge_is_idempotent(self, tmp_path):
+        spec = _spec()
+        write_manifest(tmp_path, spec)
+        _shard(tmp_path, "w0", [_run(spec.points()[0].id, 0)])
+        merge_journals(tmp_path)
+        first = (tmp_path / "journal.jsonl").read_bytes()
+        merge_journals(tmp_path)
+        assert (tmp_path / "journal.jsonl").read_bytes() == first
+
+    def test_merge_atomic_no_temp_left(self, tmp_path):
+        spec = _spec()
+        write_manifest(tmp_path, spec)
+        _shard(tmp_path, "w0", [_run(spec.points()[0].id, 0)])
+        merge_journals(tmp_path)
+        leftovers = [
+            name for name in os.listdir(tmp_path) if ".tmp." in name
+        ]
+        assert leftovers == []
+
+    def test_merged_journal_is_valid_jsonl(self, tmp_path):
+        spec = _spec()
+        write_manifest(tmp_path, spec)
+        point = spec.points()[0].id
+        _shard(tmp_path, "w0", [_run(point, 0), _run(point, 1)])
+        _shard(tmp_path, "_coordinator", [_point(point)])
+        merge_journals(tmp_path)
+        lines = (tmp_path / "journal.jsonl").read_text().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)

@@ -1,0 +1,100 @@
+"""Wire framing: round trips, partial frames, oversize, torn streams."""
+
+import asyncio
+
+import pytest
+
+from repro.fleet.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_frames,
+    encode,
+    read_message,
+    send_message,
+)
+
+
+def _read(data):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_message(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_round_trip(self):
+        message = {"type": "entry", "entry": {"metrics": {"ipc": 1.25}}}
+        assert _read(encode(message)) == message
+
+    def test_frames_are_length_prefixed(self):
+        frame = encode({"a": 1})
+        assert int.from_bytes(frame[:4], "big") == len(frame) - 4
+
+    def test_decode_frames_splits_concatenation(self):
+        buffer = encode({"i": 0}) + encode({"i": 1}) + encode({"i": 2})
+        messages, rest = decode_frames(buffer)
+        assert [m["i"] for m in messages] == [0, 1, 2]
+        assert rest == b""
+
+    def test_decode_frames_keeps_partial_tail(self):
+        whole = encode({"i": 0})
+        buffer = whole + encode({"i": 1})[:5]
+        messages, rest = decode_frames(buffer)
+        assert len(messages) == 1
+        assert rest == encode({"i": 1})[:5]
+
+    def test_oversize_encode_rejected(self):
+        with pytest.raises(ProtocolError, match="ceiling"):
+            encode({"blob": "x" * (MAX_FRAME + 1)})
+
+
+class TestReadMessage:
+    def test_clean_eof_is_connection_reset(self):
+        with pytest.raises(ConnectionResetError):
+            _read(b"")
+
+    def test_death_mid_header_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mid-frame header"):
+            _read(encode({"a": 1})[:2])
+
+    def test_death_mid_payload_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            _read(encode({"a": 1})[:-1])
+
+    def test_oversize_header_is_protocol_error(self):
+        header = (MAX_FRAME + 1).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="ceiling"):
+            _read(header + b"x" * 10)
+
+    def test_undecodable_payload_is_protocol_error(self):
+        frame = len(b"not json").to_bytes(4, "big") + b"not json"
+        with pytest.raises(ProtocolError, match="undecodable"):
+            _read(frame)
+
+
+class TestSendMessage:
+    def test_lock_serializes_interleaved_senders(self):
+        """Two tasks hammering one writer never interleave frames."""
+        chunks = []
+
+        class FakeWriter:
+            def write(self, data):
+                chunks.append(bytes(data))
+
+            async def drain(self):
+                await asyncio.sleep(0)
+
+        async def go():
+            writer = FakeWriter()
+            lock = asyncio.Lock()
+            await asyncio.gather(*[
+                send_message(writer, {"i": i}, lock) for i in range(20)
+            ])
+
+        asyncio.run(go())
+        messages, rest = decode_frames(b"".join(chunks))
+        assert rest == b""
+        assert sorted(m["i"] for m in messages) == list(range(20))
