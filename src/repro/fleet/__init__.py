@@ -27,12 +27,19 @@ Layers
 :mod:`repro.fleet.worker`
     The execution loop a worker process runs.
 :mod:`repro.fleet.service`
-    ``fleet run``: local coordinator + N worker subprocesses.
+    ``fleet run``: local coordinator + N worker subprocesses, with an
+    optional :class:`~repro.fleet.service.ElasticPool` autoscaler.
+:mod:`repro.fleet.security`
+    Shared-secret HMAC handshake and optional TLS wrapping.
+:mod:`repro.fleet.chaosproxy`
+    Deterministic fault-injecting relay for end-to-end chaos tests.
 
-See ``docs/campaigns.md`` ("Running on a fleet") for the wire protocol
-sketch, the lease lifecycle, and failure semantics.
+See ``docs/campaigns.md`` ("Running on a fleet" and "Securing and
+scaling a fleet") for the wire protocol sketch, the lease lifecycle,
+and failure semantics.
 """
 
+from repro.fleet.chaosproxy import ChaosConfig, ChaosProxy
 from repro.fleet.coordinator import (
     FleetCoordinator,
     FleetError,
@@ -41,18 +48,24 @@ from repro.fleet.coordinator import (
 )
 from repro.fleet.merge import merge_journals, replay_shards
 from repro.fleet.protocol import ProtocolError
-from repro.fleet.service import fleet_run
+from repro.fleet.security import SecurityError, resolve_secret
+from repro.fleet.service import ElasticPool, fleet_run
 from repro.fleet.worker import FleetWorker, run_worker
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosProxy",
+    "ElasticPool",
     "FleetCoordinator",
     "FleetError",
     "FleetWorker",
     "ProtocolError",
+    "SecurityError",
     "fleet_run",
     "merge_journals",
     "read_endpoint",
     "replay_shards",
+    "resolve_secret",
     "run_worker",
     "serve_fleet",
 ]

@@ -24,11 +24,24 @@ Robustness invariants:
   shard journal; a restarted coordinator replays shards (+ the lease
   ledger for lease numbering) and continues, identical to single-pool
   ``campaign resume``.
+* **Work-stealing** — when no unleased work remains, an idle worker is
+  granted the unfinished tail of the largest outstanding lease (the
+  straggler's). The victim keeps executing its shortened lease; any
+  overlap is a bit-identical duplicate dropped by the exactly-once
+  gate, so a slow worker can delay at most the draw it is currently
+  running, never the campaign.
+* **Untrusted networks** — with a shared secret configured, every
+  connection must pass an HMAC-SHA256 challenge/response before it
+  sees the spec or a lease (:mod:`repro.fleet.security`); TLS wraps
+  the stream when a certificate is configured. Rejected peers get a
+  structured ``error`` frame and bump an audit counter; a hostile or
+  corrupt frame drops only its own connection, never the serve loop.
 """
 
 import asyncio
 import json
 import os
+import sys
 import time
 
 from repro.campaign.journal import (
@@ -48,6 +61,13 @@ from repro.fleet.merge import (
     shard_path,
 )
 from repro.fleet.protocol import ProtocolError, read_message, send_message
+from repro.fleet.security import (
+    coordinator_proof,
+    macs_equal,
+    new_nonce,
+    server_ssl_context,
+    worker_proof,
+)
 
 ENDPOINT_NAME = "coordinator.json"
 
@@ -84,7 +104,8 @@ class FleetCoordinator:
     def __init__(self, directory, spec=None, host="127.0.0.1", port=0,
                  heartbeat_timeout=15.0, wait_delay=0.5, linger=1.0,
                  resume=False, cache=True, cache_dir=None, snapshots=True,
-                 snapshot_dir=None):
+                 snapshot_dir=None, secret=None, tls_cert=None,
+                 tls_key=None, tls_ca=None, steal=True, min_steal=2):
         self.directory = str(directory)
         self.host = host
         self.port = port  # 0 = ephemeral; rebound to the real port on serve
@@ -96,6 +117,24 @@ class FleetCoordinator:
         self.cache_dir = cache_dir
         self.snapshots = bool(snapshots)
         self.snapshot_dir = snapshot_dir
+        self.secret = (
+            secret.encode() if isinstance(secret, str) else secret
+        )
+        self.tls_cert = tls_cert
+        self.tls_key = tls_key
+        self.tls_ca = tls_ca
+        self.steal = bool(steal)
+        #: a lease tail must have at least this many unfinished indices
+        #: before it can be split — 1-index tails are not worth moving
+        self.min_steal = max(2, int(min_steal))
+        #: rejection/fault counters, surfaced by :meth:`status` — the
+        #: audit trail of hostile or broken peers
+        self.audit = {
+            "auth_failures": 0,
+            "rejected_hellos": 0,
+            "protocol_errors": 0,
+            "steals": 0,
+        }
         self._given_spec = spec
         #: set once the server socket is bound and the endpoint file is
         #: written — `fleet run` awaits it before spawning workers
@@ -108,7 +147,7 @@ class FleetCoordinator:
         self._completed = {}  # point id -> replayed/created point event
         self._order = []  # point ids in grid order
         self._leases = {}  # lease id -> {point, indices(set), worker}
-        self._point_lease = {}  # point id -> active lease id
+        self._point_leases = {}  # point id -> set of active lease ids
         self._next_lease = 1
         self._worker_last = {}  # worker -> monotonic last-seen
         self._worker_conn = {}  # worker -> owning connection id
@@ -116,6 +155,8 @@ class FleetCoordinator:
         self._writers = {}  # worker -> writer (proactive shutdown)
         self._shards = {}  # worker -> shard Journal
         self._conn_seq = 0
+        self._draining = set()  # workers told to finish up and exit
+        self._waiting = {}  # worker -> monotonic since last wait reply
 
     # ------------------------------------------------------------------
     # state (re)construction
@@ -228,8 +269,15 @@ class FleetCoordinator:
             self._finalize_outputs()
             self.ready.set()
             return self._report
+        try:
+            ssl_context = server_ssl_context(
+                self.tls_cert, self.tls_key, self.tls_ca
+            )
+        except ValueError as exc:
+            self.ready.set()
+            raise FleetError(str(exc)) from None
         server = await asyncio.start_server(
-            self._handle, host=self.host, port=self.port
+            self._handle, host=self.host, port=self.port, ssl=ssl_context
         )
         self.port = server.sockets[0].getsockname()[1]
         self._write_endpoint()
@@ -283,6 +331,7 @@ class FleetCoordinator:
         self._worker_last.pop(name, None)
         self._worker_conn.pop(name, None)
         self._writers.pop(name, None)
+        self._waiting.pop(name, None)
 
     def _revoke_leases(self, name, reason):
         """Return ``name``'s leased indices to their schedulers' pools."""
@@ -290,23 +339,50 @@ class FleetCoordinator:
             if lease["worker"] == name:
                 self._ledger.revoked(lease_id, reason)
                 del self._leases[lease_id]
-                self._point_lease.pop(lease["point"], None)
+                self._unlink_point_lease(lease["point"], lease_id)
+
+    def _unlink_point_lease(self, point_id, lease_id):
+        leases = self._point_leases.get(point_id)
+        if leases is not None:
+            leases.discard(lease_id)
+            if not leases:
+                del self._point_leases[point_id]
 
     # ------------------------------------------------------------------
     # per-connection protocol
     # ------------------------------------------------------------------
+    @staticmethod
+    def _peer_label(writer):
+        peername = writer.get_extra_info("peername")
+        if isinstance(peername, (tuple, list)) and len(peername) >= 2:
+            return f"{peername[0]}:{peername[1]}"
+        return str(peername) if peername else "unknown"
+
+    async def _reject(self, writer, code, reason):
+        """Send a structured rejection (best effort) and audit it."""
+        self.audit["rejected_hellos"] += 1
+        try:
+            await send_message(writer, {
+                "type": "error", "code": code, "reason": reason,
+            })
+        except (ConnectionResetError, OSError):
+            pass
+
     async def _handle(self, reader, writer):
         self._conn_seq += 1
         conn_id = self._conn_seq
+        peer = self._peer_label(writer)
         name = None
         try:
             while True:
-                message = await read_message(reader)
+                message = await read_message(reader, peer=peer)
                 kind = message.get("type")
                 if name is not None:
                     self._worker_last[name] = time.monotonic()
                 if kind == "hello":
-                    name = await self._handle_hello(message, writer, conn_id)
+                    name = await self._handle_hello(
+                        message, reader, writer, conn_id, peer
+                    )
                     if name is None:
                         return
                 elif kind == "status":
@@ -316,10 +392,9 @@ class FleetCoordinator:
                 elif kind == "heartbeat":
                     pass
                 elif name is None:
-                    await send_message(writer, {
-                        "type": "error",
-                        "reason": f"{kind!r} before hello",
-                    })
+                    await self._reject(
+                        writer, "protocol", f"{kind!r} before hello"
+                    )
                     return
                 elif kind == "request":
                     await send_message(writer, self._grant(name))
@@ -329,31 +404,89 @@ class FleetCoordinator:
                     self._handle_failure(message)
                 elif kind == "lease_done":
                     self._release_lease(message.get("lease"), completed=True)
-        except (ConnectionResetError, ProtocolError, OSError):
+        except ProtocolError as exc:
+            # a hostile or broken peer kills its own connection only;
+            # the serve loop and every other worker keep going
+            self.audit["protocol_errors"] += 1
+            print(f"[fleet-coordinator] dropping connection: {exc}",
+                  file=sys.stderr)
+            try:
+                await send_message(writer, {
+                    "type": "error", "code": "protocol", "reason": str(exc),
+                })
+            except (ConnectionResetError, OSError):
+                pass
+        except (ConnectionResetError, OSError, asyncio.TimeoutError):
             pass
         finally:
             if name is not None and self._worker_conn.get(name) == conn_id:
                 self._drop_worker(name, "disconnected")
             writer.close()
 
-    async def _handle_hello(self, message, writer, conn_id):
+    async def _authenticate(self, message, reader, writer, name, peer):
+        """Run the challenge/response for one hello; True when authed.
+
+        The challenge carries the coordinator's own proof over both
+        nonces, so the worker authenticates us before it answers; the
+        worker's reply binds its name and model version, so neither can
+        be swapped by a peer replaying someone else's handshake.
+        """
+        client_nonce = str(message.get("nonce") or "")
+        server_nonce = new_nonce()
+        await send_message(writer, {
+            "type": "challenge",
+            "nonce": server_nonce,
+            "proof": coordinator_proof(
+                self.secret, client_nonce, server_nonce
+            ),
+        })
+        try:
+            reply = await asyncio.wait_for(
+                read_message(reader, peer=peer),
+                timeout=max(1.0, self.heartbeat_timeout),
+            )
+        except asyncio.TimeoutError:
+            self.audit["auth_failures"] += 1
+            return False
+        except (ConnectionError, OSError):
+            # the peer hung up on the challenge: it holds no secret, or
+            # it rejected *our* proof — mutual auth failing either way
+            self.audit["auth_failures"] += 1
+            return False
+        expected = worker_proof(
+            self.secret, client_nonce, server_nonce,
+            str(name), str(message.get("model_version")),
+        )
+        if reply.get("type") != "auth" or not macs_equal(
+            expected, reply.get("mac")
+        ):
+            self.audit["auth_failures"] += 1
+            await self._reject(
+                writer, "auth-failed",
+                "authentication failed: wrong or missing shared secret",
+            )
+            return False
+        return True
+
+    async def _handle_hello(self, message, reader, writer, conn_id, peer):
         name = message.get("worker")
         if not valid_worker_name(name):
-            await send_message(writer, {
-                "type": "error",
-                "reason": f"invalid worker name {name!r}",
-            })
+            await self._reject(
+                writer, "bad-name", f"invalid worker name {name!r}"
+            )
             return None
+        if self.secret is not None:
+            if not await self._authenticate(
+                message, reader, writer, name, peer
+            ):
+                return None
         version = message.get("model_version")
         if version != self.model_version:
-            await send_message(writer, {
-                "type": "error",
-                "reason": (
-                    f"model version mismatch: campaign is "
-                    f"{self.model_version}, worker runs {version} — "
-                    "deploy matching sources before joining the fleet"
-                ),
-            })
+            await self._reject(writer, "version-skew", (
+                f"model version mismatch: campaign is "
+                f"{self.model_version}, worker runs {version} — "
+                "deploy matching sources before joining the fleet"
+            ))
             return None
         # a worker that reconnects holds no lease state any more; return
         # leases from its previous connection to the pool right away
@@ -376,9 +509,82 @@ class FleetCoordinator:
     # ------------------------------------------------------------------
     # leasing
     # ------------------------------------------------------------------
+    def drain_worker(self, name):
+        """Mark ``name`` for drain-then-exit retirement.
+
+        The worker finishes the lease it is executing (it only asks for
+        more work between leases), then its next ``request`` is answered
+        with ``shutdown`` and it exits cleanly — no draw is ever lost to
+        a scale-down.
+        """
+        self._draining.add(name)
+
+    def _leased_indices(self, point_id):
+        """Union of every active lease's unfinished indices on a point."""
+        leased = set()
+        for lease_id in self._point_leases.get(point_id, ()):
+            leased |= self._leases[lease_id]["indices"]
+        return leased
+
+    def _make_lease(self, point_id, indices, worker):
+        lease_id = self._next_lease
+        self._next_lease += 1
+        self._leases[lease_id] = {
+            "point": point_id, "indices": set(indices), "worker": worker,
+        }
+        self._point_leases.setdefault(point_id, set()).add(lease_id)
+        self._worker_point[worker] = point_id
+        self._ledger.granted(lease_id, point_id, indices, worker)
+        point = self._points[point_id]
+        return {
+            "type": "lease",
+            "lease": lease_id,
+            "point": {
+                "benchmark": point.benchmark,
+                "scheme": point.scheme.name,
+                "vdd": point.vdd,
+            },
+            "indices": list(indices),
+        }
+
+    def _steal(self, worker):
+        """Split the biggest straggler tail and re-lease it, or None.
+
+        Only reached when no unleased work exists anywhere, i.e. the
+        requesting worker is idle while others hold unfinished leases.
+        The victim is the lease with the most unfinished indices (at
+        least :attr:`min_steal` — a single in-flight draw cannot be
+        moved, it is already being executed). The victim worker is not
+        told: it keeps executing the stolen indices it already holds,
+        and the exactly-once gate drops whichever copy arrives second.
+        """
+        victim_id, victim = max(
+            (
+                (lease_id, lease)
+                for lease_id, lease in self._leases.items()
+                if lease["worker"] != worker
+                and len(lease["indices"]) >= self.min_steal
+            ),
+            key=lambda item: (len(item[1]["indices"]), -item[0]),
+            default=(None, None),
+        )
+        if victim_id is None:
+            return None
+        tail = sorted(victim["indices"])
+        tail = tail[(len(tail) + 1) // 2:]
+        victim["indices"].difference_update(tail)
+        reply = self._make_lease(victim["point"], tail, worker)
+        self.audit["steals"] += 1
+        self._ledger.stolen(
+            reply["lease"], victim_id, victim["point"], tail,
+            worker, victim["worker"],
+        )
+        return reply
+
     def _grant(self, worker):
         """A lease / wait / shutdown reply for a work request."""
-        if self._finished:
+        if self._finished or worker in self._draining:
+            self._waiting.pop(worker, None)
             return {"type": "shutdown"}
         preferred = self._worker_point.get(worker)
         order = self._order
@@ -386,44 +592,34 @@ class FleetCoordinator:
             order = [preferred] + [p for p in order if p != preferred]
         for point_id in order:
             scheduler = self._schedulers.get(point_id)
-            if (
-                scheduler is None
-                or scheduler.done
-                or point_id in self._point_lease
-            ):
+            if scheduler is None or scheduler.done:
                 continue
             if scheduler.next_batch() is None:
                 self._finalize_point(point_id)
                 if self._finished:
                     return {"type": "shutdown"}
                 continue
-            indices = scheduler.pending()
-            lease_id = self._next_lease
-            self._next_lease += 1
-            self._leases[lease_id] = {
-                "point": point_id, "indices": set(indices), "worker": worker,
-            }
-            self._point_lease[point_id] = lease_id
-            self._worker_point[worker] = point_id
-            self._ledger.granted(lease_id, point_id, indices, worker)
-            point = self._points[point_id]
-            return {
-                "type": "lease",
-                "lease": lease_id,
-                "point": {
-                    "benchmark": point.benchmark,
-                    "scheme": point.scheme.name,
-                    "vdd": point.vdd,
-                },
-                "indices": indices,
-            }
+            free = [
+                i for i in scheduler.pending()
+                if i not in self._leased_indices(point_id)
+            ]
+            if not free:
+                continue
+            self._waiting.pop(worker, None)
+            return self._make_lease(point_id, free, worker)
+        if self.steal:
+            stolen = self._steal(worker)
+            if stolen is not None:
+                self._waiting.pop(worker, None)
+                return stolen
+        self._waiting.setdefault(worker, time.monotonic())
         return {"type": "wait", "delay": self.wait_delay}
 
     def _release_lease(self, lease_id, completed, reason="released"):
         lease = self._leases.pop(lease_id, None)
         if lease is None:
             return
-        self._point_lease.pop(lease["point"], None)
+        self._unlink_point_lease(lease["point"], lease_id)
         if completed:
             self._ledger.completed(lease_id)
         else:
@@ -442,14 +638,18 @@ class FleetCoordinator:
             entry["index"], entry["metrics"], entry["counts"]
         )
         if not accepted:
-            return  # duplicate from a revoked lease: exactly-once gate
+            return  # duplicate from a revoked/stolen lease: exactly-once
         self._shard_journal(worker).append(entry)
-        lease_id = self._point_lease.get(point_id)
-        if lease_id is not None:
+        # the lease holding this index may belong to another worker — a
+        # stolen index can be journaled by the victim first; credit the
+        # lease that holds it, whoever executed it
+        for lease_id in list(self._point_leases.get(point_id, ())):
             lease = self._leases[lease_id]
-            lease["indices"].discard(entry["index"])
-            if not lease["indices"]:
-                self._release_lease(lease_id, completed=True)
+            if entry["index"] in lease["indices"]:
+                lease["indices"].discard(entry["index"])
+                if not lease["indices"]:
+                    self._release_lease(lease_id, completed=True)
+                break
         if scheduler.next_batch() is None and scheduler.done:
             self._finalize_point(point_id)
 
@@ -459,8 +659,7 @@ class FleetCoordinator:
         if scheduler is None or scheduler.done:
             return
         scheduler.fail(message.get("failure") or {})
-        lease_id = self._point_lease.get(point_id)
-        if lease_id is not None:
+        for lease_id in list(self._point_leases.get(point_id, ())):
             self._release_lease(lease_id, completed=False,
                                 reason="point failed")
         self._finalize_point(point_id)
@@ -473,8 +672,7 @@ class FleetCoordinator:
         self._coord_journal.append(event)
         self._completed[point_id] = event
         del self._schedulers[point_id]
-        lease_id = self._point_lease.get(point_id)
-        if lease_id is not None:
+        for lease_id in list(self._point_leases.get(point_id, ())):
             self._release_lease(lease_id, completed=False,
                                 reason="point finalized")
         if not self._schedulers:
@@ -506,6 +704,41 @@ class FleetCoordinator:
                 pass
 
     # ------------------------------------------------------------------
+    def load(self):
+        """Cheap elastic-pool signal: how much work wants more workers.
+
+        Unlike :meth:`status` this touches no disk — the autoscaler
+        polls it every few hundred milliseconds. ``queue_depth`` counts
+        open points that could absorb another worker right now (an
+        unleased batch tail, or a batch not yet opened); ``idle``
+        counts workers currently parked in wait backoff, with the
+        longest wait in ``max_wait_s`` — the signal that the pool is
+        too big.
+        """
+        queue_depth = 0
+        for point_id, scheduler in self._schedulers.items():
+            if scheduler.done:
+                continue
+            if scheduler._batch is None:
+                queue_depth += 1  # a batch will open on the next request
+                continue
+            pending = set(scheduler.pending())
+            if pending - self._leased_indices(point_id):
+                queue_depth += 1
+        now = time.monotonic()
+        waits = [now - since for since in self._waiting.values()]
+        return {
+            "queue_depth": queue_depth,
+            "open_points": len(self._schedulers),
+            "leases": len(self._leases),
+            "workers": len(self._worker_last),
+            "idle": len(self._waiting),
+            "idle_workers": sorted(self._waiting),
+            "max_wait_s": round(max(waits), 3) if waits else 0.0,
+            "draining": sorted(self._draining),
+            "complete": self._finished,
+        }
+
     def status(self):
         """Live status dict (same shape as ``campaign status`` + fleet)."""
         state = replay_shards(
@@ -515,7 +748,10 @@ class FleetCoordinator:
         status["complete"] = self._finished
         now = time.monotonic()
         status["workers"] = {
-            name: {"last_seen_s": round(now - last, 3)}
+            name: {
+                "last_seen_s": round(now - last, 3),
+                "draining": name in self._draining,
+            }
             for name, last in sorted(self._worker_last.items())
         }
         status["leases"] = [
@@ -527,6 +763,8 @@ class FleetCoordinator:
             }
             for lease_id, lease in sorted(self._leases.items())
         ]
+        status["audit"] = dict(self.audit)
+        status["load"] = self.load()
         return status
 
 

@@ -50,6 +50,30 @@ class LeaseLedger:
     def revoked(self, lease_id, reason):
         self.append({"event": "revoke", "lease": lease_id, "reason": reason})
 
+    def stolen(self, thief_lease, victim_lease, point_id, indices,
+               thief, victim):
+        """Audit a work-steal: ``indices`` moved between two live leases.
+
+        The thief's lease was just :meth:`granted`; this marker ties it
+        to the victim so the reassignment story stays auditable. Keyed
+        ``thief_lease``/``victim_lease`` (not ``lease``) so
+        :meth:`replay` treats it as pure annotation — both leases'
+        open/closed state is tracked by their own grant/complete/revoke
+        records.
+        """
+        self.append({
+            "event": "steal", "thief_lease": thief_lease,
+            "victim_lease": victim_lease, "point": point_id,
+            "indices": list(indices), "worker": thief, "victim": victim,
+        })
+
+    def scaled(self, action, worker, reason):
+        """Audit an autoscaler decision (``spawn`` or ``retire``)."""
+        self.append({
+            "event": "scale", "action": action, "worker": worker,
+            "reason": reason,
+        })
+
     # ------------------------------------------------------------------
     def replay(self):
         """{"max_lease": int, "open": {lease_id: grant-record}}.

@@ -10,7 +10,9 @@ instead of yielding a torn message.
 Message shapes (``"type"`` discriminates):
 
 worker -> coordinator
-    ``hello``       {worker, model_version}
+    ``hello``       {worker, model_version, nonce}
+    ``auth``        {mac} — HMAC reply to a ``challenge``
+                    (:mod:`repro.fleet.security`)
     ``request``     ask for a lease (the reply is ``lease``, ``wait``,
                     or ``shutdown``)
     ``entry``       {lease, entry} — one journal ``run`` event, verbatim
@@ -20,12 +22,18 @@ worker -> coordinator
     ``status``      ask for the coordinator's live status dict
 
 coordinator -> worker
+    ``challenge``   {nonce, proof} — shared-secret handshake; ``proof``
+                    authenticates the coordinator to the worker
     ``config``      {spec, directory, repro_dir, snapshot_dir, ...}
     ``lease``       {lease, point: {benchmark, scheme, vdd}, indices}
     ``wait``        {delay} — no work right now, retry after ``delay``
-    ``shutdown``    campaign complete, disconnect
+    ``shutdown``    campaign complete (or this worker is drained),
+                    disconnect
     ``status``      {status} — reply to a ``status`` ask
-    ``error``       {reason} — protocol/compatibility rejection
+    ``error``       {code, reason} — structured rejection; ``code`` is a
+                    stable machine-readable tag (``bad-name``,
+                    ``auth-required``, ``auth-failed``,
+                    ``version-skew``, ``protocol``, ``not-ready``)
 """
 
 import asyncio
@@ -39,7 +47,26 @@ _HEADER = 4
 
 
 class ProtocolError(RuntimeError):
-    """The peer sent bytes that are not a valid protocol frame."""
+    """The peer sent bytes that are not a valid protocol frame.
+
+    Structured: ``reason`` is the bare diagnosis, ``peer`` names the
+    remote endpoint when known (so a coordinator log line identifies
+    *which* connection was hostile or broken), and ``frame_size`` is the
+    advertised/attempted frame length when the failure is size-related.
+    The coordinator treats these as per-connection events: the offending
+    connection is dropped and audited, the serve loop keeps running.
+    """
+
+    def __init__(self, reason, peer=None, frame_size=None):
+        self.reason = reason
+        self.peer = peer
+        self.frame_size = frame_size
+        detail = reason
+        if peer is not None:
+            detail += f" [peer {peer}]"
+        if frame_size is not None:
+            detail += f" [frame {frame_size} bytes]"
+        super().__init__(detail)
 
 
 def encode(message):
@@ -48,7 +75,8 @@ def encode(message):
     if len(payload) > MAX_FRAME:
         raise ProtocolError(
             f"message of {len(payload)} bytes exceeds the "
-            f"{MAX_FRAME}-byte frame ceiling"
+            f"{MAX_FRAME}-byte frame ceiling",
+            frame_size=len(payload),
         )
     return len(payload).to_bytes(_HEADER, "big") + payload
 
@@ -60,7 +88,10 @@ def decode_frames(buffer):
     while len(buffer) - offset >= _HEADER:
         length = int.from_bytes(buffer[offset:offset + _HEADER], "big")
         if length > MAX_FRAME:
-            raise ProtocolError(f"frame of {length} bytes exceeds ceiling")
+            raise ProtocolError(
+                f"frame of {length} bytes exceeds ceiling",
+                frame_size=length,
+            )
         if len(buffer) - offset - _HEADER < length:
             break
         start = offset + _HEADER
@@ -87,24 +118,38 @@ async def send_message(writer, message, lock=None):
         await writer.drain()
 
 
-async def read_message(reader):
-    """Read one framed message; raises on EOF mid-frame or bad frames."""
+async def read_message(reader, peer=None):
+    """Read one framed message; raises on EOF mid-frame or bad frames.
+
+    ``peer`` (any printable endpoint label) is threaded into the raised
+    :class:`ProtocolError` so the server side can log *who* sent the
+    bad bytes without wrapping every call site.
+    """
     try:
         header = await reader.readexactly(_HEADER)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             raise ConnectionResetError("connection closed") from None
-        raise ProtocolError("connection died mid-frame header") from None
+        raise ProtocolError(
+            "connection died mid-frame header", peer=peer
+        ) from None
     length = int.from_bytes(header, "big")
     if length > MAX_FRAME:
-        raise ProtocolError(f"frame of {length} bytes exceeds ceiling")
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds ceiling",
+            peer=peer, frame_size=length,
+        )
     try:
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError:
         raise ProtocolError(
-            f"connection died mid-frame ({length}-byte payload)"
+            f"connection died mid-frame ({length}-byte payload)",
+            peer=peer, frame_size=length,
         ) from None
     try:
         return json.loads(payload)
     except (UnicodeDecodeError, ValueError) as exc:
-        raise ProtocolError(f"undecodable frame payload: {exc}") from None
+        raise ProtocolError(
+            f"undecodable frame payload: {exc}",
+            peer=peer, frame_size=length,
+        ) from None

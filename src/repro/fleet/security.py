@@ -1,0 +1,206 @@
+"""Fleet transport security: shared-secret handshake and optional TLS.
+
+Two independent, composable layers harden the fleet protocol for
+untrusted networks:
+
+**Shared-secret handshake (HMAC-SHA256 challenge/response).** Both
+sides hold one symmetric secret (``--secret``, ``--secret-file``, or
+``$REPRO_FLEET_SECRET``). The worker's ``hello`` carries a client
+nonce; the coordinator answers with its own nonce plus a proof —
+``HMAC(secret, "coordinator" | client_nonce | server_nonce)`` — so the
+worker authenticates the coordinator *before* revealing anything else;
+the worker then returns ``HMAC(secret, "worker" | client_nonce |
+server_nonce | name | model_version)``, binding its identity and
+model version to the exchange so neither can be swapped in transit.
+All comparisons are constant-time (:func:`hmac.compare_digest`).
+Nonces make every exchange unique: a recorded handshake cannot be
+replayed. The handshake authenticates the *endpoints*; it does not
+encrypt the stream or protect it from hijack after the handshake —
+that is what the TLS layer adds.
+
+**TLS (stdlib ``ssl.SSLContext``).** The coordinator serves with
+``--tls-cert``/``--tls-key``; workers enable TLS by trusting that
+certificate (or its CA) via ``--tls-ca``. Giving the *coordinator* a
+``--tls-ca`` additionally demands client certificates (mutual TLS).
+Hostname checking is off by default — fleet deployments address
+coordinators by bare IPs and short-lived self-signed certificates, and
+endpoint authentication is already provided by the HMAC layer — so
+``--tls-ca`` acts as certificate pinning plus channel encryption.
+
+Neither layer depends on anything outside the standard library.
+"""
+
+import hashlib
+import hmac
+import os
+import secrets
+
+SECRET_ENV = "REPRO_FLEET_SECRET"
+
+#: domain-separation labels so a coordinator proof can never be replayed
+#: as a worker proof (and vice versa)
+_COORDINATOR_LABEL = b"repro-fleet-coordinator-v1"
+_WORKER_LABEL = b"repro-fleet-worker-v1"
+
+
+class SecurityError(ValueError):
+    """A security knob is unusable (unreadable file, cert without key...)."""
+
+
+def resolve_secret(secret=None, secret_file=None, env=SECRET_ENV):
+    """The shared secret as bytes, or None when no source provides one.
+
+    Precedence: explicit ``secret`` > ``secret_file`` > the ``env``
+    environment variable. Passing both ``secret`` and ``secret_file``
+    is rejected — a silent precedence between two explicit sources is
+    how operators end up fielding the wrong key.
+    """
+    if secret is not None and secret_file is not None:
+        raise SecurityError(
+            "pass --secret or --secret-file, not both"
+        )
+    if secret is not None:
+        data = secret.encode() if isinstance(secret, str) else bytes(secret)
+    elif secret_file is not None:
+        try:
+            with open(secret_file, "rb") as fh:
+                data = fh.read()
+        except OSError as exc:
+            raise SecurityError(
+                f"cannot read --secret-file {secret_file}: {exc.strerror}"
+            ) from None
+        data = data.strip()  # editors love trailing newlines
+    else:
+        value = os.environ.get(env)
+        if not value:
+            return None
+        data = value.encode()
+    if not data:
+        raise SecurityError("the fleet secret must be non-empty")
+    return data
+
+
+def new_nonce():
+    """A fresh 128-bit hex nonce for one handshake exchange."""
+    return secrets.token_hex(16)
+
+
+def _mac(secret, label, *parts):
+    """Hex HMAC-SHA256 over length-prefixed parts (no concat ambiguity)."""
+    mac = hmac.new(secret, label, hashlib.sha256)
+    for part in parts:
+        data = part.encode() if isinstance(part, str) else bytes(part)
+        mac.update(len(data).to_bytes(4, "big"))
+        mac.update(data)
+    return mac.hexdigest()
+
+
+def coordinator_proof(secret, client_nonce, server_nonce):
+    """The coordinator's challenge proof (authenticates it to workers)."""
+    return _mac(secret, _COORDINATOR_LABEL, client_nonce, server_nonce)
+
+
+def worker_proof(secret, client_nonce, server_nonce, worker, model_version):
+    """The worker's auth response, bound to its name and model version."""
+    return _mac(
+        secret, _WORKER_LABEL, client_nonce, server_nonce,
+        worker, model_version,
+    )
+
+
+def macs_equal(expected, received):
+    """Constant-time comparison tolerant of non-string garbage."""
+    if not isinstance(received, str):
+        return False
+    return hmac.compare_digest(expected, received)
+
+
+# ----------------------------------------------------------------------
+# TLS
+# ----------------------------------------------------------------------
+def _check_readable(path, flag):
+    if path is None:
+        return
+    try:
+        with open(path, "rb"):
+            pass
+    except OSError as exc:
+        raise SecurityError(
+            f"cannot read {flag} {path}: {exc.strerror}"
+        ) from None
+
+
+def validate_tls_args(tls_cert=None, tls_key=None, tls_ca=None):
+    """Raise :class:`SecurityError` on inconsistent/unreadable TLS knobs."""
+    if (tls_cert is None) != (tls_key is None):
+        missing = "--tls-key" if tls_key is None else "--tls-cert"
+        given = "--tls-cert" if tls_key is None else "--tls-key"
+        raise SecurityError(
+            f"{given} requires {missing}: a TLS identity is a "
+            "certificate *and* its private key"
+        )
+    _check_readable(tls_cert, "--tls-cert")
+    _check_readable(tls_key, "--tls-key")
+    _check_readable(tls_ca, "--tls-ca")
+
+
+def server_ssl_context(tls_cert=None, tls_key=None, tls_ca=None):
+    """An ``SSLContext`` for the coordinator, or None when TLS is off.
+
+    ``tls_cert``/``tls_key`` switch TLS on; ``tls_ca`` additionally
+    requires (and verifies) client certificates — mutual TLS.
+    """
+    validate_tls_args(tls_cert, tls_key, tls_ca)
+    if tls_cert is None:
+        if tls_ca is not None:
+            raise SecurityError(
+                "a coordinator --tls-ca without --tls-cert/--tls-key "
+                "cannot serve TLS; give it a certificate too"
+            )
+        return None
+    import ssl
+
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    try:
+        context.load_cert_chain(tls_cert, tls_key)
+    except (ssl.SSLError, OSError) as exc:
+        raise SecurityError(
+            f"cannot load TLS identity {tls_cert}/{tls_key}: {exc}"
+        ) from None
+    if tls_ca is not None:
+        context.load_verify_locations(tls_ca)
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_ssl_context(tls_ca=None, tls_cert=None, tls_key=None):
+    """An ``SSLContext`` for a worker, or None when TLS is off.
+
+    Any knob switches TLS on. ``tls_ca`` pins the coordinator's
+    certificate (chain); ``tls_cert``/``tls_key`` present a client
+    certificate for mutual TLS.
+    """
+    validate_tls_args(tls_cert, tls_key, tls_ca)
+    if tls_ca is None and tls_cert is None:
+        return None
+    import ssl
+
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    # endpoint auth comes from --tls-ca pinning + the HMAC handshake;
+    # fleet coordinators are addressed by bare IPs, not DNS identities
+    context.check_hostname = False
+    if tls_ca is not None:
+        context.load_verify_locations(tls_ca)
+        context.verify_mode = ssl.CERT_REQUIRED
+    else:
+        context.verify_mode = ssl.CERT_NONE
+    if tls_cert is not None:
+        try:
+            context.load_cert_chain(tls_cert, tls_key)
+        except (ssl.SSLError, OSError) as exc:
+            raise SecurityError(
+                f"cannot load TLS identity {tls_cert}/{tls_key}: {exc}"
+            ) from None
+    return context

@@ -789,6 +789,47 @@ def _add_fleet_cache_options(parser):
                         help="warmup snapshot cache location")
 
 
+def _add_fleet_security_options(parser, server):
+    parser.add_argument("--secret", default=None, metavar="SECRET",
+                        help="shared fleet secret (HMAC handshake); "
+                             "prefer --secret-file or $REPRO_FLEET_SECRET "
+                             "over putting it in argv")
+    parser.add_argument("--secret-file", default=None, metavar="FILE",
+                        help="file holding the shared fleet secret")
+    if server:
+        parser.add_argument("--tls-cert", default=None, metavar="PEM",
+                            help="serve TLS with this certificate chain")
+        parser.add_argument("--tls-key", default=None, metavar="PEM",
+                            help="private key for --tls-cert")
+        parser.add_argument("--tls-ca", default=None, metavar="PEM",
+                            help="require client certificates signed by "
+                                 "this CA (mutual TLS)")
+    else:
+        parser.add_argument("--tls-ca", default=None, metavar="PEM",
+                            help="connect over TLS, trusting only this CA "
+                                 "(for a self-signed coordinator, its own "
+                                 "certificate)")
+        parser.add_argument("--tls-cert", default=None, metavar="PEM",
+                            help="client certificate (mutual TLS)")
+        parser.add_argument("--tls-key", default=None, metavar="PEM",
+                            help="private key for --tls-cert")
+
+
+def _validate_fleet_security(args):
+    """Fail fast on unusable secret/TLS arguments; the resolved secret.
+
+    Raises :class:`~repro.fleet.security.SecurityError` — an unreadable
+    ``--secret-file`` or a ``--tls-cert`` without its key must die at
+    the CLI with a clear message, not minutes later inside a serve loop
+    or a worker's reconnect storm.
+    """
+    from repro.fleet.security import resolve_secret, validate_tls_args
+
+    secret = resolve_secret(args.secret, args.secret_file)
+    validate_tls_args(args.tls_cert, args.tls_key, args.tls_ca)
+    return secret
+
+
 def _fleet_parser():
     parser = argparse.ArgumentParser(
         prog="repro-timing fleet",
@@ -818,6 +859,7 @@ def _fleet_parser():
                        help="seconds of worker silence before its leases "
                             "are revoked and re-leased (default 15)")
     _add_fleet_cache_options(serve)
+    _add_fleet_security_options(serve, server=True)
     worker = verbs.add_parser(
         "worker", help="join a coordinator and execute leased draws"
     )
@@ -830,13 +872,37 @@ def _fleet_parser():
                         help="worker name (shard journal name; default "
                              "<hostname>-<pid>)")
     _add_fleet_cache_options(worker)
+    _add_fleet_security_options(worker, server=False)
+    worker.add_argument("--reconnect-attempts", type=int, default=None,
+                        metavar="N",
+                        help="consecutive failed connections before "
+                             "giving up (default 5; progress refills "
+                             "the budget)")
+    worker.add_argument("--reconnect-delay", type=float, default=None,
+                        metavar="S",
+                        help="base reconnect backoff in seconds "
+                             "(default 0.5, doubling per attempt)")
+    worker.add_argument("--reconnect-max-delay", type=float, default=None,
+                        metavar="S",
+                        help="reconnect backoff ceiling (default 8)")
+    worker.add_argument("--throttle", type=float, default=0.0, metavar="S",
+                        help="artificial per-draw delay — a straggler "
+                             "dial for work-stealing experiments")
     run = verbs.add_parser(
         "run", help="coordinator + N local workers, one command"
     )
     run.add_argument("--dir", required=True, help="campaign directory")
     _add_spec_options(run)
     run.add_argument("--workers", type=int, default=2, metavar="N",
-                     help="local worker subprocesses (default 2)")
+                     help="local worker subprocesses (default 2); with "
+                          "--min-workers/--max-workers this is only the "
+                          "starting size of an elastic pool")
+    run.add_argument("--min-workers", type=int, default=None, metavar="N",
+                     help="elastic pool floor (enables autoscaling)")
+    run.add_argument("--max-workers", type=int, default=None, metavar="N",
+                     help="elastic pool ceiling (enables autoscaling)")
+    run.add_argument("--no-steal", action="store_true",
+                     help="disable work-stealing of straggler lease tails")
     run.add_argument("--host", default="127.0.0.1",
                      help="address to listen on (default 127.0.0.1)")
     run.add_argument("--port", type=int, default=0,
@@ -846,6 +912,7 @@ def _fleet_parser():
     run.add_argument("--heartbeat-timeout", type=float, default=15.0,
                      metavar="S", help="worker-silence revocation timeout")
     _add_fleet_cache_options(run)
+    _add_fleet_security_options(run, server=True)
     status = verbs.add_parser(
         "status", help="per-point progress of a fleet campaign"
     )
@@ -857,6 +924,8 @@ def _fleet_parser():
                         help="ask a live coordinator directly")
     status.add_argument("--json", action="store_true",
                         help="print the status dict as JSON")
+    status.add_argument("--tls-ca", default=None, metavar="PEM",
+                        help="the coordinator serves TLS; trust this CA")
     return parser
 
 
@@ -916,6 +985,27 @@ def _fleet_main(argv):
         print(f"--workers must be >= 1, got {args.workers}",
               file=sys.stderr)
         return 2
+    if args.verb == "run":
+        low, high = args.min_workers, args.max_workers
+        if low is not None and low < 1:
+            print(f"--min-workers must be >= 1, got {low}",
+                  file=sys.stderr)
+            return 2
+        if (low is not None and high is not None and low > high):
+            print(
+                f"--min-workers ({low}) must be <= --max-workers ({high})",
+                file=sys.stderr,
+            )
+            return 2
+    secret = None
+    if args.verb in ("serve", "worker", "run"):
+        from repro.fleet.security import SecurityError
+
+        try:
+            secret = _validate_fleet_security(args)
+        except SecurityError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if args.verb == "worker" and args.name is not None:
         from repro.fleet.coordinator import valid_worker_name
 
@@ -934,7 +1024,7 @@ def _fleet_main(argv):
         if args.connect or args.dir:
             try:
                 host, port = _fleet_endpoint(args)
-                status = query_status(host, port)
+                status = query_status(host, port, tls_ca=args.tls_ca)
             except (ValueError, OSError, RuntimeError) as exc:
                 if args.connect or not args.dir:
                     print(str(exc), file=sys.stderr)
@@ -968,10 +1058,19 @@ def _fleet_main(argv):
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+        kwargs = {}
+        if args.reconnect_attempts is not None:
+            kwargs["reconnect_attempts"] = args.reconnect_attempts
+        if args.reconnect_delay is not None:
+            kwargs["reconnect_delay"] = args.reconnect_delay
+        if args.reconnect_max_delay is not None:
+            kwargs["reconnect_max_delay"] = args.reconnect_max_delay
         return run_worker(
             host, port, name=args.name, cache=not args.no_cache,
             cache_dir=args.cache_dir, snapshots=not args.no_snapshot,
-            snapshot_dir=args.snapshot_dir,
+            snapshot_dir=args.snapshot_dir, secret=secret,
+            tls_ca=args.tls_ca, tls_cert=args.tls_cert,
+            tls_key=args.tls_key, throttle=args.throttle, **kwargs,
         )
 
     # serve / run
@@ -996,6 +1095,8 @@ def _fleet_main(argv):
                 cache_dir=args.cache_dir, snapshots=not args.no_snapshot,
                 snapshot_dir=args.snapshot_dir,
                 heartbeat_timeout=args.heartbeat_timeout,
+                secret=secret, tls_cert=args.tls_cert,
+                tls_key=args.tls_key, tls_ca=args.tls_ca,
             )
         else:
             from repro.fleet import fleet_run
@@ -1007,6 +1108,11 @@ def _fleet_main(argv):
                 snapshots=not args.no_snapshot,
                 snapshot_dir=args.snapshot_dir,
                 heartbeat_timeout=args.heartbeat_timeout,
+                secret=secret, tls_cert=args.tls_cert,
+                tls_key=args.tls_key, tls_ca=args.tls_ca,
+                min_workers=args.min_workers,
+                max_workers=args.max_workers,
+                steal=not args.no_steal,
             )
     except (FleetError, CampaignError, ValueError,
             FileNotFoundError) as exc:

@@ -1,0 +1,32 @@
+"""Shared fleet-test fixtures: a self-signed TLS identity."""
+
+import subprocess
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def tls_identity(tmp_path_factory):
+    """``(cert_path, key_path)`` — a throwaway self-signed localhost cert.
+
+    Self-signed means the certificate is its own CA: workers pin it
+    directly via ``--tls-ca``, exactly the deployment the docs describe.
+    Generated once per session; skips (not fails) without an ``openssl``
+    binary so the plain-TCP fleet tests still run everywhere.
+    """
+    directory = tmp_path_factory.mktemp("tls")
+    cert = directory / "cert.pem"
+    key = directory / "key.pem"
+    try:
+        subprocess.run(
+            [
+                "openssl", "req", "-x509", "-newkey", "rsa:2048",
+                "-keyout", str(key), "-out", str(cert), "-days", "1",
+                "-nodes", "-subj", "/CN=127.0.0.1",
+                "-addext", "subjectAltName=IP:127.0.0.1",
+            ],
+            check=True, capture_output=True, timeout=60,
+        )
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("openssl unavailable; cannot mint a test certificate")
+    return str(cert), str(key)

@@ -83,6 +83,51 @@ class TestValidation:
         assert code == 2
         assert "no campaign manifest" in _err(capsys)
 
+    def test_rejects_unreadable_secret_file(self, tmp_path, capsys):
+        code = main(["fleet", "run", "--dir", str(tmp_path),
+                     "--secret-file", str(tmp_path / "nope")] + _FAST)
+        assert code == 2
+        assert "cannot read --secret-file" in _err(capsys)
+
+    def test_rejects_both_secret_sources(self, tmp_path, capsys):
+        secret = tmp_path / "secret"
+        secret.write_text("s")
+        code = main(["fleet", "serve", "--dir", str(tmp_path),
+                     "--secret", "s", "--secret-file", str(secret)]
+                    + _FAST)
+        assert code == 2
+        assert "not both" in _err(capsys)
+
+    def test_rejects_cert_without_key(self, tmp_path, capsys):
+        cert = tmp_path / "cert.pem"
+        cert.write_text("x")
+        code = main(["fleet", "serve", "--dir", str(tmp_path),
+                     "--tls-cert", str(cert)] + _FAST)
+        assert code == 2
+        assert "--tls-key" in _err(capsys)
+
+    def test_worker_rejects_key_without_cert(self, tmp_path, capsys):
+        key = tmp_path / "key.pem"
+        key.write_text("x")
+        code = main(["fleet", "worker", "--connect", "127.0.0.1:4242",
+                     "--tls-key", str(key)])
+        assert code == 2
+        assert "--tls-cert" in _err(capsys)
+
+    def test_rejects_min_workers_above_max(self, tmp_path, capsys):
+        code = main(["fleet", "run", "--dir", str(tmp_path),
+                     "--min-workers", "3", "--max-workers", "2"] + _FAST)
+        assert code == 2
+        assert "--min-workers (3) must be <= --max-workers (2)" in (
+            _err(capsys)
+        )
+
+    def test_rejects_nonpositive_min_workers(self, tmp_path, capsys):
+        code = main(["fleet", "run", "--dir", str(tmp_path),
+                     "--min-workers", "0", "--max-workers", "2"] + _FAST)
+        assert code == 2
+        assert "--min-workers must be >= 1" in _err(capsys)
+
 
 def _sharded_campaign(directory):
     spec = CampaignSpec(
@@ -148,3 +193,17 @@ class TestFleetRunCli:
         report = json.load(open(tmp_path / "report.json"))
         assert report["complete"]
         assert (tmp_path / "shards").is_dir()
+
+    def test_run_with_secret_file(self, tmp_path, capsys):
+        # the secret reaches worker subprocesses via the environment
+        secret = tmp_path / "secret"
+        secret.write_text("cli-secret\n")
+        code = main(
+            ["fleet", "run", "--dir", str(tmp_path / "fleet"),
+             "--workers", "1", "--secret-file", str(secret),
+             "--benchmarks", "astar", "--schemes", "EP", "--no-cache",
+             "--no-snapshot"] + _FAST
+        )
+        assert code == 0
+        report = json.load(open(tmp_path / "fleet" / "report.json"))
+        assert report["complete"]

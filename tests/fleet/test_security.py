@@ -1,0 +1,169 @@
+"""Unit tests: secret resolution, HMAC proofs, TLS knobs, backoff."""
+
+import pytest
+
+from repro.fleet.security import (
+    SECRET_ENV,
+    SecurityError,
+    client_ssl_context,
+    coordinator_proof,
+    macs_equal,
+    new_nonce,
+    resolve_secret,
+    server_ssl_context,
+    validate_tls_args,
+    worker_proof,
+)
+from repro.fleet.worker import FleetWorker
+
+
+class TestResolveSecret:
+    def test_explicit_secret_wins(self, monkeypatch):
+        monkeypatch.setenv(SECRET_ENV, "from-env")
+        assert resolve_secret("explicit") == b"explicit"
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SECRET_ENV, "from-env")
+        assert resolve_secret() == b"from-env"
+
+    def test_none_when_no_source(self, monkeypatch):
+        monkeypatch.delenv(SECRET_ENV, raising=False)
+        assert resolve_secret() is None
+
+    def test_secret_file_stripped(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(SECRET_ENV, raising=False)
+        path = tmp_path / "secret"
+        path.write_text("  hunter2\n")
+        assert resolve_secret(secret_file=str(path)) == b"hunter2"
+
+    def test_both_explicit_sources_rejected(self, tmp_path):
+        path = tmp_path / "secret"
+        path.write_text("x")
+        with pytest.raises(SecurityError, match="not both"):
+            resolve_secret("x", str(path))
+
+    def test_unreadable_file_is_actionable(self, tmp_path):
+        with pytest.raises(SecurityError, match="cannot read"):
+            resolve_secret(secret_file=str(tmp_path / "nope"))
+
+    def test_empty_secret_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(SECRET_ENV, raising=False)
+        path = tmp_path / "secret"
+        path.write_text("\n")
+        with pytest.raises(SecurityError, match="non-empty"):
+            resolve_secret(secret_file=str(path))
+        with pytest.raises(SecurityError, match="non-empty"):
+            resolve_secret("")
+
+
+class TestProofs:
+    def test_round_trip(self):
+        cn, sn = new_nonce(), new_nonce()
+        proof = worker_proof(b"k", cn, sn, "w0", "v1")
+        assert macs_equal(worker_proof(b"k", cn, sn, "w0", "v1"), proof)
+
+    def test_wrong_secret_fails(self):
+        cn, sn = new_nonce(), new_nonce()
+        assert not macs_equal(
+            worker_proof(b"k", cn, sn, "w0", "v1"),
+            worker_proof(b"other", cn, sn, "w0", "v1"),
+        )
+
+    def test_identity_is_bound(self):
+        cn, sn = new_nonce(), new_nonce()
+        assert not macs_equal(
+            worker_proof(b"k", cn, sn, "w0", "v1"),
+            worker_proof(b"k", cn, sn, "w1", "v1"),
+        )
+        assert not macs_equal(
+            worker_proof(b"k", cn, sn, "w0", "v1"),
+            worker_proof(b"k", cn, sn, "w0", "v2"),
+        )
+
+    def test_roles_are_domain_separated(self):
+        # a recorded coordinator proof can never answer as a worker
+        cn, sn = new_nonce(), new_nonce()
+        assert coordinator_proof(b"k", cn, sn) != worker_proof(
+            b"k", cn, sn, "", ""
+        )
+
+    def test_length_prefixing_prevents_concat_ambiguity(self):
+        assert coordinator_proof(b"k", "ab", "c") != coordinator_proof(
+            b"k", "a", "bc"
+        )
+
+    def test_macs_equal_rejects_garbage(self):
+        proof = coordinator_proof(b"k", "a", "b")
+        assert not macs_equal(proof, None)
+        assert not macs_equal(proof, 42)
+        assert not macs_equal(proof, proof[:-1])
+
+    def test_nonces_are_unique(self):
+        assert len({new_nonce() for _ in range(64)}) == 64
+
+
+class TestTlsArgs:
+    def test_cert_requires_key(self, tmp_path):
+        cert = tmp_path / "cert.pem"
+        cert.write_text("x")
+        with pytest.raises(SecurityError, match="--tls-key"):
+            validate_tls_args(tls_cert=str(cert))
+
+    def test_key_requires_cert(self, tmp_path):
+        key = tmp_path / "key.pem"
+        key.write_text("x")
+        with pytest.raises(SecurityError, match="--tls-cert"):
+            validate_tls_args(tls_key=str(key))
+
+    def test_unreadable_ca(self, tmp_path):
+        with pytest.raises(SecurityError, match="cannot read --tls-ca"):
+            validate_tls_args(tls_ca=str(tmp_path / "nope.pem"))
+
+    def test_off_is_none(self):
+        assert server_ssl_context() is None
+        assert client_ssl_context() is None
+
+    def test_server_ca_without_identity_rejected(self, tmp_path):
+        ca = tmp_path / "ca.pem"
+        ca.write_text("x")
+        with pytest.raises(SecurityError, match="certificate"):
+            server_ssl_context(tls_ca=str(ca))
+
+    def test_garbage_identity_rejected(self, tmp_path):
+        cert = tmp_path / "cert.pem"
+        key = tmp_path / "key.pem"
+        cert.write_text("not a pem")
+        key.write_text("not a key")
+        with pytest.raises(SecurityError, match="cannot load"):
+            server_ssl_context(str(cert), str(key))
+
+
+class TestBackoff:
+    def _worker(self, **kwargs):
+        return FleetWorker("127.0.0.1", 1, name="w0", **kwargs)
+
+    def test_deterministic(self):
+        a = self._worker()
+        b = self._worker()
+        assert [a.backoff_delay(i) for i in range(1, 6)] == [
+            b.backoff_delay(i) for i in range(1, 6)
+        ]
+
+    def test_exponential_base_capped(self):
+        worker = self._worker(
+            reconnect_delay=0.5, reconnect_max_delay=4.0
+        )
+        for attempt, base in [(1, 0.5), (2, 1.0), (3, 2.0), (4, 4.0),
+                              (5, 4.0), (10, 4.0)]:
+            delay = worker.backoff_delay(attempt)
+            # jitter scales into [0.5, 1.0) of the capped base
+            assert base * 0.5 <= delay < base
+
+    def test_jitter_desynchronizes_workers(self):
+        delays = {
+            FleetWorker(
+                "127.0.0.1", 1, name=f"w{i}"
+            ).backoff_delay(3)
+            for i in range(8)
+        }
+        assert len(delays) > 1
