@@ -11,8 +11,14 @@ sweep so the worker counts are compared on identical footing.
 
 The numbers are merged into the existing BENCH_throughput.json record
 under ``campaign_fleet_draws_per_s`` without disturbing the other keys.
-On a single-core box the sweep is expected to be flat (the workers
-serialize on the CPU); on a multi-core host it exposes the scaling.
+Worker counts above the host's CPU count cannot scale — the workers
+serialize on the CPU and the extra processes only add scheduling and
+leasing overhead — so the record also carries the measured
+``cpu_count`` and lists those counts under ``oversubscribed``: a
+decreasing series at oversubscribed counts is an artifact of the box,
+not a regression (on a 1-core CI runner *every* multi-worker config is
+oversubscribed). Readers should only interpret the sub-series of
+worker counts ≤ cpu_count as a scaling curve.
 
 Usage::
 
@@ -64,8 +70,9 @@ def measure_fleet(snapshot_dir):
         assert report["complete"], report
         assert report["runs_total"] == N_DRAWS, report
         rates[str(workers)] = round(N_DRAWS / dt, 2)
+        over = " [oversubscribed]" if workers > (os.cpu_count() or 1) else ""
         print(f"fleet {workers} worker(s): {rates[str(workers)]} draws/s "
-              f"({N_DRAWS} draws in {dt:.1f}s)")
+              f"({N_DRAWS} draws in {dt:.1f}s){over}")
     return rates
 
 
@@ -83,11 +90,23 @@ def main(argv=None):
     if os.path.exists(out):
         with open(out) as fh:
             record = json.load(fh)
+    cpu_count = os.cpu_count() or 1
+    oversubscribed = [w for w in WORKER_COUNTS if w > cpu_count]
     record["campaign_fleet_workload"] = (
         f"gcc/ABS/vdd=0.97, {N_DRAWS} draws in 4-draw leases, "
         "end-to-end fleet run incl. worker spawn and journal merge"
     )
     record["campaign_fleet_draws_per_s"] = rates
+    record["campaign_fleet_cpu_count"] = cpu_count
+    record["campaign_fleet_oversubscribed_workers"] = oversubscribed
+    if oversubscribed:
+        record["campaign_fleet_note"] = (
+            f"worker counts {oversubscribed} exceed the {cpu_count} "
+            "available CPU(s); their rates measure scheduling overhead, "
+            "not scaling, and decreasing values there are expected"
+        )
+    else:
+        record.pop("campaign_fleet_note", None)
     with open(out, "w") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")

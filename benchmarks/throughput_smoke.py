@@ -9,8 +9,12 @@ warmup, each draw a scheme-run/fault-free-baseline pair) three ways:
 per-seed cold pairs on the reference cycle loop (the pre-optimization
 campaign), the same cold pairs on the fast kernel, and fault-draw mode
 forking every draw from one warmup snapshot with the collapsed
-baseline amortized over the batch. CI runs this after the test suite
-so every build leaves a machine-readable throughput record.
+baseline amortized over the batch. Finally it measures the lockstep
+batch engine (N draws per dispatch from one snapshot,
+``repro.snapshot.batch.run_batch``) over a small lane-count sweep and
+records the N=16 rate plus its speedup over the marginal scalar rate.
+CI runs this after the test suite so every build leaves a
+machine-readable throughput record.
 
 Usage::
 
@@ -50,6 +54,11 @@ PURE_COLD_DRAWS = 4
 CAMPAIGN_ROUNDS = 3
 COLD_PER_ROUND = 2
 WARM_PER_ROUND = 16
+
+#: lane counts for the batch-engine sweep; the headline figure and the
+#: ISSUE acceptance gate are taken at the largest (N=16)
+BATCH_LANE_SWEEP = (4, 8, 16)
+BATCH_ROUNDS = 3
 
 
 def run_once():
@@ -154,11 +163,54 @@ def measure_campaign():
     )
 
 
+def measure_batch():
+    """Lockstep batch-engine draws/s over the lane-count sweep.
+
+    Each sample times one :func:`repro.snapshot.batch.run_batch` call of
+    N scheme-run lanes forked from the point's shared snapshot — the
+    direct vector counterpart of the marginal scalar draw (the snapshot
+    build itself is one-time and excluded on both sides, so
+    ``batch_lanes_speedup`` compares like with like). Returns
+    ``(rates_by_n, vector_lanes_at_max)`` where the second element counts
+    lanes the largest batch actually ran vectorized — 0 signals a silent
+    whole-batch fallback to the scalar path.
+    """
+    from repro.snapshot.batch import BatchReport, batch_eligible, run_batch
+
+    if not batch_eligible(_scheme_spec(2, 1)):
+        return {}, 0
+    rates = {}
+    vector_lanes = 0
+    with tempfile.TemporaryDirectory() as snap_dir:
+        ensure_snapshot(_scheme_spec(2), snap_dir)
+        mseed = 1000
+        for lanes in BATCH_LANE_SWEEP:
+            best = 0.0
+            for _ in range(BATCH_ROUNDS):
+                specs = [
+                    _scheme_spec(2, mseed + i, snap_dir)
+                    for i in range(lanes)
+                ]
+                mseed += lanes
+                report = BatchReport()
+                t0 = time.perf_counter()
+                run_batch(specs, snap_dir, report)
+                dt = time.perf_counter() - t0
+                best = max(best, lanes / dt)
+                if lanes == max(BATCH_LANE_SWEEP):
+                    vector_lanes = max(vector_lanes, report.vector_lanes)
+            rates[str(lanes)] = round(best, 2)
+    return rates, vector_lanes
+
+
 def main(argv=None):
     argv = sys.argv[1:] if argv is None else argv
     out = argv[0] if argv else "BENCH_throughput.json"
     best, samples = measure()
     pure_cold_rate, cold_rate, warm_rate, marginal_rate = measure_campaign()
+    batch_rates, batch_vector_lanes = measure_batch()
+    batch_n = str(max(BATCH_LANE_SWEEP))
+    batch_rate = batch_rates.get(batch_n, 0.0)
     record = {
         "benchmark": "pipeline_throughput",
         "workload": "bzip2/ABS/vdd=1.04, 3000 committed instructions",
@@ -177,6 +229,17 @@ def main(argv=None):
         "snapshot_speedup": round(warm_rate / cold_rate, 2),
         "snapshot_marginal_speedup": round(marginal_rate / cold_rate, 2),
         "campaign_speedup_vs_pure_cold": round(warm_rate / pure_cold_rate, 2),
+        "batch_workload": (
+            f"same point, N={batch_n} lockstep lanes per dispatch, "
+            "scheme-run draws forked from one shared snapshot"
+        ),
+        "batch_lanes": int(batch_n),
+        "batch_draws_per_s": round(batch_rate, 2),
+        "batch_draws_per_s_by_lanes": batch_rates,
+        "batch_lanes_speedup": (
+            round(batch_rate / marginal_rate, 2) if batch_rate else 0.0
+        ),
+        "batch_vector_lanes": batch_vector_lanes,
         "python": platform.python_version(),
         "platform": platform.platform(),
     }

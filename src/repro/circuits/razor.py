@@ -22,7 +22,7 @@ This module models the three circuit-level consequences for a netlist:
   the energy-efficient alternative (Section S3).
 """
 
-import numpy as np
+import math
 
 from repro.circuits.gates import GateType
 from repro.circuits.sta import critical_path
@@ -106,7 +106,7 @@ def min_delay_padding(netlist, library, window, buffer_type=GateType.BUF):
     padded = 0
     for net, delay in mins.items():
         if delay < window:
-            need = int(np.ceil((window - delay) / buffer_delay))
+            need = math.ceil((window - delay) / buffer_delay)
             n_buffers += need
             padded += 1
     return n_buffers, padded

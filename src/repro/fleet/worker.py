@@ -73,7 +73,7 @@ class FleetWorker:
                  reconnect_delay=DEFAULT_RECONNECT_DELAY,
                  reconnect_max_delay=DEFAULT_RECONNECT_MAX_DELAY,
                  secret=None, tls_ca=None, tls_cert=None, tls_key=None,
-                 throttle=0.0):
+                 throttle=0.0, batch_lanes=None):
         self.host = host
         self.port = int(port)
         self.name = name or default_worker_name()
@@ -91,6 +91,12 @@ class FleetWorker:
         #: artificial per-draw delay in seconds — a straggler dial for
         #: work-stealing tests and load experiments, not production use
         self.throttle = float(throttle)
+        from repro.snapshot.batch import resolve_batch_lanes
+
+        #: ≥ 2 vectorizes a lease's draws through the lockstep batch
+        #: engine, that many lanes per engine call (default:
+        #: $REPRO_BATCH_LANES, else per-draw scalar execution)
+        self.batch_lanes = resolve_batch_lanes(batch_lanes)
         self.spec = None
         self._store = None
         self._baseline_memo = (None, None)  # (spec key, result) w/o cache
@@ -290,55 +296,76 @@ class FleetWorker:
             lease["point"]["vdd"],
         )
         lease_id = lease["lease"]
-        for index in lease["indices"]:
+        indices = list(lease["indices"])
+        # lease batching: chunk the leased indices so draws sharing this
+        # point's warmup snapshot advance together through the lockstep
+        # engine; throttled workers stay per-draw (the dial is a
+        # straggler simulation, coarser chunks would distort it)
+        lanes = self.batch_lanes if self.throttle <= 0 else 1
+        step = max(1, lanes)
+        for at in range(0, len(indices), step):
+            chunk = indices[at:at + step]
             if self.throttle > 0:
                 await asyncio.sleep(self.throttle)
-            kind, payload = await asyncio.to_thread(
-                self._run_draw, point, index
+            outcomes = await asyncio.to_thread(
+                self._run_draws, point, chunk
             )
-            if kind == "entry":
-                self.draws_done += 1
-                await send_message(writer, {
-                    "type": "entry", "lease": lease_id, "entry": payload,
-                }, lock)
-            else:
-                await send_message(writer, {
-                    "type": "failure", "lease": lease_id,
-                    "point": point.id, "index": index, "failure": payload,
-                }, lock)
-                return
+            for index, (kind, payload) in zip(chunk, outcomes):
+                if kind == "entry":
+                    self.draws_done += 1
+                    await send_message(writer, {
+                        "type": "entry", "lease": lease_id, "entry": payload,
+                    }, lock)
+                else:
+                    await send_message(writer, {
+                        "type": "failure", "lease": lease_id,
+                        "point": point.id, "index": index,
+                        "failure": payload,
+                    }, lock)
+                    return
         await send_message(
             writer, {"type": "lease_done", "lease": lease_id}, lock
         )
 
-    def _run_draw(self, point, index):
-        """Execute one paired draw synchronously (worker thread).
+    def _run_draws(self, point, indices):
+        """Execute paired draws synchronously (worker thread).
 
-        Returns ``("entry", run-event-dict)`` or ``("failure",
-        failure-record-dict)``. The run event is constructed with the
-        exact helper the single-pool journal hook uses, so the bytes the
-        coordinator appends are the bytes ``campaign run`` would have
-        written.
+        Returns one ``("entry", run-event-dict)`` or ``("failure",
+        failure-record-dict)`` per index, in order; processing past a
+        failure is the caller's concern (it abandons the lease). The run
+        events are constructed with the exact helper the single-pool
+        journal hook uses, so the bytes the coordinator appends are the
+        bytes ``campaign run`` would have written — with ``batch_lanes``
+        the scheme runs advance in engine lockstep, bit-identically.
         """
         from repro.harness.parallel import run_many
 
-        run_spec, base_spec = self.spec.pair_specs(point, index)
+        pairs = [self.spec.pair_specs(point, i) for i in indices]
         store = self._store if self._store is not None else False
-        result = run_many([run_spec], jobs=1, cache=store)[0]
-        baseline = self._run_baseline(base_spec, store)
-        failed = next(
-            (c for c in (result, baseline)
-             if getattr(c, "is_failure", False)),
-            None,
+        results = run_many(
+            [run_spec for run_spec, _base in pairs], jobs=1, cache=store,
+            batch_lanes=self.batch_lanes if len(indices) > 1 else 0,
         )
-        if failed is not None:
-            return "failure", failure_record(failed)
-        values, counts = extract_metrics(result, baseline)
-        telemetry, snapshot_key = draw_metadata(run_spec, result)
-        return "entry", run_event(
-            point.id, index, self.spec.seed_for(point, index),
-            values, counts, telemetry, snapshot_key,
-        )
+        outcomes = []
+        for index, (run_spec, base_spec), result in zip(
+            indices, pairs, results
+        ):
+            baseline = self._run_baseline(base_spec, store)
+            failed = next(
+                (c for c in (result, baseline)
+                 if getattr(c, "is_failure", False)),
+                None,
+            )
+            if failed is not None:
+                outcomes.append(("failure", failure_record(failed)))
+                continue
+            values, counts = extract_metrics(result, baseline)
+            telemetry, snapshot_key = draw_metadata(run_spec, result)
+            outcomes.append(("entry", run_event(
+                point.id, index, self.spec.seed_for(point, index),
+                values, counts, telemetry, snapshot_key,
+            )))
+        return outcomes
 
     def _run_baseline(self, base_spec, store):
         """The paired fault-free run, memoized per point without a cache.

@@ -147,6 +147,80 @@ def _resolve_jobs(jobs, n_pending):
     return max(1, min(jobs, n_pending))
 
 
+def _task(item):
+    # module-level so it pickles under every multiprocessing start method;
+    # items are ("batch", [specs...]) or ("one", spec)
+    kind, payload = item
+    if kind == "batch":
+        from repro.snapshot.batch import run_batch
+
+        return run_batch(payload, payload[0].snapshot_dir)
+    return _worker(payload)
+
+
+def _plan_tasks(todo, batch_lanes):
+    """Partition ``todo`` into pool tasks, vectorizing where possible.
+
+    Eligible specs sharing one warmup snapshot (and snapshot dir) become
+    ``("batch", group)`` tasks of up to ``batch_lanes`` lanes; everything
+    else stays a ``("one", spec)`` task. Returns ``(tasks, index_lists)``
+    where ``index_lists[t]`` maps task ``t``'s results back to positions
+    in ``todo``.
+    """
+    from repro.snapshot.batch import batch_groups
+
+    by_dir = {}
+    for i, spec in enumerate(todo):
+        sd = getattr(spec, "snapshot_dir", None)
+        if sd is not None:
+            by_dir.setdefault(str(sd), []).append(i)
+    index_of = {id(spec): i for i, spec in enumerate(todo)}
+    grouped = set()
+    tasks = []
+    index_lists = []
+    for indices in by_dir.values():
+        groups, _rest = batch_groups([todo[i] for i in indices], batch_lanes)
+        for group in groups:
+            tasks.append(("batch", group))
+            index_lists.append([index_of[id(spec)] for spec in group])
+            grouped.update(index_lists[-1])
+    for i, spec in enumerate(todo):
+        if i not in grouped:
+            tasks.append(("one", spec))
+            index_lists.append([i])
+    return tasks, index_lists
+
+
+def _run_todo(todo, n_jobs, batch_lanes):
+    """Run the cache-missing specs; results aligned with ``todo``."""
+    if batch_lanes > 1:
+        tasks, index_lists = _plan_tasks(todo, batch_lanes)
+    else:
+        tasks = [("one", spec) for spec in todo]
+        index_lists = [[i] for i in range(len(todo))]
+    if n_jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        # fork (when available) shares the warm program caches with
+        # the workers; spawn still works because _task is importable
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(min(n_jobs, len(tasks))) as pool:
+            outs = pool.map(_task, tasks)
+    else:
+        outs = [_task(item) for item in tasks]
+    results = [None] * len(todo)
+    for (kind, _payload), indices, out in zip(tasks, index_lists, outs):
+        if kind == "batch":
+            for i, result in zip(indices, out):
+                results[i] = result
+        else:
+            results[indices[0]] = out
+    return results
+
+
 def _ensure_snapshot_worker(spec):
     # module-level so it pickles under every multiprocessing start method
     from repro.snapshot import ensure_snapshot
@@ -200,7 +274,8 @@ def prewarm_snapshots(specs, n_jobs=1):
 _prewarm_snapshots = prewarm_snapshots
 
 
-def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
+def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None,
+             batch_lanes=None):
     """Run a batch of specs; results in the same order as ``specs``.
 
     ``jobs``: worker processes for the cache misses. ``1`` (the default)
@@ -216,9 +291,18 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
     exactly once and every eligible run forks from its snapshot — see
     :mod:`repro.snapshot`.
 
+    ``batch_lanes``: when ≥ 2 (default: ``REPRO_BATCH_LANES``, else off),
+    cache-missing specs that share one warmup snapshot run through the
+    lockstep batch engine (:mod:`repro.snapshot.batch`), up to that many
+    lanes per engine call. Results are bit-identical to the scalar path;
+    ineligible specs and singleton groups run scalar as before.
+
     Identical specs in one batch are simulated once and share the result.
     """
+    from repro.snapshot.batch import resolve_batch_lanes
+
     specs = list(specs)
+    batch_lanes = resolve_batch_lanes(batch_lanes)
     if isinstance(cache, ResultCache):
         store = cache
     elif cache:
@@ -248,19 +332,7 @@ def run_many(specs, jobs=1, cache=False, cache_dir=None, snapshot_dir=None):
         todo = [specs[i] for i in pending.values()]
         n_jobs = _resolve_jobs(jobs, len(todo))
         prewarm_snapshots(todo, n_jobs)
-        if n_jobs > 1:
-            import multiprocessing
-
-            # fork (when available) shares the warm program caches with
-            # the workers; spawn still works because _worker is importable
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:
-                ctx = multiprocessing.get_context()
-            with ctx.Pool(n_jobs) as pool:
-                fresh = pool.map(_worker, todo)
-        else:
-            fresh = [_worker(spec) for spec in todo]
+        fresh = _run_todo(todo, n_jobs, batch_lanes)
         for (key, i), result in zip(pending.items(), fresh):
             # failures are never cached: a transient capture must not
             # poison future batches with a pre-failed result

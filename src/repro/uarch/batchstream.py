@@ -1,0 +1,286 @@
+"""Shared-stream extraction for the batched lockstep engine.
+
+Every fork of one warmup snapshot fetches the *identical* dynamic
+instruction stream: the trace generator's RNG is warmup-side state and
+nothing on the measurement side reseeds it (see ``repro.snapshot.fork``).
+The branch predictor, the L1 instruction cache, and the fetch-group
+partition are equally lane-invariant — they are driven only by that
+stream. This module walks clones of those structures once per batch and
+flattens the result into plain arrays (:class:`StreamPlan`) that the
+vector engine (:mod:`repro.uarch.batchcore`) indexes per cycle.
+
+What *does* differ per lane is the fault realization: each campaign draw
+reseeds the injector's per-instance RNG from its ``measurement_seed``.
+:func:`build_tapes` replays that stream per lane — the real
+:meth:`~repro.faults.injector.FaultInjector.resolve` for critical PCs, a
+short-circuit for SAFE PCs (which consume exactly one background draw) —
+producing a dense (lanes x instructions) fault-stage-mask tape.
+
+Anything this module cannot prove lane-invariant raises
+:class:`BatchFallback`; callers then run the scalar path, which is always
+correct.
+"""
+
+import random
+
+try:  # numpy is an optional extra: the batch path gates on it
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+from repro.isa.instruction import DynInst
+from repro.uarch.branch_predictor import GShare
+from repro.workloads.trace import TraceGenerator
+
+
+class BatchFallback(Exception):
+    """The batch engine cannot handle this run; use the scalar path."""
+
+
+def have_numpy():
+    """True when the numpy-backed batch engine can run at all."""
+    return _np is not None
+
+
+def _clone_trace(tg):
+    """An independent TraceGenerator continuing ``tg``'s exact stream."""
+    clone = TraceGenerator.__new__(TraceGenerator)
+    clone.program = tg.program
+    clone._rng = random.Random()
+    clone._rng.setstate(tg._rng.getstate())
+    clone._seq = tg._seq
+    clone._block = tg._block
+    clone._pos = tg._pos
+    clone._exec_counts = dict(tg._exec_counts)
+    clone.emitted = tg.emitted
+    return clone
+
+
+def _clone_bp(bp):
+    clone = GShare(bp.table_bits, bp.history_bits, bp.index_history_bits)
+    clone._table = list(bp._table)
+    clone.ghr = bp.ghr
+    return clone
+
+
+def _clone_l1i_sets(l1i):
+    return [list(ways) for ways in l1i._sets]
+
+
+class StreamPlan:
+    """Lane-invariant stream metadata for one batch window.
+
+    Per-instruction arrays are indexed by *stream position* (0 = first
+    instruction fetched after the snapshot boundary); the engine offsets
+    them into its global slot space. Fetch groups mirror the scalar
+    ``_fetch`` loop: up to ``width`` instructions per cycle, terminated
+    early by a mispredicted branch (which blocks fetch until resolve).
+    """
+
+    __slots__ = (
+        "n", "pc", "op", "mem_addr", "dest", "src0", "src1", "nsrcs",
+        "is_cond_branch", "mispredicted", "critical", "tep_index",
+        "tep_tag",
+        "g_start", "g_len", "g_mispred", "g_branches", "g_l1i_hits",
+        "g_l1i_misses", "g_miss_off", "miss_pcs",
+    )
+
+
+def build_stream(core, n_insts, width):
+    """Walk ``n_insts`` instructions of ``core``'s future stream.
+
+    Clones the trace generator, branch predictor and L1I so the donor
+    core is untouched. Raises :class:`BatchFallback` when the trace ends
+    inside the window or an instruction shape falls outside the vector
+    engine's model (more than two sources).
+    """
+    if _np is None:
+        raise BatchFallback("numpy unavailable")
+    tg = _clone_trace(core.trace)
+    bp = _clone_bp(core.bp)
+    l1i_sets = _clone_l1i_sets(core.hierarchy.l1i)
+    l1i_assoc = core.hierarchy.l1i._assoc
+    l1i_shift = core.hierarchy.l1i._line_shift
+    l1i_mask = core.hierarchy.l1i._set_mask
+    if not core.hierarchy.l1i._pow2_sets:  # pragma: no cover - 512-set L1I
+        raise BatchFallback("non-power-of-two L1I set count")
+    tep = core.tep
+    probe_tep = core._tep_gate == 0
+    if probe_tep:
+        if type(tep).__name__ != "TimingErrorPredictor":
+            raise BatchFallback("non-standard timing predictor")
+        if tep.config.history_bits:
+            raise BatchFallback("history-indexed TEP keys vary per lane")
+        tep_index_mask = tep._index_mask
+        tep_tag_mask = tep._tag_mask
+    critical_pcs = (
+        core.injector._pc_timing if core.injector is not None else {}
+    )
+
+    n = int(n_insts)
+    pc = _np.zeros(n, dtype=_np.int64)
+    op = _np.zeros(n, dtype=_np.int8)
+    mem_addr = _np.zeros(n, dtype=_np.int64)
+    dest = _np.full(n, -1, dtype=_np.int16)
+    src0 = _np.full(n, -1, dtype=_np.int16)
+    src1 = _np.full(n, -1, dtype=_np.int16)
+    nsrcs = _np.zeros(n, dtype=_np.int8)
+    is_cond = _np.zeros(n, dtype=_np.bool_)
+    mispred = _np.zeros(n, dtype=_np.bool_)
+    critical = _np.zeros(n, dtype=_np.bool_)
+    tep_index = _np.zeros(n, dtype=_np.int32)
+    tep_tag = _np.zeros(n, dtype=_np.int32)
+
+    g_start, g_len, g_mispred, g_branches = [], [], [], []
+    g_l1i_hits, g_l1i_misses, g_miss_off = [], [], []
+    miss_pcs = []
+
+    last_line = core._last_fetch_line
+    i = 0
+    trace_next = tg.__next__
+    while i < n:
+        start = i
+        hits = misses = branches = 0
+        wrong = False
+        g_miss_off.append(len(miss_pcs))
+        for _ in range(width):
+            if i >= n:
+                break
+            try:
+                inst = trace_next()
+            except StopIteration:
+                raise BatchFallback("trace ended inside the batch window")
+            static = inst.static
+            ipc = static.pc
+            pc[i] = ipc
+            op[i] = int(static.op)
+            mem_addr[i] = inst.mem_addr
+            if static.dest is not None:
+                dest[i] = static.dest
+            srcs = static.srcs
+            ns = len(srcs)
+            if ns > 2:
+                raise BatchFallback("instruction with >2 sources")
+            nsrcs[i] = ns
+            if ns:
+                src0[i] = srcs[0]
+                if ns == 2:
+                    src1[i] = srcs[1]
+            # L1I: one access per line transition (scalar _fetch dedup)
+            line = ipc >> 6
+            if line != last_line:
+                last_line = line
+                tag = ipc >> l1i_shift
+                ways = l1i_sets[tag & l1i_mask]
+                if tag in ways:
+                    hits += 1
+                    if ways[-1] != tag:
+                        ways.remove(tag)
+                        ways.append(tag)
+                else:
+                    misses += 1
+                    if len(ways) >= l1i_assoc:
+                        del ways[0]
+                    ways.append(tag)
+                    miss_pcs.append(ipc)
+            if static.is_branch and 0.0 < static.taken_prob < 1.0:
+                is_cond[i] = True
+                branches += 1
+                if bp.predict_and_update(ipc, inst.taken):
+                    mispred[i] = True
+                    wrong = True
+            if probe_tep:
+                word = ipc >> 2
+                tep_index[i] = word & tep_index_mask
+                tep_tag[i] = (word >> 10) & tep_tag_mask
+            critical[i] = ipc in critical_pcs
+            i += 1
+            if wrong:
+                break
+        g_start.append(start)
+        g_len.append(i - start)
+        g_mispred.append(wrong)
+        g_branches.append(branches)
+        g_l1i_hits.append(hits)
+        g_l1i_misses.append(misses)
+    g_miss_off.append(len(miss_pcs))
+
+    plan = StreamPlan()
+    plan.n = n
+    plan.pc = pc
+    plan.op = op
+    plan.mem_addr = mem_addr
+    plan.dest = dest
+    plan.src0 = src0
+    plan.src1 = src1
+    plan.nsrcs = nsrcs
+    plan.is_cond_branch = is_cond
+    plan.mispredicted = mispred
+    plan.critical = critical
+    plan.tep_index = tep_index
+    plan.tep_tag = tep_tag
+    plan.g_start = _np.asarray(g_start, dtype=_np.int64)
+    plan.g_len = _np.asarray(g_len, dtype=_np.int64)
+    plan.g_mispred = _np.asarray(g_mispred, dtype=_np.bool_)
+    plan.g_branches = _np.asarray(g_branches, dtype=_np.int64)
+    plan.g_l1i_hits = _np.asarray(g_l1i_hits, dtype=_np.int64)
+    plan.g_l1i_misses = _np.asarray(g_l1i_misses, dtype=_np.int64)
+    plan.g_miss_off = _np.asarray(g_miss_off, dtype=_np.int64)
+    plan.miss_pcs = _np.asarray(miss_pcs, dtype=_np.int64)
+    return plan
+
+
+def build_tapes(core, plan, measurement_seeds, vdd):
+    """Per-lane fault tapes over ``plan``'s stream.
+
+    Returns an ``(n_lanes, plan.n)`` int16 array of fault-stage bitmasks,
+    exactly what the scalar run's ``injector.resolve`` would stamp on
+    each dynamic instance after ``injector.reseed(measurement_seed + 301)``
+    (the ``begin_measurement`` boundary semantics).
+
+    SAFE PCs take a short-circuit that consumes one RNG draw (the
+    background-fault check) — bit-exact with ``resolve``, which skips the
+    repeatability draw when the PC has no timing assignment. Critical PCs
+    go through the real ``resolve`` on a scratch instance so the timing
+    model's decision chain is shared, not re-implemented.
+    """
+    if _np is None:
+        raise BatchFallback("numpy unavailable")
+    n_lanes = len(measurement_seeds)
+    tapes = _np.zeros((n_lanes, plan.n), dtype=_np.int16)
+    injector = core.injector
+    if injector is None:
+        return tapes
+    if not injector.enabled:
+        return tapes
+    if injector.thermal is not None:
+        raise BatchFallback("thermal-coupled injector varies per cycle")
+    program = core.program
+    statics_by_pc = {si.pc: si for si in program.static_insts}
+    scratch = DynInst(0, program.static_insts[0])
+    bg = injector._background_prob(vdd)
+    # one (is_critical, static) pair per stream position, walked per lane
+    walk = list(zip(plan.critical.tolist(),
+                    (statics_by_pc[p] for p in plan.pc.tolist())))
+    saved_rng = injector._rng
+    resolve = injector.resolve
+    pick_stage = injector._pick_stage
+    try:
+        for lane, mseed in enumerate(measurement_seeds):
+            rng = random.Random(mseed + 301)
+            injector._rng = rng
+            rnd = rng.random
+            row = tapes[lane]
+            for i, (is_critical, static) in enumerate(walk):
+                if is_critical:
+                    scratch.static = static
+                    scratch.pc = static.pc
+                    scratch.fault_stages = 0
+                    resolve(scratch, vdd)
+                    if scratch.fault_stages:
+                        row[i] = scratch.fault_stages
+                elif rnd() < bg:
+                    row[i] = 1 << int(pick_stage(static))
+    finally:
+        injector._rng = saved_rng
+    return tapes

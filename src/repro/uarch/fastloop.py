@@ -22,6 +22,15 @@ pure loop for eligible runs: it deletes only checks proven inert above
 and accumulates ``cycles``/``iq_occupancy_accum`` in locals (flushed on
 every exit path). ``REPRO_PURE_LOOP=1`` forces the pure loop everywhere,
 which is how the equivalence test pins the two paths against each other.
+
+Eligibility is *not* a one-shot check: an observer attached mid-window
+(a telemetry sampler on a forked snapshot, a lockstep commit listener,
+a thermal model hot-plugged by event-processing code) would silently
+never fire if the fast loop kept running. :func:`run_fast` therefore
+re-checks :func:`fast_eligible` at every 1024-cycle watchdog boundary
+and, on loss, flushes its locals and returns ``None`` — the caller
+(:meth:`OoOCore.run`) finishes the window on the reference loop, which
+honors the newly attached observer from its next cycle.
 """
 
 import os
@@ -48,7 +57,10 @@ def run_fast(core, max_committed, max_cycles, hang_cycles):
 
     Mirrors the pure loop of :meth:`OoOCore.run` line for line, minus
     the telemetry/thermal checks that :func:`fast_eligible` proved
-    inert; see the module docstring for the exact deletions.
+    inert; see the module docstring for the exact deletions. Returns
+    the run's :class:`SimStats`, or ``None`` if an observer attached
+    mid-window (eligibility re-checked every 1024 cycles) — the caller
+    must then finish the window on the reference loop.
     """
     stats = core.stats
     progress_committed = stats.committed
@@ -79,6 +91,11 @@ def run_fast(core, max_committed, max_cycles, hang_cycles):
                     cycle - progress_cycle,
                 )
             if not cycle & 1023:
+                if not fast_eligible(core):
+                    # an observer attached mid-window; bail at this
+                    # cycle boundary so the reference loop (which
+                    # honors it) can finish the window seamlessly
+                    return None
                 committed = stats.committed
                 if committed != progress_committed:
                     progress_committed = committed

@@ -254,7 +254,12 @@ class OoOCore:
         from repro.uarch.fastloop import fast_eligible, run_fast
 
         if fast_eligible(self):
-            return run_fast(self, max_committed, max_cycles, hang_cycles)
+            result = run_fast(self, max_committed, max_cycles, hang_cycles)
+            if result is not None:
+                return result
+            # an observer attached mid-window and the fast loop bailed
+            # at a cycle boundary; the reference loop below picks the
+            # window up with the observer live from its next cycle
         stats = self.stats
         progress_committed = stats.committed
         progress_cycle = self.cycle

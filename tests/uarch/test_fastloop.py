@@ -99,3 +99,76 @@ class TestEligibility:
         core = build_core(spec)
         begin_measurement(core, spec)
         assert not fast_eligible(core)
+
+
+class _Sampler:
+    """Minimal telemetry-sampler stand-in: counts its sample() calls."""
+
+    def __init__(self):
+        self.next_cycle = 0
+        self.samples = 0
+
+    def sample(self, core, cycle):
+        self.samples += 1
+        return cycle + 100
+
+
+class TestMidRunAttachment:
+    """Eligibility must be re-checked, not decided once at window start.
+
+    An observer attached *during* a window (the fast loop's hoists made
+    it statically invisible) has to force a fallback to the reference
+    loop, or it silently never fires for the rest of the window.
+    """
+
+    def _attach_mid_run(self, core, attach, after_committed=32):
+        real_commit = core._commit
+
+        def commit_then_attach():
+            real_commit()
+            if core.stats.committed >= after_committed:
+                attach()
+
+        core._commit = commit_then_attach
+
+    def test_sampler_attached_mid_window_fires(self):
+        spec = RunSpec(
+            "gcc", SchemeKind.ABS, 0.97, n_instructions=4000, warmup=0,
+            seed=7,
+        )
+        core = build_core(spec)
+        sampler = _Sampler()
+
+        def attach():
+            if core.telemetry_sampler is None:
+                core.telemetry_sampler = sampler
+
+        self._attach_mid_run(core, attach)
+        assert fast_eligible(core)
+        stats = core.run(4000)
+        # the window completed in full on the hybrid fast->pure path...
+        assert stats.committed >= 4000
+        # ...and the mid-run sampler actually sampled (the fast loop
+        # alone would have ignored it for the whole window)
+        assert sampler.samples > 0
+
+    def test_run_fast_returns_none_on_eligibility_loss(self):
+        from repro.uarch.fastloop import run_fast
+
+        spec = RunSpec(
+            "gcc", SchemeKind.ABS, 0.97, n_instructions=4000, warmup=0,
+            seed=7,
+        )
+        core = build_core(spec)
+        self._attach_mid_run(
+            core, lambda: setattr(core, "commit_listener", lambda inst: None)
+        )
+        before = core.stats.cycles
+        out = run_fast(core, 4000, 400 * 4000 + 20000, 20000)
+        assert out is None
+        # locals flushed on the bail-out path: the cycles the fast loop
+        # did run are visible, and the core can finish the window
+        assert core.stats.cycles > before
+        assert core.stats.committed < 4000
+        stats = core.run(4000)
+        assert stats.committed >= 4000
