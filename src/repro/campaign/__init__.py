@@ -36,10 +36,10 @@ example.
 from repro.campaign.executor import CampaignError, measure_point, run_campaign
 from repro.campaign.journal import Journal, read_manifest, write_manifest
 from repro.campaign.plan import CampaignSpec, GridPoint, derive_seed
-from repro.campaign.report import build_report, write_reports
+from repro.campaign.report import build_report, report_from_state, write_reports
 from repro.campaign.scheduler import PointScheduler
 from repro.campaign.stats import PointAccumulator
-from repro.campaign.status import build_status, render_status
+from repro.campaign.status import build_status, render_status, status_from_state
 
 __all__ = [
     "CampaignError",
@@ -54,7 +54,9 @@ __all__ = [
     "measure_point",
     "read_manifest",
     "render_status",
+    "report_from_state",
     "run_campaign",
+    "status_from_state",
     "write_manifest",
     "write_reports",
 ]

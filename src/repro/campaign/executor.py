@@ -145,11 +145,7 @@ def draw_metadata(run_spec, result):
     hook and fleet workers so both journal identical ``run`` events.
     """
     telem = getattr(result, "telemetry", None)
-    summary = (
-        telem.metrics.summary()
-        if telem is not None and telem.metrics is not None
-        else None
-    )
+    summary = telem.summary() if telem is not None else None
     snapshot_key = None
     if getattr(run_spec, "snapshot_dir", None) is not None:
         from repro.snapshot import snapshot_eligible

@@ -30,7 +30,17 @@ def build_report(directory):
     manifest = read_manifest(directory)
     spec = CampaignSpec.from_dict(manifest["spec"])
     state = Journal(directory).replay()
+    return report_from_state(spec, state)
 
+
+def report_from_state(spec, state):
+    """Fold a replayed :class:`~repro.campaign.journal.JournalState`.
+
+    The aggregation core of :func:`build_report`, factored out so live
+    views (the dashboard's ``CampaignView``, ``--follow`` mode) produce
+    byte-identical aggregates to an offline ``campaign report`` rebuild
+    of the same journal.
+    """
     points = []
     for point in spec.points():
         completion = state.completed.get(point.id)
@@ -102,13 +112,19 @@ def _pool_telemetry(summaries):
         "windows": sum(s["windows"] for s in summaries) / n,
     }
     for name in summaries[0]:
-        if name in ("draws", "interval", "windows"):
+        if name in ("draws", "interval", "windows", "dropped_events"):
             continue
         pooled[name] = {
             "min": min(s[name]["min"] for s in summaries),
             "mean": sum(s[name]["mean"] for s in summaries) / n,
             "max": max(s[name]["max"] for s in summaries),
         }
+    if "dropped_events" in summaries[0]:
+        # a scalar tally, not a {min, mean, max} envelope: total trace
+        # truncation across the point's draws
+        pooled["dropped_events"] = sum(
+            s.get("dropped_events", 0) for s in summaries
+        )
     return pooled
 
 

@@ -1,0 +1,119 @@
+"""Deterministic figure JSON for the dashboard page.
+
+Each figure is a plain data dict — the server serializes it with sorted
+keys, the static page renders it as inline SVG. No plotting library, no
+timestamps, no randomness: the same folded journal state always yields
+byte-identical figure JSON, so figures are cached by the view's version
+counter and the CI smoke test can assert on exact shapes.
+
+Catalog (also documented in ``docs/observability.md``):
+
+``convergence``
+    CI half-width after each draw, per point and target metric, with the
+    stopping target — the sequential-sampling story as a curve.
+``overhead``
+    Paired cycle-overhead bars (mean ± half-width) per point, grouped by
+    scheme — the dashboard's Figure-4 analogue.
+``rates``
+    Pooled fault/replay-rate bars with Wilson half-widths per point.
+``telemetry``
+    Interval-metric sparklines (per-draw mean lines, min/max envelope)
+    for points journaled with telemetry summaries.
+``fleet``
+    Worker/lease health from the ledger: per-worker draw/lease tallies,
+    open leases, steal + autoscale event logs, and the coordinator's
+    security audit counters.
+"""
+
+
+def build_figures(view):
+    """The full figure catalog for one :class:`CampaignView` state."""
+    report = view.report()
+    status = view.status()
+    return {
+        "version": view.version,
+        "campaign": view.spec.name,
+        "convergence": _convergence(view, status),
+        "overhead": _overhead(report),
+        "rates": _rates(report),
+        "telemetry": _telemetry(report),
+        "fleet": view.fleet_status(),
+    }
+
+
+def _convergence(view, status):
+    series = []
+    for entry in status["points"]:
+        if entry["n"] == 0:
+            continue
+        series.append(view.convergence(entry["point"]))
+    return {"points": series}
+
+
+def _overhead(report):
+    bars = []
+    for entry in report["points"]:
+        metrics = entry["metrics"]
+        if not metrics:
+            continue
+        cell = metrics["perf_overhead"]
+        bars.append({
+            "point": entry["point"],
+            "benchmark": entry["benchmark"],
+            "scheme": entry["scheme"],
+            "vdd": entry["vdd"],
+            "mean": cell["mean"],
+            "halfwidth": cell["halfwidth"],
+            "n": cell["n"],
+        })
+    return {"metric": "perf_overhead", "bars": bars,
+            "by_scheme": report["by_scheme"]}
+
+
+def _rates(report):
+    bars = []
+    for entry in report["points"]:
+        metrics = entry["metrics"]
+        if not metrics:
+            continue
+        bars.append({
+            "point": entry["point"],
+            "benchmark": entry["benchmark"],
+            "scheme": entry["scheme"],
+            "vdd": entry["vdd"],
+            "fault_rate": metrics["fault_rate"],
+            "replay_rate": metrics["replay_rate"],
+        })
+    return {"bars": bars}
+
+
+def _telemetry(report):
+    rows = []
+    for entry in report["points"]:
+        pooled = entry.get("telemetry")
+        if not pooled:
+            continue
+        rows.append({"point": entry["point"], "pooled": pooled})
+    return {"points": rows}
+
+
+class FigureCache:
+    """Figure JSON memo keyed on the view's version counter.
+
+    ``get()`` rebuilds only when a refresh actually folded new records —
+    with many SSE viewers polling figures, each journal append costs one
+    aggregation regardless of audience size.
+    """
+
+    def __init__(self, view):
+        self.view = view
+        self._version = None
+        self._figures = None
+        self.rebuilds = 0
+
+    def get(self):
+        if self._version != self.view.version:
+            self._figures = build_figures(self.view)
+            self._version = self.view.version
+            self.rebuilds += 1
+        return self._figures

@@ -127,11 +127,14 @@ class FleetCoordinator:
         #: a lease tail must have at least this many unfinished indices
         #: before it can be split — 1-index tails are not worth moving
         self.min_steal = max(2, int(min_steal))
-        #: rejection/fault counters, surfaced by :meth:`status` — the
-        #: audit trail of hostile or broken peers
+        #: rejection/fault counters, surfaced by :meth:`status` and
+        #: persisted to the lease ledger on every bump (so ``fleet
+        #: status`` on a dead fleet still reports them) — the audit
+        #: trail of hostile or broken peers
         self.audit = {
             "auth_failures": 0,
             "rejected_hellos": 0,
+            "rejected_versions": 0,
             "protocol_errors": 0,
             "steals": 0,
         }
@@ -358,9 +361,24 @@ class FleetCoordinator:
             return f"{peername[0]}:{peername[1]}"
         return str(peername) if peername else "unknown"
 
+    def _bump_audit(self, key):
+        """Count one audit event and persist the tallies to the ledger.
+
+        Best-effort persistence: audit must never take the serve loop
+        down, and the in-memory counters (served by :meth:`status`)
+        stay correct even if the append fails.
+        """
+        self.audit[key] += 1
+        ledger = getattr(self, "_ledger", None)
+        if ledger is not None:
+            try:
+                ledger.audited(self.audit)
+            except OSError:
+                pass
+
     async def _reject(self, writer, code, reason):
         """Send a structured rejection (best effort) and audit it."""
-        self.audit["rejected_hellos"] += 1
+        self._bump_audit("rejected_hellos")
         try:
             await send_message(writer, {
                 "type": "error", "code": code, "reason": reason,
@@ -407,7 +425,7 @@ class FleetCoordinator:
         except ProtocolError as exc:
             # a hostile or broken peer kills its own connection only;
             # the serve loop and every other worker keep going
-            self.audit["protocol_errors"] += 1
+            self._bump_audit("protocol_errors")
             print(f"[fleet-coordinator] dropping connection: {exc}",
                   file=sys.stderr)
             try:
@@ -446,12 +464,12 @@ class FleetCoordinator:
                 timeout=max(1.0, self.heartbeat_timeout),
             )
         except asyncio.TimeoutError:
-            self.audit["auth_failures"] += 1
+            self._bump_audit("auth_failures")
             return False
         except (ConnectionError, OSError):
             # the peer hung up on the challenge: it holds no secret, or
             # it rejected *our* proof — mutual auth failing either way
-            self.audit["auth_failures"] += 1
+            self._bump_audit("auth_failures")
             return False
         expected = worker_proof(
             self.secret, client_nonce, server_nonce,
@@ -460,7 +478,7 @@ class FleetCoordinator:
         if reply.get("type") != "auth" or not macs_equal(
             expected, reply.get("mac")
         ):
-            self.audit["auth_failures"] += 1
+            self._bump_audit("auth_failures")
             await self._reject(
                 writer, "auth-failed",
                 "authentication failed: wrong or missing shared secret",
@@ -482,6 +500,9 @@ class FleetCoordinator:
                 return None
         version = message.get("model_version")
         if version != self.model_version:
+            # counted separately from generic hello rejections: version
+            # skew is a deployment problem, not a hostile peer
+            self._bump_audit("rejected_versions")
             await self._reject(writer, "version-skew", (
                 f"model version mismatch: campaign is "
                 f"{self.model_version}, worker runs {version} — "
@@ -574,7 +595,7 @@ class FleetCoordinator:
         tail = tail[(len(tail) + 1) // 2:]
         victim["indices"].difference_update(tail)
         reply = self._make_lease(victim["point"], tail, worker)
-        self.audit["steals"] += 1
+        self._bump_audit("steals")
         self._ledger.stolen(
             reply["lease"], victim_id, victim["point"], tail,
             worker, victim["worker"],

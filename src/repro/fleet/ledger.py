@@ -74,9 +74,21 @@ class LeaseLedger:
             "reason": reason,
         })
 
+    def audited(self, counters):
+        """Persist a snapshot of the coordinator's security audit counters.
+
+        Appended on every counter bump (they are rare — hostile peers,
+        version skew, steals), so the *last* ``audit`` record always
+        holds the final tallies and survives the coordinator:
+        ``fleet status`` on a dead fleet can still report how many
+        peers were rejected and why.
+        """
+        self.append({"event": "audit", "counters": dict(counters)})
+
     # ------------------------------------------------------------------
     def replay(self):
-        """{"max_lease": int, "open": {lease_id: grant-record}}.
+        """{"max_lease": int, "open": {lease_id: grant-record},
+        "audit": last-counters-or-None}.
 
         ``open`` holds leases with neither a ``complete`` nor a
         ``revoke`` record — in flight at the last coordinator death.
@@ -85,10 +97,11 @@ class LeaseLedger:
         """
         max_lease = 0
         open_leases = {}
+        audit = None
         try:
             fh = open(self.path)
         except FileNotFoundError:
-            return {"max_lease": 0, "open": {}}
+            return {"max_lease": 0, "open": {}, "audit": None}
         with fh:
             for line in fh:
                 line = line.strip()
@@ -98,6 +111,11 @@ class LeaseLedger:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     continue
+                if record.get("event") == "audit":
+                    counters = record.get("counters")
+                    if isinstance(counters, dict):
+                        audit = counters
+                    continue
                 lease_id = record.get("lease")
                 if not isinstance(lease_id, int):
                     continue
@@ -106,4 +124,5 @@ class LeaseLedger:
                     open_leases[lease_id] = record
                 else:
                     open_leases.pop(lease_id, None)
-        return {"max_lease": max_lease, "open": open_leases}
+        return {"max_lease": max_lease, "open": open_leases,
+                "audit": audit}

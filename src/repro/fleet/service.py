@@ -72,16 +72,23 @@ def offline_status(directory):
 
     Folds the merged journal (if any) with the shard journals, so it is
     correct for a live-but-unreachable, killed, or finished fleet — the
-    same ``campaign status`` shape, fed by :func:`replay_shards`.
+    same ``campaign status`` shape, fed by :func:`replay_shards`. The
+    coordinator's last persisted security audit counters ride along
+    under ``"audit"`` (``None`` when the ledger never recorded any),
+    matching the live :meth:`~repro.fleet.coordinator.FleetCoordinator.
+    status` shape.
     """
     from repro.campaign.journal import Journal, read_manifest
     from repro.campaign.plan import CampaignSpec
     from repro.campaign.status import status_from_state
+    from repro.fleet.ledger import LeaseLedger
     from repro.fleet.merge import replay_shards
 
     spec = CampaignSpec.from_dict(read_manifest(directory)["spec"])
     state = replay_shards(directory, base=Journal(directory).replay())
-    return status_from_state(spec, state)
+    status = status_from_state(spec, state)
+    status["audit"] = LeaseLedger(directory).replay()["audit"]
+    return status
 
 
 def worker_command(host, port, name, cache=True, cache_dir=None,

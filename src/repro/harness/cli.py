@@ -654,6 +654,12 @@ def _campaign_parser():
     status.add_argument("--dir", required=True, help="campaign directory")
     status.add_argument("--json", action="store_true",
                         help="print the status dict as JSON")
+    status.add_argument("--follow", action="store_true",
+                        help="live-refresh until the campaign completes "
+                             "(Ctrl-C to stop)")
+    status.add_argument("--interval", type=float, default=0.5, metavar="S",
+                        help="journal poll interval with --follow "
+                             "(default 0.5)")
     return parser
 
 
@@ -723,6 +729,15 @@ def _campaign_main(argv):
 
         from repro.campaign import build_status, render_status
 
+        if args.follow:
+            from repro.dashboard import follow_status
+
+            try:
+                return follow_status(args.dir, interval=args.interval)
+            except FileNotFoundError:
+                print(f"no campaign manifest in {args.dir}",
+                      file=sys.stderr)
+                return 2
         try:
             status = build_status(args.dir)
         except FileNotFoundError:
@@ -778,6 +793,59 @@ def _campaign_main(argv):
     _print_report_summary(report)
     print(f"[wrote {os.path.join(args.dir, 'report.json')} and .md]")
     return 0
+
+
+# ----------------------------------------------------------------------
+# dashboard subcommand
+# ----------------------------------------------------------------------
+def _dashboard_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-timing dashboard",
+        description=(
+            "Live results service: serve a campaign directory (live, "
+            "killed, or finished; single-pool or fleet) as a web "
+            "dashboard with JSON endpoints and a Server-Sent-Events "
+            "stream. See docs/observability.md ('Live dashboard')."
+        ),
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+    serve = verbs.add_parser(
+        "serve", help="serve the dashboard for a campaign directory"
+    )
+    serve.add_argument("--dir", required=True, help="campaign directory")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to listen on (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to listen on (default 0 = ephemeral; "
+                            "the bound port lands in dashboard.json)")
+    serve.add_argument("--poll-interval", type=float, default=0.5,
+                       metavar="S",
+                       help="journal poll cadence in seconds "
+                            "(default 0.5)")
+    return parser
+
+
+def _dashboard_main(argv):
+    args = _dashboard_parser().parse_args(argv)
+    code = _validate_endpoint(args.host, args.port)
+    if code is not None:
+        return code
+    if args.poll_interval <= 0:
+        print(f"--poll-interval must be > 0, got {args.poll_interval}",
+              file=sys.stderr)
+        return 2
+    from repro.campaign import read_manifest
+    from repro.dashboard import serve_dashboard
+
+    try:
+        read_manifest(args.dir)
+    except FileNotFoundError:
+        print(f"no campaign manifest in {args.dir}", file=sys.stderr)
+        return 2
+    return serve_dashboard(
+        args.dir, host=args.host, port=args.port,
+        poll_interval=args.poll_interval,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -935,6 +1003,12 @@ def _fleet_parser():
                         help="print the status dict as JSON")
     status.add_argument("--tls-ca", default=None, metavar="PEM",
                         help="the coordinator serves TLS; trust this CA")
+    status.add_argument("--follow", action="store_true",
+                        help="live-refresh from the journals/ledger until "
+                             "the campaign completes (requires --dir)")
+    status.add_argument("--interval", type=float, default=0.5, metavar="S",
+                        help="journal poll interval with --follow "
+                             "(default 0.5)")
     return parser
 
 
@@ -972,6 +1046,10 @@ def _render_fleet_extras(status):
                 f"  lease {lease['lease']}: {lease['point']} "
                 f"-> {lease['worker']} ({len(lease['pending'])} pending)"
             )
+    audit = status.get("audit")
+    if audit:
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(audit.items()))
+        lines.append(f"  audit: {shown}")
     return "\n".join(lines)
 
 
@@ -1029,6 +1107,21 @@ def _fleet_main(argv):
     if args.verb == "status":
         from repro.fleet.service import offline_status, query_status
 
+        if args.follow:
+            if not args.dir:
+                print("--follow needs --dir (it tails the journals and "
+                      "lease ledger on disk)", file=sys.stderr)
+                return 2
+            from repro.dashboard import follow_status
+
+            try:
+                return follow_status(
+                    args.dir, fleet=True, interval=args.interval
+                )
+            except FileNotFoundError:
+                print(f"no campaign manifest in {args.dir}",
+                      file=sys.stderr)
+                return 2
         status = None
         if args.connect or args.dir:
             try:
@@ -1145,6 +1238,8 @@ def main(argv=None):
         return _campaign_main(argv[1:])
     if argv[:1] == ["fleet"]:
         return _fleet_main(argv[1:])
+    if argv[:1] == ["dashboard"]:
+        return _dashboard_main(argv[1:])
     if argv[:1] == ["verify"]:
         return _verify_main(argv[1:])
     if argv[:1] == ["trace"]:

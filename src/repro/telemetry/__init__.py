@@ -93,6 +93,21 @@ class TelemetryResult:
             "profile": self.profile,
         }
 
+    def summary(self):
+        """Compact per-run summary journaled with a campaign draw.
+
+        The interval-metrics summary (``None`` when the metrics layer
+        was off) plus, when event tracing ran, the ``dropped_events``
+        tally — so ring-buffer truncation is visible wherever the
+        summary travels, not just in a rendered trace.
+        """
+        if self.metrics is None:
+            return None
+        out = self.metrics.summary()
+        if self.events is not None:
+            out["dropped_events"] = self.events_dropped
+        return out
+
     def __repr__(self):
         windows = len(self.metrics) if self.metrics is not None else 0
         n_events = len(self.events) if self.events is not None else 0
@@ -124,6 +139,10 @@ class TelemetryCollector:
             event_counts = self.bus.counts()
             emitted = self.bus.emitted
             dropped = self.bus.dropped
+            # surface ring evictions on the run's own counters too, so
+            # stats.as_dict() exports carry them without a telemetry
+            # payload in hand
+            core.stats.dropped_events = dropped
         profile = (
             self.profiler.report() if self.profiler is not None else None
         )

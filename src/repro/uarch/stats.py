@@ -35,6 +35,10 @@ class SimStats:
         # predictions — see pipeline._issue) and storm bookkeeping
         self.safety_net_replays = 0
         self.storm_faults = 0
+        # telemetry events evicted from the EventBus ring (set by
+        # TelemetryCollector.finalize; 0 when tracing was off or the
+        # ring never overflowed) — silent trace truncation, made loud
+        self.dropped_events = 0
         # activity for the energy model
         self.fu_ops = {}
         self.regreads = 0
@@ -109,6 +113,7 @@ class SimStats:
             "replays": self.replays,
             "safety_net_replays": self.safety_net_replays,
             "storm_faults": self.storm_faults,
+            "dropped_events": self.dropped_events,
             "ep_stalls": self.ep_stalls,
             "slot_freezes": self.slot_freezes,
             "padded_instructions": self.padded_instructions,

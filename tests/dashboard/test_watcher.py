@@ -1,0 +1,174 @@
+"""JournalWatcher: torn tails, rotation/truncation, late files."""
+
+import json
+import os
+
+from repro.campaign.journal import JOURNAL_NAME, Journal, write_manifest
+from repro.dashboard.watcher import (
+    SOURCE_JOURNAL,
+    SOURCE_LEDGER,
+    SOURCE_SHARD,
+    JournalWatcher,
+    TailedFile,
+)
+from repro.fleet.ledger import LeaseLedger
+from repro.fleet.merge import shard_dir, shard_path
+
+
+def _write(path, text, mode="a"):
+    with open(path, mode) as fh:
+        fh.write(text)
+
+
+def _line(record):
+    return json.dumps(record, sort_keys=True) + "\n"
+
+
+class TestTailedFile:
+    def test_absent_file_polls_empty(self, tmp_path):
+        tail = TailedFile(str(tmp_path / "none.jsonl"), SOURCE_JOURNAL)
+        assert tail.poll() == []
+        assert tail.poll() == []
+
+    def test_emits_each_record_exactly_once(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        _write(path, _line({"a": 1}) + _line({"a": 2}))
+        assert tail.poll() == [{"a": 1}, {"a": 2}]
+        assert tail.poll() == []
+        _write(path, _line({"a": 3}))
+        assert tail.poll() == [{"a": 3}]
+
+    def test_mid_record_torn_tail_is_delayed_not_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        full = _line({"point": "p", "index": 7})
+        # a writer killed (or raced) mid-append: half a record, no \n
+        _write(path, _line({"index": 0}) + full[: len(full) // 2])
+        assert tail.poll() == [{"index": 0}]
+        assert tail.n_bad == 0  # torn is not corrupt
+        assert tail.poll() == []  # still torn: nothing new, no dup
+        _write(path, full[len(full) // 2:])
+        assert tail.poll() == [{"point": "p", "index": 7}]
+        assert tail.n_bad == 0
+
+    def test_torn_tail_split_at_every_byte(self, tmp_path):
+        """No split position of a record duplicates or drops it."""
+        record = {"event": "run", "point": "a/b/0.97", "index": 3,
+                  "metrics": {"ipc": 1.25}}
+        full = _line(record)
+        for cut in range(1, len(full)):
+            path = tmp_path / f"j{cut}.jsonl"
+            tail = TailedFile(str(path), SOURCE_JOURNAL)
+            _write(path, full[:cut])
+            first = tail.poll()
+            _write(path, full[cut:])
+            second = tail.poll()
+            assert first + second == [record], f"split at byte {cut}"
+
+    def test_rotation_new_inode_rereads_from_zero(self, tmp_path):
+        """An atomic os.replace (merge_journals) re-emits the new file."""
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        _write(path, _line({"index": 0}))
+        assert tail.poll() == [{"index": 0}]
+        merged = tmp_path / "j.jsonl.tmp"
+        _write(merged, _line({"index": 0}) + _line({"index": 1}), mode="w")
+        os.replace(merged, path)
+        assert tail.poll() == [{"index": 0}, {"index": 1}]
+
+    def test_truncation_in_place_resets_cursor(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        _write(path, _line({"index": 0}) + _line({"index": 1}))
+        assert len(tail.poll()) == 2
+        # Journal.repair-style truncation: same inode, smaller size
+        with open(path, "r+") as fh:
+            fh.truncate(len(_line({"index": 0})))
+        assert tail.poll() == [{"index": 0}]
+
+    def test_vanished_file_restarts_when_it_reappears(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        _write(path, _line({"index": 0}))
+        assert tail.poll() == [{"index": 0}]
+        os.unlink(path)
+        assert tail.poll() == []
+        _write(path, _line({"index": 9}))
+        assert tail.poll() == [{"index": 9}]
+
+    def test_corrupt_terminated_line_counted_not_raised(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        tail = TailedFile(str(path), SOURCE_JOURNAL)
+        _write(path, "not json at all\n" + _line({"ok": True}))
+        assert tail.poll() == [{"ok": True}]
+        assert tail.n_bad == 1
+
+
+class TestJournalWatcher:
+    def test_sources_are_tagged_and_ordered(self, tmp_path):
+        Journal(tmp_path).append({"event": "run", "index": 0})
+        shards = shard_dir(tmp_path)
+        os.makedirs(shards)
+        _write(shard_path(tmp_path, "w1"), _line({"event": "run",
+                                                  "index": 1}))
+        LeaseLedger(tmp_path).granted(1, "p", [0], "w1")
+        watcher = JournalWatcher(tmp_path)
+        out = watcher.poll()
+        assert [(s, sh) for s, sh, _ in out] == [
+            (SOURCE_JOURNAL, None), (SOURCE_SHARD, "w1"),
+            (SOURCE_LEDGER, None),
+        ]
+        assert watcher.poll() == []
+
+    def test_shard_appearing_after_watch_start(self, tmp_path):
+        watcher = JournalWatcher(tmp_path)
+        assert watcher.poll() == []  # nothing exists yet
+        os.makedirs(shard_dir(tmp_path))
+        _write(shard_path(tmp_path, "late"), _line({"index": 4}))
+        out = watcher.poll()
+        assert out == [(SOURCE_SHARD, "late", {"index": 4})]
+
+    def test_multiple_shards_sorted_by_name(self, tmp_path):
+        os.makedirs(shard_dir(tmp_path))
+        for name in ("zeta", "alpha"):
+            _write(shard_path(tmp_path, name), _line({"w": name}))
+        out = JournalWatcher(tmp_path).poll()
+        assert [sh for _, sh, _ in out] == ["alpha", "zeta"]
+
+    def test_non_jsonl_files_in_shard_dir_ignored(self, tmp_path):
+        os.makedirs(shard_dir(tmp_path))
+        _write(shard_dir(tmp_path) + "/README.txt", "hi\n")
+        assert JournalWatcher(tmp_path).poll() == []
+
+    def test_opt_outs(self, tmp_path):
+        os.makedirs(shard_dir(tmp_path))
+        _write(shard_path(tmp_path, "w"), _line({"x": 1}))
+        LeaseLedger(tmp_path).granted(1, "p", [0], "w")
+        watcher = JournalWatcher(tmp_path, ledger=False, shards=False)
+        assert watcher.poll() == []
+
+    def test_n_bad_sums_all_files(self, tmp_path):
+        _write(tmp_path / JOURNAL_NAME, "garbage\n")
+        os.makedirs(shard_dir(tmp_path))
+        _write(shard_path(tmp_path, "w"), "also garbage\n")
+        watcher = JournalWatcher(tmp_path)
+        watcher.poll()
+        assert watcher.n_bad == 2
+
+
+class TestAgainstRealWriters:
+    def test_tails_a_live_journal_append_by_append(self, tmp_path):
+        from repro.campaign.plan import CampaignSpec
+
+        spec = CampaignSpec(name="w", benchmarks=["astar"],
+                            schemes=["EP"], n_instructions=500,
+                            warmup=250)
+        write_manifest(tmp_path, spec)
+        watcher = JournalWatcher(tmp_path)
+        with Journal(tmp_path) as journal:
+            for index in range(3):
+                journal.append({"event": "run", "point": "p",
+                                "index": index})
+                out = watcher.poll()
+                assert [r["index"] for _, _, r in out] == [index]

@@ -165,6 +165,41 @@ class TestStatus:
         payload = json.loads(capsys.readouterr().out)
         assert payload["runs_total"] == 1
 
+    def test_offline_status_json_carries_audit_counters(
+        self, tmp_path, capsys
+    ):
+        """Persisted security audit counters ride `fleet status --json`."""
+        from repro.fleet.ledger import LeaseLedger
+
+        _sharded_campaign(tmp_path)
+        LeaseLedger(tmp_path).audited({
+            "auth_failures": 3, "rejected_hellos": 4,
+            "rejected_versions": 1, "protocol_errors": 2, "steals": 0,
+        })
+        assert main(
+            ["fleet", "status", "--dir", str(tmp_path), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["audit"]["auth_failures"] == 3
+        assert payload["audit"]["rejected_versions"] == 1
+
+    def test_offline_status_text_renders_audit(self, tmp_path, capsys):
+        from repro.fleet.ledger import LeaseLedger
+
+        _sharded_campaign(tmp_path)
+        LeaseLedger(tmp_path).audited({"auth_failures": 3})
+        assert main(["fleet", "status", "--dir", str(tmp_path)]) == 0
+        assert "audit: auth_failures=3" in capsys.readouterr().out
+
+    def test_offline_status_audit_none_without_ledger_records(
+        self, tmp_path, capsys
+    ):
+        _sharded_campaign(tmp_path)
+        assert main(
+            ["fleet", "status", "--dir", str(tmp_path), "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["audit"] is None
+
     def test_status_needs_dir_or_connect(self, capsys):
         assert main(["fleet", "status"]) == 2
         assert "--connect" in _err(capsys)

@@ -175,7 +175,15 @@ class TestSecretMatrix:
         assert audit["auth_failures"] == 1
         assert audit["rejected_hellos"] == 1
         assert _no_worker_shards(tmp_path)
-        assert not os.path.exists(tmp_path / "leases.jsonl")
+        # the rejection never granted a lease, but it IS persisted to
+        # the ledger's audit trail so an offline `fleet status` can
+        # still report the hostile peer after the coordinator dies
+        from repro.fleet.ledger import LeaseLedger
+
+        replayed = LeaseLedger(tmp_path).replay()
+        assert replayed["max_lease"] == 0 and replayed["open"] == {}
+        assert replayed["audit"]["auth_failures"] == 1
+        assert replayed["audit"]["rejected_hellos"] == 1
 
     def test_worker_refuses_unauthenticated_coordinator(self, tmp_path):
         async def go():
@@ -266,5 +274,12 @@ class TestTlsMatrix:
         code, audit = asyncio.run(go())
         assert code == 2
         assert audit["rejected_hellos"] == 1
+        # skew is counted on its own, distinct from hostile rejections
+        assert audit["rejected_versions"] == 1
         assert audit["auth_failures"] == 0  # the secret was right
         assert _no_worker_shards(tmp_path)
+        # and the counters survive the coordinator via the ledger
+        from repro.fleet.ledger import LeaseLedger
+
+        persisted = LeaseLedger(tmp_path).replay()["audit"]
+        assert persisted["rejected_versions"] == 1

@@ -59,6 +59,27 @@ def test_campaign_journals_and_reports_telemetry(tmp_path):
     assert build_report(tmp_path) == report
 
 
+def test_pooled_telemetry_sums_dropped_events_scalar():
+    from repro.campaign.report import _pool_telemetry
+
+    summaries = [
+        {"draws": 1, "interval": 200, "windows": 4,
+         "ipc": {"min": 0.8, "mean": 1.0, "max": 1.2},
+         "dropped_events": 2},
+        {"draws": 1, "interval": 200, "windows": 4,
+         "ipc": {"min": 0.9, "mean": 1.1, "max": 1.3},
+         "dropped_events": 3},
+    ]
+    pooled = _pool_telemetry(summaries)
+    assert pooled["dropped_events"] == 5  # totalled, not enveloped
+    assert pooled["ipc"] == {"min": 0.8, "mean": 1.05, "max": 1.3}
+    # campaigns run with events off journal no dropped_events key at
+    # all — pooling must not invent one
+    for summary in summaries:
+        del summary["dropped_events"]
+    assert "dropped_events" not in _pool_telemetry(summaries)
+
+
 def test_campaign_without_telemetry_is_unchanged(tmp_path):
     report = run_campaign(
         tmp_path, spec=_spec(telemetry_interval=0), cache=False

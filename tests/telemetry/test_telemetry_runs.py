@@ -96,6 +96,28 @@ def test_event_ring_drops_oldest_but_counts_all():
     assert cycles == sorted(cycles)
 
 
+def test_dropped_events_surface_in_stats_and_summary():
+    # silent trace truncation made loud: the tally rides both the
+    # exported SimStats dict and the journaled telemetry summary
+    result = run_one(_spec(event_capacity=64))
+    telem = result.telemetry
+    assert telem.events_dropped > 0
+    assert result.stats.as_dict()["dropped_events"] == telem.events_dropped
+    assert telem.summary()["dropped_events"] == telem.events_dropped
+
+
+def test_summary_without_event_tracing_omits_dropped_key():
+    telem = run_one(_spec(events=False)).telemetry
+    summary = telem.summary()
+    assert "dropped_events" not in summary  # no ring ran, nothing to drop
+    assert summary["windows"] > 0
+
+
+def test_untraced_run_exports_zero_dropped_events():
+    result = run_one(RunSpec("bzip2", "CDS", 0.97, seed=2, **_FAST))
+    assert result.stats.as_dict()["dropped_events"] == 0
+
+
 # ----------------------------------------------------------------------
 # batch pooling
 # ----------------------------------------------------------------------
